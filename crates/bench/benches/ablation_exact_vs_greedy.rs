@@ -1,0 +1,23 @@
+//! E12: ablation — exact quotient enumeration vs greedy anytime mode.
+
+use cqapx_bench::workloads;
+use cqapx_core::{all_approximations, one_approximation, ApproxOptions, TwK};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for n in [6usize, 7, 8] {
+        let q = workloads::random_cyclic_query(n, 3);
+        group.bench_with_input(BenchmarkId::new("exact", n), &q, |b, q| {
+            b.iter(|| all_approximations(q, &TwK(1), &ApproxOptions::default()).approximations)
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &q, |b, q| {
+            b.iter(|| one_approximation(q, &TwK(1), 24))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

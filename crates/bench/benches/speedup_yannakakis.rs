@@ -1,0 +1,32 @@
+//! E5: the motivating speedup — naive evaluation of a cyclic 28-variable
+//! query vs Yannakakis on its acyclic approximation, on growing layered
+//! DAGs.
+
+use cqapx_bench::workloads;
+use cqapx_cq::eval::naive::eval_boolean_naive;
+use cqapx_cq::eval::AcyclicPlan;
+use cqapx_gadgets::prop44;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(10);
+    let (d, _) = prop44::digraph_d();
+    let q = workloads::graph_query(&d);
+    let q_prime = workloads::graph_query(&prop44::digraph_d_ac());
+    let plan = AcyclicPlan::compile(&q_prime).expect("acyclic");
+
+    for layers in [6usize, 10] {
+        let db = workloads::layered_dag(layers, 6, 0.55, 11);
+        group.bench_with_input(BenchmarkId::new("naive_Q", layers), &db, |b, db| {
+            b.iter(|| eval_boolean_naive(&q, db))
+        });
+        group.bench_with_input(BenchmarkId::new("yannakakis_Qprime", layers), &db, |b, db| {
+            b.iter(|| plan.eval_boolean(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

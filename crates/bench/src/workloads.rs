@@ -1,0 +1,137 @@
+//! Workload generators: query suites and database families.
+
+use cqapx_cq::{parse_cq, query_from_tableau, ConjunctiveQuery};
+use cqapx_graphs::{generators, Digraph};
+use cqapx_structures::{Element, Pointed, Structure, StructureBuilder, Vocabulary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Boolean graph query whose tableau is the given digraph.
+pub fn graph_query(g: &Digraph) -> ConjunctiveQuery {
+    query_from_tableau(&Pointed::boolean(g.to_structure()))
+}
+
+/// The oriented-cycle query `C_k` (Boolean).
+pub fn cycle_query(k: usize) -> ConjunctiveQuery {
+    graph_query(&Digraph::cycle(k))
+}
+
+/// A named suite of cyclic queries exercising all three trichotomy
+/// classes and both vocabulary styles, used by the Figure 1 experiment.
+pub fn fig1_suite() -> Vec<(&'static str, ConjunctiveQuery)> {
+    vec![
+        ("triangle C3", cycle_query(3)),
+        ("directed C4", cycle_query(4)),
+        ("directed C6", cycle_query(6)),
+        (
+            "intro Q2 (balanced)",
+            parse_cq(
+                "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
+            )
+            .unwrap(),
+        ),
+        ("tight G3", graph_query(&cqapx_gadgets::tight::g_k(3))),
+        (
+            "ternary cycle (Ex 6.6)",
+            parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)").unwrap(),
+        ),
+        (
+            "ternary triangle (intro)",
+            parse_cq("Q() :- R(x,u,y), R(y,v,z), R(z,w,x)").unwrap(),
+        ),
+        (
+            "free-variable triangle",
+            parse_cq("Q(x, y) :- E(x,y), E(y,z), E(z,x)").unwrap(),
+        ),
+    ]
+}
+
+/// A layered random DAG database: `layers` layers of `width` nodes with
+/// forward edges of probability `p` between consecutive layers. Dense in
+/// long paths, free of directed cycles — adversarial for backtracking
+/// cycle queries, trivial for their acyclic approximations.
+pub fn layered_dag(layers: usize, width: usize, p: f64, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = layers * width;
+    let mut g = Digraph::new(n);
+    let id = |l: usize, i: usize| (l * width + i) as Element;
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            for j in 0..width {
+                if rng.gen_bool(p) {
+                    g.add_edge(id(l, i), id(l + 1, j));
+                }
+            }
+        }
+    }
+    g.to_structure()
+}
+
+/// A random digraph database (Erdős–Rényi, expected out-degree `d`).
+pub fn random_db(n: usize, expected_degree: f64, seed: u64) -> Structure {
+    generators::random_digraph(n, expected_degree / n as f64, seed).to_structure()
+}
+
+/// A random database over a single `arity`-ary relation with `tuples`
+/// uniform tuples over `n` constants.
+pub fn random_relation_db(n: usize, arity: usize, tuples: usize, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = Vocabulary::single(arity);
+    let r = vocab.rel("R").expect("single relation");
+    let mut b = StructureBuilder::new(vocab, n);
+    for _ in 0..tuples {
+        let t: Vec<Element> = (0..arity).map(|_| rng.gen_range(0..n as Element)).collect();
+        b.add(r, &t);
+    }
+    b.finish()
+}
+
+/// A random cyclic Boolean graph query with `n` variables whose tableau
+/// is connected (resampled until cyclic).
+pub fn random_cyclic_query(n: usize, seed: u64) -> ConjunctiveQuery {
+    let mut seed = seed;
+    loop {
+        let g = generators::random_digraph(n, 2.2 / n as f64, seed);
+        let s = g.to_structure();
+        if !s.is_relations_empty() {
+            let (s, _) = s.restrict_to_adom();
+            let q = query_from_tableau(&Pointed::boolean(s));
+            if !cqapx_cq::classes::is_acyclic_query(&q) && q.var_count() >= 4 {
+                return q;
+            }
+        }
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_suite_is_cyclic() {
+        for (name, q) in fig1_suite() {
+            assert!(
+                !cqapx_cq::classes::is_acyclic_query(&q)
+                    || cqapx_cq::treewidth_of_query(&q) > 1,
+                "{name} should be outside TW(1) or AC"
+            );
+        }
+    }
+
+    #[test]
+    fn layered_dag_has_no_cycles() {
+        let d = layered_dag(4, 5, 0.5, 7);
+        let g = Digraph::from_structure(&d);
+        // no directed cycle: topological by layers
+        assert!(g.edges().all(|(u, v)| (u as usize) / 5 < (v as usize) / 5 + 1));
+    }
+
+    #[test]
+    fn random_queries_are_cyclic() {
+        for seed in 0..5 {
+            let q = random_cyclic_query(7, seed);
+            assert!(!cqapx_cq::classes::is_acyclic_query(&q));
+        }
+    }
+}

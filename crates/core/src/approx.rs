@@ -1,0 +1,560 @@
+//! The approximation algorithms (Theorems 4.1 and 6.1).
+//!
+//! Both existence proofs construct approximations inside a bounded
+//! candidate space:
+//!
+//! * **Graph-based classes** (Theorem 4.1): the candidates are the
+//!   homomorphic images of the tableau `(Im(h), h(x̄))` — equivalently, its
+//!   **quotients** by partitions of the variables. Every `C`-approximation
+//!   is equivalent to a →-minimal in-class quotient.
+//! * **Hypergraph-based classes** (Theorem 6.1 / Claim 6.2): classes like
+//!   `AC` are *not* closed under subgraphs, and approximations may need
+//!   **more atoms** than `Q` (Example 6.6's `Q'₃` adds a covering atom to
+//!   the tableau). The candidate space becomes quotients **augmented** with
+//!   extra atoms over the quotient's variables (optionally padded with
+//!   fresh variables — the Claim 6.2 edge-extension move); the claim bounds
+//!   the number of needed extra atoms by `ℓ·n^m`. We search augmentations
+//!   by increasing size, keeping inclusion-minimal in-class repairs, with a
+//!   configurable cap ([`ApproxOptions::repair_extra_atoms`], default 1 —
+//!   enough for every example in the paper; raise it for exhaustiveness on
+//!   wilder vocabularies).
+//!
+//! The exact pipeline is `enumerate candidates → filter by class →
+//! deduplicate up to homomorphic equivalence → keep →-minimal elements →
+//! minimize (core)`; Corollaries 4.3 and 6.5 bound it by single-exponential
+//! time, and Proposition 4.11 shows no polynomial algorithm exists unless
+//! P = NP. [`one_approximation`] is the anytime variant: greedy merging
+//! with a beam, sound (`Q' ⊆ Q` and `Q' ∈ C` always) but not guaranteed
+//! →-minimal.
+
+use crate::classes::{ClassKind, QueryClass};
+use cqapx_cq::{query_from_tableau, tableau_of, ConjunctiveQuery};
+use cqapx_structures::iso::isomorphic_pointed;
+use cqapx_structures::{
+    core_of, order, partition::for_each_partition, quotient::quotient_pointed, Partition, Pointed,
+    StructureBuilder,
+};
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+/// Tuning knobs for the approximation search.
+#[derive(Debug, Clone)]
+pub struct ApproxOptions {
+    /// Cap on the number of partitions enumerated (Bell(n) grows fast).
+    /// When hit, the result is still sound but flagged incomplete.
+    pub max_partitions: u64,
+    /// For hypergraph-based classes: maximum number of extra atoms added
+    /// to a quotient when repairing it into the class.
+    pub repair_extra_atoms: usize,
+    /// For hypergraph-based classes: also try repair atoms padded with one
+    /// fresh variable (the Claim 6.2 edge-extension shape).
+    pub padded_repairs: bool,
+    /// Minimize (core) the resulting approximations.
+    pub minimize: bool,
+}
+
+impl Default for ApproxOptions {
+    fn default() -> Self {
+        ApproxOptions {
+            max_partitions: 2_000_000,
+            repair_extra_atoms: 1,
+            padded_repairs: false,
+            minimize: true,
+        }
+    }
+}
+
+/// The result of an approximation computation.
+#[derive(Debug, Clone)]
+pub struct ApproxReport {
+    /// The approximations, as queries (minimized when requested).
+    pub approximations: Vec<ConjunctiveQuery>,
+    /// The approximations, as tableaux.
+    pub tableaux: Vec<Pointed>,
+    /// Number of in-class candidates examined (after structural dedup).
+    pub candidates: usize,
+    /// Number of partitions enumerated.
+    pub partitions: u64,
+    /// `false` when a cap was hit; the output is then still sound (each
+    /// returned query is in the class and contained in `Q`) but might miss
+    /// approximations or return non-minimal ones.
+    pub complete: bool,
+}
+
+/// Enumerates the in-class candidate tableaux for a query tableau.
+fn candidates(t: &Pointed, class: &dyn QueryClass, opts: &ApproxOptions) -> (Vec<Pointed>, u64, bool) {
+    let n = t.structure.universe_size();
+    let mut seen: HashSet<Pointed> = HashSet::new();
+    let mut out: Vec<Pointed> = Vec::new();
+    let mut count: u64 = 0;
+    let complete = for_each_partition(n, |p| {
+        count += 1;
+        if count > opts.max_partitions {
+            return ControlFlow::Break(());
+        }
+        let (qt, _) = quotient_pointed(t, p);
+        if class.contains_tableau(&qt) {
+            if seen.insert(qt.clone()) {
+                out.push(qt);
+            }
+        } else if class.kind() == ClassKind::HypergraphClosed && opts.repair_extra_atoms > 0 {
+            for repaired in repairs_public(&qt, class, opts) {
+                if seen.insert(repaired.clone()) {
+                    out.push(repaired);
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    (out, count.min(opts.max_partitions), complete)
+}
+
+/// Inclusion-minimal augmentations of `qt` with up to
+/// `opts.repair_extra_atoms` extra atoms that land in the class (the
+/// Claim 6.2 move). Exposed for the `identify` decision procedure.
+pub fn repairs_public(qt: &Pointed, class: &dyn QueryClass, opts: &ApproxOptions) -> Vec<Pointed> {
+    let s = &qt.structure;
+    let vocab = s.vocabulary().clone();
+    let u = s.universe_size();
+    // Candidate extra atoms: every missing tuple over the quotient's
+    // elements; optionally, tuples with exactly one fresh padding element.
+    #[derive(Clone)]
+    struct Extra {
+        rel: cqapx_structures::RelId,
+        tuple: Vec<u32>,
+        padded: bool,
+    }
+    let mut extras: Vec<Extra> = Vec::new();
+    for rel in vocab.rel_ids() {
+        let arity = vocab.arity(rel);
+        let mut tuple = vec![0u32; arity];
+        loop {
+            if !s.contains(rel, &tuple) {
+                extras.push(Extra {
+                    rel,
+                    tuple: tuple.clone(),
+                    padded: false,
+                });
+            }
+            // increment base-u counter
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                tuple[pos] += 1;
+                if (tuple[pos] as usize) < u {
+                    break;
+                }
+                tuple[pos] = 0;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+        }
+        if opts.padded_repairs && arity >= 2 {
+            // One fresh element (marker u) in each position, others over U.
+            let mut base = vec![0u32; arity - 1];
+            loop {
+                for pad_pos in 0..arity {
+                    let mut tuple = Vec::with_capacity(arity);
+                    let mut bi = 0;
+                    for p in 0..arity {
+                        if p == pad_pos {
+                            tuple.push(u as u32); // fresh marker
+                        } else {
+                            tuple.push(base[bi]);
+                            bi += 1;
+                        }
+                    }
+                    extras.push(Extra {
+                        rel,
+                        tuple,
+                        padded: true,
+                    });
+                }
+                let mut pos = 0;
+                loop {
+                    if pos == arity - 1 {
+                        break;
+                    }
+                    base[pos] += 1;
+                    if (base[pos] as usize) < u {
+                        break;
+                    }
+                    base[pos] = 0;
+                    pos += 1;
+                }
+                if pos == arity - 1 || arity == 1 {
+                    break;
+                }
+            }
+        }
+    }
+
+    let build = |subset: &[usize]| -> Pointed {
+        let n_pads = subset.iter().filter(|&&i| extras[i].padded).count();
+        let mut b = StructureBuilder::new(vocab.clone(), u + n_pads);
+        for rel in vocab.rel_ids() {
+            for t in s.tuples(rel) {
+                b.add(rel, t);
+            }
+        }
+        let mut next_pad = u as u32;
+        for &i in subset {
+            let e = &extras[i];
+            if e.padded {
+                let tuple: Vec<u32> = e
+                    .tuple
+                    .iter()
+                    .map(|&x| if x == u as u32 { next_pad } else { x })
+                    .collect();
+                next_pad += 1;
+                b.add(e.rel, &tuple);
+            } else {
+                b.add(e.rel, &e.tuple);
+            }
+        }
+        Pointed::new(b.finish(), qt.distinguished().to_vec())
+    };
+
+    // Search by increasing repair size, keeping inclusion-minimal hits.
+    let mut hits: Vec<Vec<usize>> = Vec::new();
+    let mut out = Vec::new();
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+    for _size in 1..=opts.repair_extra_atoms {
+        let mut next = Vec::new();
+        for base in &frontier {
+            let start = base.last().map_or(0, |&l| l + 1);
+            for i in start..extras.len() {
+                let mut subset = base.clone();
+                subset.push(i);
+                // skip supersets of known hits (inclusion-minimality)
+                if hits
+                    .iter()
+                    .any(|h| h.iter().all(|x| subset.contains(x)))
+                {
+                    continue;
+                }
+                let cand = build(&subset);
+                if class.contains_tableau(&cand) {
+                    hits.push(subset);
+                    out.push(cand);
+                } else {
+                    next.push(subset);
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Computes all `C`-approximations of a tableau, as tableaux.
+///
+/// This is Theorem 4.1's (resp. 6.1's) procedure run to completion:
+/// candidates, filtered by class, →-minimal elements, cores. The returned
+/// tableaux are pairwise non-equivalent.
+pub fn all_approximations_tableaux(
+    t: &Pointed,
+    class: &dyn QueryClass,
+    opts: &ApproxOptions,
+) -> (Vec<Pointed>, ApproxReportMeta) {
+    let (cands, partitions, complete) = candidates(t, class, opts);
+    let n_candidates = cands.len();
+    // Deduplicate up to homomorphic equivalence first (keeps the quadratic
+    // minimality pass small).
+    let kept = order::dedupe_hom_equivalent(&cands);
+    let reps: Vec<Pointed> = kept.into_iter().map(|i| cands[i].clone()).collect();
+    let minimal = order::minimal_elements(&reps);
+    let mut result: Vec<Pointed> = minimal.into_iter().map(|i| reps[i].clone()).collect();
+    if opts.minimize {
+        result = result.iter().map(|p| core_of(p).core).collect();
+        // Cores of non-equivalent structures are non-isomorphic; dedupe
+        // defensively anyway.
+        let mut unique: Vec<Pointed> = Vec::new();
+        for r in result {
+            if !unique.iter().any(|u| isomorphic_pointed(u, &r)) {
+                unique.push(r);
+            }
+        }
+        result = unique;
+    }
+    (
+        result,
+        ApproxReportMeta {
+            candidates: n_candidates,
+            partitions,
+            complete,
+        },
+    )
+}
+
+/// Bookkeeping from a tableau-level approximation run.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxReportMeta {
+    /// In-class candidates examined.
+    pub candidates: usize,
+    /// Partitions enumerated.
+    pub partitions: u64,
+    /// Whether the enumeration was exhaustive.
+    pub complete: bool,
+}
+
+/// Computes all `C`-approximations of a query.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_core::{all_approximations, ApproxOptions, TwK};
+/// use cqapx_cq::parse_cq;
+///
+/// // The triangle has only the trivial acyclic approximation E(x,x).
+/// let tri = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+/// let rep = all_approximations(&tri, &TwK(1), &ApproxOptions::default());
+/// assert!(rep.complete);
+/// assert_eq!(rep.approximations.len(), 1);
+/// let trivial = parse_cq("Q() :- E(x, x)").unwrap();
+/// assert!(cqapx_cq::equivalent(&rep.approximations[0], &trivial));
+/// ```
+pub fn all_approximations(
+    q: &ConjunctiveQuery,
+    class: &dyn QueryClass,
+    opts: &ApproxOptions,
+) -> ApproxReport {
+    let t = tableau_of(q);
+    let (tableaux, meta) = all_approximations_tableaux(&t, class, opts);
+    let approximations = tableaux.iter().map(query_from_tableau).collect();
+    ApproxReport {
+        approximations,
+        tableaux,
+        candidates: meta.candidates,
+        partitions: meta.partitions,
+        complete: meta.complete,
+    }
+}
+
+/// Greedy anytime approximation: beam search over variable merges.
+///
+/// Starts from the identity partition and merges pairs of variables until
+/// the quotient lands in the class (the coarsest quotient always does —
+/// it is `Q^trivial`). The result is **sound** — in the class and
+/// contained in `Q` — and among the candidates the beam saw it is
+/// →-minimal, but global approximation-hood is only guaranteed by the
+/// exhaustive [`all_approximations`] (Proposition 4.11: that cannot be
+/// polynomial unless P = NP).
+pub fn one_approximation(
+    q: &ConjunctiveQuery,
+    class: &dyn QueryClass,
+    beam_width: usize,
+) -> ConjunctiveQuery {
+    let t = tableau_of(q);
+    let n = t.structure.universe_size();
+    if class.contains_tableau(&t) {
+        return q.clone();
+    }
+    let mut beam: Vec<Partition> = vec![Partition::identity(n)];
+    let mut found: Vec<Pointed> = Vec::new();
+    while found.is_empty() && !beam.is_empty() {
+        let mut next: Vec<Partition> = Vec::new();
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for p in &beam {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if p.block_of(a) == p.block_of(b) {
+                        continue;
+                    }
+                    let merged = p.merge(a, b);
+                    if !seen.insert(merged.labels().to_vec()) {
+                        continue;
+                    }
+                    let (qt, _) = quotient_pointed(&t, &merged);
+                    if class.contains_tableau(&qt) {
+                        found.push(qt);
+                    } else if next.len() < beam_width {
+                        next.push(merged);
+                    }
+                }
+            }
+        }
+        beam = next;
+    }
+    if found.is_empty() {
+        // Fall back to the coarsest quotient (the trivial query).
+        let (qt, _) = quotient_pointed(&t, &Partition::coarsest(n));
+        debug_assert!(class.contains_tableau(&qt), "trivial quotient is in class");
+        found.push(qt);
+    }
+    // Among found candidates of this layer, return a →-minimal one,
+    // minimized.
+    let min = order::minimal_elements(&found);
+    let best = core_of(&found[min[0]]).core;
+    query_from_tableau(&best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{Acyclic, HtwK, TwK};
+    use cqapx_cq::{contained_in, equivalent, parse_cq};
+
+    fn opts() -> ApproxOptions {
+        ApproxOptions::default()
+    }
+
+    #[test]
+    fn triangle_trivial_approximation() {
+        // Theorem 5.1 first case: non-bipartite tableau → only Q^triv.
+        let tri = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        for class in [&TwK(1) as &dyn QueryClass, &Acyclic] {
+            let rep = all_approximations(&tri, class, &opts());
+            assert_eq!(rep.approximations.len(), 1, "{}", class.name());
+            let a = &rep.approximations[0];
+            assert_eq!(a.atom_count(), 1);
+            assert!(contained_in(a, &tri));
+            assert!(equivalent(a, &parse_cq("Q() :- E(x, x)").unwrap()));
+        }
+    }
+
+    #[test]
+    fn c4_bipartite_unbalanced_gives_k2() {
+        // Theorem 5.1 second case: C4 is bipartite but unbalanced → the
+        // only acyclic approximation is K2^<->.
+        let c4 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        let rep = all_approximations(&c4, &TwK(1), &opts());
+        assert!(rep.complete);
+        assert_eq!(rep.approximations.len(), 1);
+        let a = &rep.approximations[0];
+        let k2 = parse_cq("Q() :- E(x,y), E(y,x)").unwrap();
+        assert!(equivalent(a, &k2));
+    }
+
+    #[test]
+    fn intro_q2_approximated_by_p4() {
+        // Introduction / Example 5.7: Q2's unique acyclic approximation is
+        // the path of length 4.
+        let q2 = parse_cq(
+            "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
+        )
+        .unwrap();
+        let rep = all_approximations(&q2, &TwK(1), &opts());
+        assert!(rep.complete);
+        assert_eq!(rep.approximations.len(), 1);
+        let p4 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,e)").unwrap();
+        assert!(equivalent(&rep.approximations[0], &p4));
+    }
+
+    #[test]
+    fn every_approximation_is_sound() {
+        let q = parse_cq("Q(x) :- E(x,y), E(y,z), E(z,x), E(x,w), E(w,x)").unwrap();
+        for class in [&TwK(1) as &dyn QueryClass, &TwK(2), &Acyclic] {
+            let rep = all_approximations(&q, class, &opts());
+            assert!(!rep.approximations.is_empty(), "{}", class.name());
+            for a in &rep.approximations {
+                assert!(contained_in(a, &q), "{} ⊆ Q for {}", a, class.name());
+                assert!(
+                    class.contains_tableau(&tableau_of(a)),
+                    "{a} in {}",
+                    class.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tw2_approximation_of_k4() {
+        // K4^<-> (treewidth 3): TW(2)-approximations exist (Cor 4.2), and
+        // since K4's tableau is not 3-colorable, all have a loop (Thm 5.10).
+        let k4 = parse_cq(
+            "Q() :- E(a,b), E(b,a), E(a,c), E(c,a), E(a,d), E(d,a), E(b,c), E(c,b), E(b,d), E(d,b), E(c,d), E(d,c)",
+        )
+        .unwrap();
+        let rep = all_approximations(&k4, &TwK(2), &opts());
+        assert!(!rep.approximations.is_empty());
+        for a in &rep.approximations {
+            let t = tableau_of(a);
+            let has_loop = a
+                .atoms()
+                .iter()
+                .any(|atom| atom.args.iter().all(|&v| v == atom.args[0]));
+            assert!(has_loop, "non-3-colorable ⇒ loop in {a}");
+            assert!(TwK(2).contains_tableau(&t));
+        }
+    }
+
+    #[test]
+    fn example_66_three_acyclic_approximations() {
+        // Example 6.6: the ternary triangle has exactly 3 non-equivalent
+        // acyclic approximations, including one with MORE atoms than Q.
+        let q = parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)").unwrap();
+        let rep = all_approximations(&q, &Acyclic, &opts());
+        assert!(rep.complete);
+        let expected = [
+            parse_cq("Q() :- R(x, y, x)").unwrap(),
+            parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x2), R(x2,x6,x1)").unwrap(),
+            parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1), R(x1,x3,x5)").unwrap(),
+        ];
+        assert_eq!(
+            rep.approximations.len(),
+            3,
+            "got: {:#?}",
+            rep.approximations
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+        );
+        for e in &expected {
+            assert!(
+                rep.approximations.iter().any(|a| equivalent(a, e)),
+                "missing {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_variables_change_approximations() {
+        // §5.1.2: Q(x,y) :- E(x,y),E(y,z),E(z,x) has the acyclic
+        // approximation E(x,y),E(y,x),E(x,x).
+        let q = parse_cq("Q(x, y) :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let rep = all_approximations(&q, &TwK(1), &opts());
+        let expected = parse_cq("Q(x, y) :- E(x,y), E(y,x), E(x,x)").unwrap();
+        assert!(
+            rep.approximations.iter().any(|a| equivalent(a, &expected)),
+            "got {:?}",
+            rep.approximations.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn one_approximation_is_sound() {
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x), E(z,w), E(w,v), E(v,z)").unwrap();
+        for class in [&TwK(1) as &dyn QueryClass, &Acyclic, &HtwK(2)] {
+            let a = one_approximation(&q, class, 32);
+            assert!(contained_in(&a, &q), "{}", class.name());
+            assert!(class.contains_tableau(&tableau_of(&a)));
+        }
+    }
+
+    #[test]
+    fn in_class_query_is_its_own_approximation() {
+        let q = parse_cq("Q(x) :- E(x,y), E(y,z)").unwrap();
+        let rep = all_approximations(&q, &TwK(1), &opts());
+        assert_eq!(rep.approximations.len(), 1);
+        assert!(equivalent(&rep.approximations[0], &q));
+        let one = one_approximation(&q, &TwK(1), 8);
+        assert!(equivalent(&one, &q));
+    }
+
+    #[test]
+    fn incomplete_flag_when_capped() {
+        let q = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,a)").unwrap();
+        let mut o = opts();
+        o.max_partitions = 10;
+        let rep = all_approximations(&q, &TwK(1), &o);
+        assert!(!rep.complete);
+        for a in &rep.approximations {
+            assert!(contained_in(a, &q));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The tractable query classes as first-class membership oracles.
+//!
+//! A [`QueryClass`] decides membership of a query (given as a tableau) and
+//! declares which **closure discipline** it satisfies — the hypothesis the
+//! corresponding existence theorem needs:
+//!
+//! * [`ClassKind::SubgraphClosed`] (Theorem 4.1): graph-based classes
+//!   closed under subgraphs, e.g. `TW(k)`. Approximations can be chosen
+//!   among homomorphic images (quotients) of the tableau.
+//! * [`ClassKind::HypergraphClosed`] (Theorem 6.1 / Lemma 6.4):
+//!   hypergraph-based classes closed under induced subhypergraphs and edge
+//!   extensions, e.g. `AC` and `HTW(k)`. Approximations are found among
+//!   quotients **augmented** with extra atoms (Claim 6.2 keeps the sizes
+//!   polynomial).
+
+use cqapx_graphs::{treewidth_at_most, UGraph};
+use cqapx_hypergraphs::{gyo, htw, Hypergraph};
+use cqapx_structures::{Pointed, Structure};
+
+/// Which existence theorem applies to the class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// Graph-based, closed under subgraphs (Theorem 4.1).
+    SubgraphClosed,
+    /// Hypergraph-based, closed under induced subhypergraphs and edge
+    /// extensions (Theorem 6.1).
+    HypergraphClosed,
+}
+
+/// A class of conjunctive queries with decidable membership.
+pub trait QueryClass {
+    /// Display name, e.g. `TW(2)`.
+    fn name(&self) -> String;
+    /// Which closure discipline the class satisfies.
+    fn kind(&self) -> ClassKind;
+    /// Membership of the query whose tableau is `t`.
+    fn contains_tableau(&self, t: &Pointed) -> bool;
+}
+
+/// The Gaifman graph of a structure: elements as nodes, co-occurrence
+/// edges per tuple (self-loops not recorded; see the treewidth module of
+/// `cqapx-graphs` for why loops are immaterial).
+pub fn structure_graph(s: &Structure) -> UGraph {
+    let mut g = UGraph::new(s.universe_size());
+    for rel in s.vocabulary().rel_ids() {
+        for t in s.tuples(rel) {
+            for (i, &x) in t.iter().enumerate() {
+                for &y in t.iter().skip(i + 1) {
+                    if x != y {
+                        g.add_edge(x, y);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The hypergraph of a structure: one hyperedge per tuple's element set.
+pub fn structure_hypergraph(s: &Structure) -> Hypergraph {
+    let mut h = Hypergraph::new(s.universe_size());
+    for rel in s.vocabulary().rel_ids() {
+        for t in s.tuples(rel) {
+            let vars: Vec<u32> = t.to_vec();
+            h.add_edge(&vars);
+        }
+    }
+    h
+}
+
+/// `TW(k)`: queries whose graph has treewidth at most `k` (graph-based).
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_core::classes::{QueryClass, TwK};
+/// use cqapx_cq::{parse_cq, tableau_of};
+///
+/// let tri = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+/// assert!(!TwK(1).contains_tableau(&tableau_of(&tri)));
+/// assert!(TwK(2).contains_tableau(&tableau_of(&tri)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwK(pub usize);
+
+impl QueryClass for TwK {
+    fn name(&self) -> String {
+        format!("TW({})", self.0)
+    }
+    fn kind(&self) -> ClassKind {
+        ClassKind::SubgraphClosed
+    }
+    fn contains_tableau(&self, t: &Pointed) -> bool {
+        treewidth_at_most(&structure_graph(&t.structure), self.0).is_some()
+    }
+}
+
+/// `AC`: queries with an α-acyclic hypergraph (hypergraph-based;
+/// `AC = HTW(1)`, and `AC = TW(1)` over graph vocabularies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Acyclic;
+
+impl QueryClass for Acyclic {
+    fn name(&self) -> String {
+        "AC".into()
+    }
+    fn kind(&self) -> ClassKind {
+        ClassKind::HypergraphClosed
+    }
+    fn contains_tableau(&self, t: &Pointed) -> bool {
+        gyo::is_acyclic(&structure_hypergraph(&t.structure))
+    }
+}
+
+/// `HTW(k)`: queries of hypertree width at most `k` (hypergraph-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HtwK(pub usize);
+
+impl QueryClass for HtwK {
+    fn name(&self) -> String {
+        format!("HTW({})", self.0)
+    }
+    fn kind(&self) -> ClassKind {
+        ClassKind::HypergraphClosed
+    }
+    fn contains_tableau(&self, t: &Pointed) -> bool {
+        htw::htw_at_most(&structure_hypergraph(&t.structure), self.0).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqapx_cq::{parse_cq, tableau_of};
+
+    #[test]
+    fn graph_class_membership() {
+        let path = parse_cq("Q() :- E(x,y), E(y,z)").unwrap();
+        assert!(TwK(1).contains_tableau(&tableau_of(&path)));
+        assert!(Acyclic.contains_tableau(&tableau_of(&path)));
+        let c4 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        assert!(!TwK(1).contains_tableau(&tableau_of(&c4)));
+        assert!(TwK(2).contains_tableau(&tableau_of(&c4)));
+        assert!(!Acyclic.contains_tableau(&tableau_of(&c4)));
+        assert!(HtwK(2).contains_tableau(&tableau_of(&c4)));
+    }
+
+    #[test]
+    fn loop_queries_acyclic() {
+        let lp = parse_cq("Q() :- E(x, x)").unwrap();
+        assert!(TwK(1).contains_tableau(&tableau_of(&lp)));
+        assert!(Acyclic.contains_tableau(&tableau_of(&lp)));
+        // K2 with a loop: still acyclic / TW(1).
+        let q = parse_cq("Q(x,y) :- E(x,y), E(y,x), E(x,x)").unwrap();
+        assert!(TwK(1).contains_tableau(&tableau_of(&q)));
+        assert!(Acyclic.contains_tableau(&tableau_of(&q)));
+    }
+
+    #[test]
+    fn ac_and_twk_diverge_on_wide_atoms() {
+        // One 5-ary atom: acyclic but treewidth 4.
+        let q = parse_cq("Q() :- R(a,b,c,d,e)").unwrap();
+        let t = tableau_of(&q);
+        assert!(Acyclic.contains_tableau(&t));
+        assert!(!TwK(3).contains_tableau(&t));
+        assert!(TwK(4).contains_tableau(&t));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TwK(2).name(), "TW(2)");
+        assert_eq!(Acyclic.name(), "AC");
+        assert_eq!(HtwK(3).name(), "HTW(3)");
+    }
+}

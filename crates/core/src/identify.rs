@@ -1,0 +1,152 @@
+//! The `Treewidth-k Approximation` decision problem (Section 4.3).
+//!
+//! *Input*: a CQ `Q`, a CQ `Q' ∈ C`. *Question*: is `Q'` a
+//! `C`-approximation of `Q`? Theorem 4.12 shows this is **DP-complete**
+//! already for `k = 1` over graphs, even when both tableaux are cores. The
+//! procedure below is the natural NP ∧ coNP decomposition the paper
+//! describes:
+//!
+//! 1. `Q' ⊆ Q` — one homomorphism test (NP);
+//! 2. no witness `Q'' ∈ C` with `Q' ⊂ Q'' ⊆ Q` — the paper observes the
+//!    witness can always be chosen among structures not exceeding `|Q|`,
+//!    specifically among homomorphic images of `T_Q` (quotients), which is
+//!    exactly the candidate space we enumerate (coNP).
+//!
+//! For hypergraph-based classes the witness space additionally includes
+//! the bounded repair augmentations of Claim 6.2 (see
+//! [`crate::approx`]); completeness is subject to the configured repair
+//! cap.
+
+use crate::approx::ApproxOptions;
+use crate::classes::{ClassKind, QueryClass};
+use cqapx_cq::{contained_in, tableau_of, ConjunctiveQuery};
+use cqapx_structures::{order, partition::for_each_partition, quotient::quotient_pointed};
+use std::ops::ControlFlow;
+
+/// Decides whether `q_prime` is a `C`-approximation of `q`.
+///
+/// Returns `None` when the partition cap was hit before a verdict (the
+/// instance is too large for exhaustive search); `Some(true/false)`
+/// otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_core::{is_approximation, ApproxOptions, TwK};
+/// use cqapx_cq::parse_cq;
+///
+/// let tri = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+/// let triv = parse_cq("Q() :- E(x,x)").unwrap();
+/// let k2 = parse_cq("Q() :- E(x,y), E(y,x)").unwrap();
+/// let opts = ApproxOptions::default();
+/// assert_eq!(is_approximation(&tri, &triv, &TwK(1), &opts), Some(true));
+/// // K2^<-> is not even contained in the triangle query.
+/// assert_eq!(is_approximation(&tri, &k2, &TwK(1), &opts), Some(false));
+/// ```
+pub fn is_approximation(
+    q: &ConjunctiveQuery,
+    q_prime: &ConjunctiveQuery,
+    class: &dyn QueryClass,
+    opts: &ApproxOptions,
+) -> Option<bool> {
+    let tp = tableau_of(q_prime);
+    if !class.contains_tableau(&tp) {
+        return Some(false);
+    }
+    if !contained_in(q_prime, q) {
+        return Some(false);
+    }
+    // Search for a witness Q'' ∈ C with Q' ⊂ Q'' ⊆ Q. In tableau terms:
+    // T_{Q''} → T_{Q'} (so Q' ⊆ Q'') without the converse, and T_{Q''} a
+    // candidate (quotient / repaired quotient of T_Q, so Q'' ⊆ Q).
+    let t = tableau_of(q);
+    let n = t.structure.universe_size();
+    let mut found_witness = false;
+    let mut budget = opts.max_partitions;
+    let complete = for_each_partition(n, |p| {
+        if budget == 0 {
+            return ControlFlow::Break(());
+        }
+        budget -= 1;
+        let (qt, _) = quotient_pointed(&t, p);
+        let mut candidates = Vec::new();
+        if class.contains_tableau(&qt) {
+            candidates.push(qt);
+        } else if class.kind() == ClassKind::HypergraphClosed && opts.repair_extra_atoms > 0 {
+            candidates.extend(crate::approx::repairs_public(&qt, class, opts));
+        }
+        for cand in candidates {
+            if order::hom_exists(&cand, &tp) && !order::hom_exists(&tp, &cand) {
+                found_witness = true;
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    if found_witness {
+        return Some(false);
+    }
+    if !complete {
+        return None;
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{Acyclic, TwK};
+    use cqapx_cq::parse_cq;
+
+    fn opts() -> ApproxOptions {
+        ApproxOptions::default()
+    }
+
+    #[test]
+    fn trivial_is_approximation_of_triangle() {
+        let tri = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let triv = parse_cq("Q() :- E(x,x)").unwrap();
+        assert_eq!(is_approximation(&tri, &triv, &TwK(1), &opts()), Some(true));
+    }
+
+    #[test]
+    fn k2_is_approximation_of_c4_but_not_of_balanced() {
+        let c4 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        let k2 = parse_cq("Q() :- E(x,y), E(y,x)").unwrap();
+        assert_eq!(is_approximation(&c4, &k2, &TwK(1), &opts()), Some(true));
+        // The trivial loop is contained in C4's query but NOT an
+        // approximation (K2 is strictly between).
+        let triv = parse_cq("Q() :- E(x,x)").unwrap();
+        assert_eq!(is_approximation(&c4, &triv, &TwK(1), &opts()), Some(false));
+    }
+
+    #[test]
+    fn out_of_class_rejected() {
+        let c4 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        assert_eq!(is_approximation(&c4, &c4, &TwK(1), &opts()), Some(false));
+        assert_eq!(is_approximation(&c4, &c4, &TwK(2), &opts()), Some(true));
+    }
+
+    #[test]
+    fn non_contained_rejected() {
+        let p2 = parse_cq("Q() :- E(x,y), E(y,z)").unwrap();
+        let p5 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f)").unwrap();
+        // P5-query ⊆ P2-query, but not the other way; is_approximation(Q=P5, Q'=P2)?
+        // P2 is acyclic and P2 ⊇ P5 (P2 not ⊆ P5? hom T_{P2} -> T_{P5}
+        // exists? T_{P2} is a 2-path which maps into a 5-path: yes, so
+        // P5 ⊆ P2... we need Q' ⊆ Q: is P2 ⊆ P5? T_{P5} → T_{P2}: a 5-path
+        // maps into a 2-path? no. So not contained: rejected.
+        assert_eq!(is_approximation(&p5, &p2, &TwK(1), &opts()), Some(false));
+        // P5 itself is acyclic: its own approximation.
+        assert_eq!(is_approximation(&p5, &p5, &TwK(1), &opts()), Some(true));
+    }
+
+    #[test]
+    fn example_66_candidates_identified() {
+        let q = parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)").unwrap();
+        let good = parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1), R(x1,x3,x5)").unwrap();
+        assert_eq!(is_approximation(&q, &good, &Acyclic, &opts()), Some(true));
+        let bad = parse_cq("Q() :- R(x, x, x)").unwrap();
+        assert_eq!(is_approximation(&q, &bad, &Acyclic, &opts()), Some(false));
+    }
+}

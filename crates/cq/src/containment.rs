@@ -1,0 +1,145 @@
+//! Containment, equivalence and minimization of conjunctive queries.
+//!
+//! Chandra–Merlin: `Q ⊆ Q'` iff `(T_{Q'}, x̄') → (T_Q, x̄)`. Both
+//! containment and evaluation are NP-complete in combined complexity —
+//! the very motivation for the paper's approximations. Minimization takes
+//! the core of the tableau: the unique (up to renaming) equivalent query
+//! with the fewest atoms.
+
+use crate::ast::ConjunctiveQuery;
+use crate::tableau::{query_from_tableau, tableau_of};
+use cqapx_structures::{core_of, hom_exists};
+
+/// `Q ⊆ Q'`: every answer of `Q` is an answer of `Q'` on every database.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_cq::{contained_in, parse_cq};
+///
+/// // A 6-cycle "contains" a triangle pattern: Q6 ⊆ Q3? The tableau of Q3
+/// // must map into the tableau of Q6 — it does not; but Q3 ⊆ Q6 holds
+/// // because C6 → C3.
+/// let q3 = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+/// let q6 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,a)").unwrap();
+/// assert!(contained_in(&q3, &q6));
+/// assert!(!contained_in(&q6, &q3));
+/// ```
+pub fn contained_in(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    if q.vocabulary() != q2.vocabulary() || q.arity() != q2.arity() {
+        return false;
+    }
+    hom_exists(&tableau_of(q2), &tableau_of(q))
+}
+
+/// `Q ≡ Q'`: containment both ways.
+pub fn equivalent(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    contained_in(q, q2) && contained_in(q2, q)
+}
+
+/// `Q ⊂ Q'`: strict containment.
+pub fn strictly_contained_in(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    contained_in(q, q2) && !contained_in(q2, q)
+}
+
+/// The minimized (core) query equivalent to `Q`.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_cq::{minimize, parse_cq, equivalent};
+///
+/// let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x), E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,a)").unwrap();
+/// let m = minimize(&q);
+/// assert_eq!(m.atom_count(), 3); // the 6-cycle folds onto the triangle
+/// assert!(equivalent(&q, &m));
+/// ```
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let t = tableau_of(q);
+    let r = core_of(&t);
+    query_from_tableau(&r.core)
+}
+
+/// `true` when `Q` is already minimized (its tableau is a core).
+pub fn is_minimized(q: &ConjunctiveQuery) -> bool {
+    cqapx_structures::is_core(&tableau_of(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn reflexive_containment() {
+        let q = parse_cq("Q(x) :- E(x, y)").unwrap();
+        assert!(contained_in(&q, &q));
+        assert!(equivalent(&q, &q));
+    }
+
+    #[test]
+    fn path_queries() {
+        // Longer path pattern is contained in shorter one (more constraints
+        // on the same head? no): Q_k(x) = "x starts a path of length k".
+        let q1 = parse_cq("Q(x) :- E(x, y)").unwrap();
+        let q2 = parse_cq("Q(x) :- E(x, y), E(y, z)").unwrap();
+        // Q2 ⊆ Q1: any x starting a 2-path starts a 1-path.
+        assert!(contained_in(&q2, &q1));
+        assert!(!contained_in(&q1, &q2));
+        assert!(strictly_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn boolean_vs_free_incomparable() {
+        let qb = parse_cq("Q() :- E(x, y)").unwrap();
+        let qf = parse_cq("Q(x) :- E(x, y)").unwrap();
+        assert!(!contained_in(&qb, &qf));
+        assert!(!contained_in(&qf, &qb));
+    }
+
+    #[test]
+    fn minimize_removes_redundancy() {
+        // E(x,y), E(x,z): z can fold onto y.
+        let q = parse_cq("Q(x) :- E(x, y), E(x, z)").unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.atom_count(), 1);
+        assert!(equivalent(&q, &m));
+        assert!(is_minimized(&m));
+        assert!(!is_minimized(&q));
+    }
+
+    #[test]
+    fn free_variables_block_minimization() {
+        let q = parse_cq("Q(y, z) :- E(x, y), E(x, z)").unwrap();
+        // y and z are pinned: cannot fold.
+        assert!(is_minimized(&q));
+        assert_eq!(minimize(&q).atom_count(), 2);
+    }
+
+    #[test]
+    fn trivial_query_contained_in_everything_boolean() {
+        // Q_trivial() :- E(x, x) is contained in every Boolean graph CQ.
+        let trivial = parse_cq("Q() :- E(x, x)").unwrap();
+        for body in [
+            "Q() :- E(x, y)",
+            "Q() :- E(x, y), E(y, z), E(z, x)",
+            "Q() :- E(x, y), E(y, x)",
+        ] {
+            let q = parse_cq(body).unwrap();
+            assert!(contained_in(&trivial, &q), "trivial ⊆ {body}");
+        }
+    }
+
+    #[test]
+    fn intro_example_q2_contains_p4() {
+        // Paper introduction: Q2 has the nontrivial acyclic approximation
+        // Q2'():-P4(x',x,y,z,u). Check at least containment Q2' ⊆ Q2.
+        let q2 = parse_cq(
+            "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
+        )
+        .unwrap();
+        let p4 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,e)").unwrap();
+        assert!(contained_in(&p4, &q2));
+        assert!(!equivalent(&p4, &q2));
+    }
+}

@@ -1,0 +1,8 @@
+//! Query evaluation: naive backtracking and Yannakakis for acyclic CQs.
+
+pub mod naive;
+pub mod relation;
+pub mod yannakakis;
+
+pub use naive::{eval_boolean_naive, eval_naive};
+pub use yannakakis::{AcyclicPlan, NotAcyclic};

@@ -1,0 +1,95 @@
+//! Naive CQ evaluation: backtracking join (homomorphism search from the
+//! tableau into the database).
+//!
+//! Works for every CQ; combined complexity `|D|^O(|Q|)` in the worst case
+//! — this is the baseline the paper's approximations beat.
+
+use crate::ast::ConjunctiveQuery;
+use crate::tableau::tableau_of;
+use cqapx_structures::{Element, HomProblem, Structure};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+/// Evaluates `Q(D)`: the set of answer tuples.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_cq::{eval::eval_naive, parse_cq};
+/// use cqapx_structures::Structure;
+///
+/// let q = parse_cq("Q(x) :- E(x, y), E(y, x)").unwrap();
+/// let d = Structure::digraph(3, &[(0, 1), (1, 0), (1, 2)]);
+/// let answers = eval_naive(&q, &d);
+/// assert_eq!(answers.len(), 2); // x ∈ {0, 1}
+/// ```
+pub fn eval_naive(q: &ConjunctiveQuery, d: &Structure) -> BTreeSet<Vec<Element>> {
+    let t = tableau_of(q);
+    let mut answers = BTreeSet::new();
+    HomProblem::new(&t.structure, d).for_each(|h| {
+        let a: Vec<Element> = t.distinguished().iter().map(|&v| h.apply(v)).collect();
+        answers.insert(a);
+        ControlFlow::Continue(())
+    });
+    answers
+}
+
+/// Evaluates a Boolean query (also usable for non-Boolean queries:
+/// "is the answer nonempty?").
+pub fn eval_boolean_naive(q: &ConjunctiveQuery, d: &Structure) -> bool {
+    let t = tableau_of(q);
+    HomProblem::new(&t.structure, d).exists()
+}
+
+/// Membership check `ā ∈ Q(D)` without materializing the answer set.
+pub fn contains_answer(q: &ConjunctiveQuery, d: &Structure, answer: &[Element]) -> bool {
+    assert_eq!(answer.len(), q.arity(), "answer arity mismatch");
+    let t = tableau_of(q);
+    HomProblem::new(&t.structure, d)
+        .pin_tuple(t.distinguished(), answer)
+        .exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn triangle_detection() {
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let with = Structure::digraph(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let without = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(eval_boolean_naive(&q, &with));
+        assert!(!eval_boolean_naive(&q, &without));
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let q = parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap();
+        let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ans = eval_naive(&q, &d);
+        assert_eq!(
+            ans,
+            [vec![0, 2], vec![1, 3]].into_iter().collect()
+        );
+        assert!(contains_answer(&q, &d, &[0, 2]));
+        assert!(!contains_answer(&q, &d, &[0, 3]));
+    }
+
+    #[test]
+    fn repeated_head_vars() {
+        let q = parse_cq("Q(x, x) :- E(x, y)").unwrap();
+        let d = Structure::digraph(2, &[(0, 1)]);
+        let ans = eval_naive(&q, &d);
+        assert_eq!(ans, [vec![0, 0]].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_database() {
+        let q = parse_cq("Q(x) :- E(x, y)").unwrap();
+        let d = Structure::digraph(3, &[]);
+        assert!(eval_naive(&q, &d).is_empty());
+        assert!(!eval_boolean_naive(&q, &d));
+    }
+}

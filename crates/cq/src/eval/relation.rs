@@ -1,0 +1,214 @@
+//! In-memory relations over query variables: the working sets of the
+//! Yannakakis pipeline (materialized atoms, semijoins, projected joins).
+
+use crate::ast::VarId;
+use cqapx_structures::Element;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A relation over a fixed list of distinct variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarRelation {
+    /// The schema: distinct variables, in a fixed order.
+    pub schema: Vec<VarId>,
+    /// The rows; each row has `schema.len()` values.
+    pub rows: HashSet<Vec<Element>>,
+}
+
+impl VarRelation {
+    /// An empty relation over a schema.
+    pub fn empty(schema: Vec<VarId>) -> Self {
+        VarRelation {
+            schema,
+            rows: HashSet::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Positions in the schema of the given variables (must be present).
+    fn positions(&self, vars: &[VarId]) -> Vec<usize> {
+        vars.iter()
+            .map(|v| {
+                self.schema
+                    .iter()
+                    .position(|s| s == v)
+                    .expect("variable must be in schema")
+            })
+            .collect()
+    }
+
+    /// The key of a row on the given schema positions.
+    fn key(row: &[Element], positions: &[usize]) -> Vec<Element> {
+        positions.iter().map(|&p| row[p]).collect()
+    }
+
+    /// Semijoin `self ⋉ other` on their shared variables: keeps the rows of
+    /// `self` that agree with some row of `other`.
+    pub fn semijoin(&mut self, other: &VarRelation) {
+        let shared: Vec<VarId> = self
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| other.schema.contains(v))
+            .collect();
+        if shared.is_empty() {
+            if other.is_empty() {
+                self.rows.clear();
+            }
+            return;
+        }
+        let my_pos = self.positions(&shared);
+        let their_pos = other.positions(&shared);
+        let keys: HashSet<Vec<Element>> = other
+            .rows
+            .iter()
+            .map(|r| Self::key(r, &their_pos))
+            .collect();
+        self.rows.retain(|r| keys.contains(&Self::key(r, &my_pos)));
+    }
+
+    /// Natural join `self ⋈ other`.
+    pub fn join(&self, other: &VarRelation) -> VarRelation {
+        let shared: Vec<VarId> = self
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| other.schema.contains(v))
+            .collect();
+        let extra: Vec<VarId> = other
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| !self.schema.contains(v))
+            .collect();
+        let mut schema = self.schema.clone();
+        schema.extend_from_slice(&extra);
+
+        let their_shared_pos = other.positions(&shared);
+        let their_extra_pos = other.positions(&extra);
+        let my_shared_pos = self.positions(&shared);
+
+        // Hash the smaller relation? Hash `other` grouped by shared key.
+        let mut index: HashMap<Vec<Element>, Vec<Vec<Element>>> = HashMap::new();
+        for r in &other.rows {
+            index
+                .entry(Self::key(r, &their_shared_pos))
+                .or_default()
+                .push(Self::key(r, &their_extra_pos));
+        }
+        let mut rows = HashSet::new();
+        for r in &self.rows {
+            if let Some(matches) = index.get(&Self::key(r, &my_shared_pos)) {
+                for ext in matches {
+                    let mut row = r.clone();
+                    row.extend_from_slice(ext);
+                    rows.insert(row);
+                }
+            }
+        }
+        VarRelation { schema, rows }
+    }
+
+    /// Projection onto a sub-schema (variables must be present; duplicates
+    /// in `vars` are allowed and produce repeated columns).
+    pub fn project(&self, vars: &[VarId]) -> VarRelation {
+        let positions = self.positions(vars);
+        let mut seen = Vec::new();
+        let mut schema = Vec::new();
+        let mut keep_positions = Vec::new();
+        for (&v, &p) in vars.iter().zip(positions.iter()) {
+            if !seen.contains(&v) {
+                seen.push(v);
+                schema.push(v);
+                keep_positions.push(p);
+            }
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| Self::key(r, &keep_positions))
+            .collect();
+        VarRelation { schema, rows }
+    }
+
+    /// Reads the rows out in the order of an explicit head (duplicated
+    /// head variables allowed).
+    pub fn rows_in_head_order(&self, head: &[VarId]) -> BTreeSet<Vec<Element>> {
+        let positions = self.positions(head);
+        self.rows
+            .iter()
+            .map(|r| Self::key(r, &positions))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[VarId], rows: &[&[Element]]) -> VarRelation {
+        VarRelation {
+            schema: schema.to_vec(),
+            rows: rows.iter().map(|r| r.to_vec()).collect(),
+        }
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let mut a = rel(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6]]);
+        let b = rel(&[1, 2], &[&[2, 9], &[6, 9]]);
+        a.semijoin(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.rows.contains(&vec![1, 2]));
+        assert!(a.rows.contains(&vec![5, 6]));
+    }
+
+    #[test]
+    fn semijoin_disjoint_schemas() {
+        let mut a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[1], &[&[7]]);
+        a.semijoin(&b);
+        assert_eq!(a.len(), 2); // nonempty other: keep all
+        let empty = VarRelation::empty(vec![1]);
+        a.semijoin(&empty);
+        assert!(a.is_empty()); // empty other: cartesian semantics drop all
+    }
+
+    #[test]
+    fn join_shares_columns() {
+        let a = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let b = rel(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
+        let j = a.join(&b);
+        assert_eq!(j.schema, vec![0, 1, 2]);
+        assert_eq!(j.len(), 2);
+        assert!(j.rows.contains(&vec![1, 2, 5]));
+        assert!(j.rows.contains(&vec![1, 2, 6]));
+    }
+
+    #[test]
+    fn join_cartesian_when_disjoint() {
+        let a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[1], &[&[7], &[8]]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn project_and_head_order() {
+        let a = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let p = a.project(&[1]);
+        assert_eq!(p.schema, vec![1]);
+        assert_eq!(p.len(), 2);
+        let head = a.rows_in_head_order(&[1, 0, 1]);
+        assert!(head.contains(&vec![2, 1, 2]));
+        assert!(head.contains(&vec![4, 3, 4]));
+    }
+}

@@ -1,0 +1,332 @@
+//! Yannakakis' algorithm for acyclic conjunctive queries.
+//!
+//! For acyclic `Q`, `ā ∈ Q(D)` is decidable in time `O(|D| · |Q|)`
+//! (Yannakakis, VLDB'81) — the tractable class the paper's acyclic
+//! approximations target. The pipeline:
+//!
+//! 1. group atoms by variable set and **materialize** one relation per
+//!    distinct hyperedge of `H(Q)` (intersecting the atoms that share a
+//!    variable set, honoring repeated variables like `R(x, x, y)`);
+//! 2. build a **join tree** via GYO reduction;
+//! 3. run the **full reducer**: semijoins leaves→root, then root→leaves;
+//! 4. Boolean queries finish here (nonempty after reduction ⇔ true);
+//!    queries with free variables run bottom-up **joins with projection**
+//!    onto (free ∪ connector) variables, so intermediate results stay
+//!    output-bounded.
+
+use crate::ast::{ConjunctiveQuery, VarId};
+use crate::eval::relation::VarRelation;
+use cqapx_hypergraphs::{gyo, Hypergraph, JoinTree};
+use cqapx_structures::{Element, Structure};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error: the query is not acyclic, so no join tree exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAcyclic;
+
+impl fmt::Display for NotAcyclic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query is not acyclic: no join tree exists")
+    }
+}
+
+impl std::error::Error for NotAcyclic {}
+
+/// A compiled evaluation plan for an acyclic CQ.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_cq::{eval::AcyclicPlan, parse_cq};
+/// use cqapx_structures::Structure;
+///
+/// let q = parse_cq("Q(x, w) :- E(x, y), E(y, z), E(z, w)").unwrap();
+/// let plan = AcyclicPlan::compile(&q).unwrap();
+/// let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let answers = plan.eval(&d);
+/// assert_eq!(answers.len(), 1);
+/// assert!(answers.contains(&vec![0, 3]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcyclicPlan {
+    query: ConjunctiveQuery,
+    /// Distinct variable sets (hyperedges), each with the atoms using it.
+    groups: Vec<Group>,
+    join_tree: JoinTree,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    /// Sorted distinct variables of the hyperedge.
+    vars: Vec<VarId>,
+    /// Indices of the query atoms whose variable set equals `vars`.
+    atoms: Vec<usize>,
+}
+
+impl AcyclicPlan {
+    /// Compiles a plan; fails when the query hypergraph is cyclic.
+    pub fn compile(query: &ConjunctiveQuery) -> Result<AcyclicPlan, NotAcyclic> {
+        // Group atoms by variable set, preserving first-occurrence order so
+        // that group indices equal hyperedge indices of `Hypergraph` (which
+        // deduplicates in insertion order too).
+        let mut groups: Vec<Group> = Vec::new();
+        for (ai, atom) in query.atoms().iter().enumerate() {
+            let mut vars: Vec<VarId> = atom.args.clone();
+            vars.sort_unstable();
+            vars.dedup();
+            match groups.iter_mut().find(|g| g.vars == vars) {
+                Some(g) => g.atoms.push(ai),
+                None => groups.push(Group {
+                    vars,
+                    atoms: vec![ai],
+                }),
+            }
+        }
+        let mut h = Hypergraph::new(query.var_count());
+        for g in &groups {
+            h.add_edge(&g.vars);
+        }
+        debug_assert_eq!(h.edge_count(), groups.len());
+        let join_tree = gyo::gyo_reduce(&h).join_tree.ok_or(NotAcyclic)?;
+        Ok(AcyclicPlan {
+            query: query.clone(),
+            groups,
+            join_tree,
+        })
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Materializes the relation of one hyperedge against a database.
+    fn materialize(&self, gi: usize, d: &Structure) -> VarRelation {
+        let g = &self.groups[gi];
+        let mut rel: Option<VarRelation> = None;
+        for &ai in &g.atoms {
+            let atom = &self.query.atoms()[ai];
+            let mut rows = std::collections::HashSet::new();
+            'tuples: for t in d.tuples(atom.rel) {
+                // Bind variables left to right; reject inconsistent
+                // repetitions (e.g. R(x, x, y) against (1, 2, 3)).
+                let mut binding: Vec<Option<Element>> =
+                    vec![None; self.query.var_count()];
+                for (&v, &val) in atom.args.iter().zip(t.iter()) {
+                    match binding[v as usize] {
+                        None => binding[v as usize] = Some(val),
+                        Some(prev) if prev == val => {}
+                        Some(_) => continue 'tuples,
+                    }
+                }
+                let row: Vec<Element> = g
+                    .vars
+                    .iter()
+                    .map(|&v| binding[v as usize].expect("group var bound"))
+                    .collect();
+                rows.insert(row);
+            }
+            let atom_rel = VarRelation {
+                schema: g.vars.clone(),
+                rows,
+            };
+            rel = Some(match rel {
+                None => atom_rel,
+                Some(mut acc) => {
+                    // Same schema: plain intersection.
+                    acc.rows.retain(|r| atom_rel.rows.contains(r));
+                    acc
+                }
+            });
+        }
+        rel.expect("groups are nonempty")
+    }
+
+    /// Runs the semijoin full reducer in place. Returns `false` when some
+    /// relation became empty (the query answer is empty).
+    fn full_reduce(&self, rels: &mut [VarRelation]) -> bool {
+        let order = self.join_tree.bottom_up_order();
+        // Leaves → root.
+        for &u in &order {
+            if let Some(p) = self.join_tree.parent[u] {
+                let child = rels[u].clone();
+                rels[p as usize].semijoin(&child);
+            }
+            if rels[u].is_empty() {
+                return false;
+            }
+        }
+        // Root → leaves.
+        for &u in order.iter().rev() {
+            if let Some(p) = self.join_tree.parent[u] {
+                let parent = rels[p as usize].clone();
+                rels[u].semijoin(&parent);
+                if rels[u].is_empty() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Boolean evaluation: `Q(D) ≠ ∅`.
+    pub fn eval_boolean(&self, d: &Structure) -> bool {
+        let mut rels: Vec<VarRelation> = (0..self.groups.len())
+            .map(|gi| self.materialize(gi, d))
+            .collect();
+        self.full_reduce(&mut rels)
+    }
+
+    /// Full evaluation: the set of answer tuples in head order.
+    pub fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
+        let mut rels: Vec<VarRelation> = (0..self.groups.len())
+            .map(|gi| self.materialize(gi, d))
+            .collect();
+        if !self.full_reduce(&mut rels) {
+            return BTreeSet::new();
+        }
+        if self.query.is_boolean() {
+            // Nonempty after full reduction: the single empty tuple.
+            let mut out = BTreeSet::new();
+            out.insert(Vec::new());
+            return out;
+        }
+        let free: BTreeSet<VarId> = self.query.free_vars().iter().copied().collect();
+        // Bottom-up joins with projection onto (free ∪ connector) vars.
+        let children = self.join_tree.children();
+        let order = self.join_tree.bottom_up_order();
+        let mut partial: Vec<Option<VarRelation>> = vec![None; self.groups.len()];
+        for &u in &order {
+            let mut acc = rels[u].clone();
+            for &c in &children[u] {
+                let child = partial[c].take().expect("children processed first");
+                acc = acc.join(&child);
+            }
+            // Keep free variables plus variables shared with the parent.
+            let keep: Vec<VarId> = acc
+                .schema
+                .iter()
+                .copied()
+                .filter(|v| {
+                    free.contains(v)
+                        || self.join_tree.parent[u]
+                            .map(|p| self.groups[p as usize].vars.contains(v))
+                            .unwrap_or(false)
+                })
+                .collect();
+            partial[u] = Some(acc.project(&keep));
+        }
+        // Combine the roots (cartesian product across components).
+        let mut result: Option<VarRelation> = None;
+        for r in self.join_tree.roots() {
+            let rel = partial[r].take().expect("root processed");
+            result = Some(match result {
+                None => rel,
+                Some(acc) => acc.join(&rel),
+            });
+        }
+        let result = result.expect("at least one root");
+        result.rows_in_head_order(self.query.free_vars())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive::{eval_boolean_naive, eval_naive};
+    use crate::parser::parse_cq;
+
+    fn check_agrees(q: &str, d: &Structure) {
+        let q = parse_cq(q).unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        assert_eq!(
+            plan.eval(d),
+            eval_naive(&q, d),
+            "Yannakakis must agree with naive on {q}"
+        );
+        assert_eq!(plan.eval_boolean(d), eval_boolean_naive(&q, d));
+    }
+
+    #[test]
+    fn cyclic_query_rejected() {
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        assert!(AcyclicPlan::compile(&q).is_err());
+    }
+
+    #[test]
+    fn path_queries_agree() {
+        let d = Structure::digraph(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (5, 0)],
+        );
+        check_agrees("Q(x, w) :- E(x, y), E(y, z), E(z, w)", &d);
+        check_agrees("Q() :- E(x, y), E(y, z)", &d);
+        check_agrees("Q(y) :- E(x, y), E(y, z)", &d);
+    }
+
+    #[test]
+    fn star_query() {
+        let d = Structure::digraph(5, &[(0, 1), (0, 2), (0, 3), (3, 0)]);
+        check_agrees("Q(x) :- E(x, a), E(x, b), E(b, x)", &d);
+    }
+
+    #[test]
+    fn repeated_variable_atoms() {
+        let d = Structure::digraph(3, &[(0, 0), (0, 1), (1, 2)]);
+        check_agrees("Q(x) :- E(x, x), E(x, y)", &d);
+    }
+
+    #[test]
+    fn multiple_atoms_same_varset() {
+        // E(x,y) and E(y,x) share the variable set {x,y}: intersected.
+        let d = Structure::digraph(4, &[(0, 1), (1, 0), (2, 3)]);
+        check_agrees("Q(x) :- E(x, y), E(y, x)", &d);
+    }
+
+    #[test]
+    fn disconnected_query() {
+        let d = Structure::digraph(4, &[(0, 1), (2, 3)]);
+        check_agrees("Q(x, u) :- E(x, y), E(u, v)", &d);
+        check_agrees("Q() :- E(x, y), E(u, v)", &d);
+    }
+
+    #[test]
+    fn higher_arity_acyclic() {
+        use cqapx_structures::{StructureBuilder, Vocabulary};
+        let v = Vocabulary::new(vec![("R", 3), ("S", 2)]);
+        let r = v.rel("R").unwrap();
+        let s = v.rel("S").unwrap();
+        let mut b = StructureBuilder::new(v.clone(), 5);
+        b.add(r, &[0, 1, 2])
+            .add(r, &[1, 2, 3])
+            .add(s, &[2, 4])
+            .add(s, &[0, 1]);
+        let d = b.finish();
+        let q = crate::parser::parse_cq_with_vocab("Q(a, c) :- R(a, b, c), S(c, d)", &v).unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        assert_eq!(plan.eval(&d), eval_naive(&q, &d));
+    }
+
+    #[test]
+    fn boolean_empty_answer() {
+        let q = parse_cq("Q() :- E(x, y), E(y, z)").unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        let d = Structure::digraph(2, &[(0, 1)]);
+        assert!(!plan.eval_boolean(&d));
+        assert!(plan.eval(&d).is_empty());
+    }
+
+    #[test]
+    fn full_reducer_prunes_dangling() {
+        // Classic: path query where early matches dangle.
+        let q = parse_cq("Q(a, d) :- E(a, b), E(b, c), E(c, d)").unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        // A long "comb" with dead ends.
+        let d = Structure::digraph(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 6)],
+        );
+        assert_eq!(plan.eval(&d), eval_naive(&q, &d));
+    }
+}

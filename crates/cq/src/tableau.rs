@@ -1,0 +1,116 @@
+//! Tableaux: the query ↔ structure correspondence.
+//!
+//! The tableau of `Q(x̄)` is `(T_Q, x̄)`: the body of `Q` viewed as a
+//! database whose elements are the variables, with the free variables
+//! distinguished. The correspondence is lossless (up to variable names),
+//! so the approximation algorithms work entirely on tableaux and convert
+//! back to queries at the end.
+
+use crate::ast::{Atom, ConjunctiveQuery, VarId};
+use cqapx_structures::{Pointed, Structure, StructureBuilder};
+
+/// The tableau `(T_Q, x̄)` of a query.
+///
+/// Elements of the structure are the query variables (same indices);
+/// element names are the variable names.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_cq::{parse_cq, tableau_of};
+///
+/// let q = parse_cq("Q(x) :- E(x, y), E(y, x)").unwrap();
+/// let t = tableau_of(&q);
+/// assert_eq!(t.structure.universe_size(), 2);
+/// assert_eq!(t.distinguished(), &[0]);
+/// ```
+pub fn tableau_of(q: &ConjunctiveQuery) -> Pointed {
+    let mut b = StructureBuilder::new(q.vocabulary().clone(), q.var_count());
+    for a in q.atoms() {
+        b.add(a.rel, &a.args);
+    }
+    let mut s = b.finish();
+    s.set_names(q.var_names().to_vec());
+    Pointed::new(s, q.free_vars().to_vec())
+}
+
+/// The canonical query of a tableau: each tuple becomes an atom; element
+/// names become variable names (falling back to `v{i}`).
+///
+/// Inverse of [`tableau_of`] up to atom order and duplicate atoms.
+///
+/// # Panics
+///
+/// Panics when the structure has no tuples (queries need a nonempty body)
+/// or when its universe is not active.
+pub fn query_from_tableau(t: &Pointed) -> ConjunctiveQuery {
+    let s: &Structure = &t.structure;
+    assert!(
+        !s.is_relations_empty(),
+        "a tableau must have at least one tuple"
+    );
+    assert!(
+        s.universe_is_active(),
+        "tableau universes must be active (every variable in some atom)"
+    );
+    let var_names: Vec<String> = match s.names() {
+        Some(names) => names.to_vec(),
+        None => s.elements().map(|e| format!("x{e}")).collect(),
+    };
+    let mut atoms = Vec::new();
+    for rel in s.vocabulary().rel_ids() {
+        for tuple in s.tuples(rel) {
+            atoms.push(Atom {
+                rel,
+                args: tuple.iter().map(|&x| x as VarId).collect(),
+            });
+        }
+    }
+    ConjunctiveQuery::new(
+        s.vocabulary().clone(),
+        var_names,
+        t.distinguished().to_vec(),
+        atoms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn roundtrip() {
+        let q = parse_cq("Q(x, z) :- E(x, y), E(y, z), E(z, x)").unwrap();
+        let t = tableau_of(&q);
+        let q2 = query_from_tableau(&t);
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn duplicate_atoms_collapse() {
+        let q = parse_cq("Q() :- E(x, y), E(x, y)").unwrap();
+        let t = tableau_of(&q);
+        assert_eq!(t.structure.total_tuples(), 1);
+        let q2 = query_from_tableau(&t);
+        assert_eq!(q2.atom_count(), 1);
+    }
+
+    #[test]
+    fn boolean_tableau() {
+        let q = parse_cq("Q() :- R(x, y, x)").unwrap();
+        let t = tableau_of(&q);
+        assert!(t.is_boolean());
+        let r = q.vocabulary().rel("R").unwrap();
+        assert!(t.structure.contains(r, &[0, 1, 0]));
+    }
+
+    #[test]
+    fn names_preserved() {
+        let q = parse_cq("Q(alpha) :- E(alpha, beta)").unwrap();
+        let t = tableau_of(&q);
+        assert_eq!(t.structure.element_name(0), "alpha");
+        let q2 = query_from_tableau(&t);
+        assert_eq!(q2.var_name(1), "beta");
+    }
+}

@@ -1,0 +1,134 @@
+//! The worked example queries quoted in the paper, as ready-made values.
+
+use cqapx_cq::{parse_cq, ConjunctiveQuery};
+
+/// Introduction: `Q₁() :- E(x,y), E(y,z), E(z,x)` (the directed
+/// triangle; only trivial acyclic approximation).
+pub fn intro_q1() -> ConjunctiveQuery {
+    parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap()
+}
+
+/// Introduction: its trivial approximation `Q'₁() :- E(x,x)`.
+pub fn intro_q1_approx() -> ConjunctiveQuery {
+    parse_cq("Q() :- E(x,x)").unwrap()
+}
+
+/// Introduction: `Q₂() :- P₃(x,y,z,u), P₃(x',y',z',u'), E(x,z'), E(y,u')`
+/// (bipartite balanced; nontrivial acyclic approximation).
+pub fn intro_q2() -> ConjunctiveQuery {
+    parse_cq(
+        "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
+    )
+    .unwrap()
+}
+
+/// Introduction: `Q'₂() :- P₄(x',x,y,z,u)` — the path-of-length-4 query.
+pub fn intro_q2_approx() -> ConjunctiveQuery {
+    parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,e)").unwrap()
+}
+
+/// Introduction, ternary variant of the triangle:
+/// `Q() :- R(x,u,y), R(y,v,z), R(z,w,x)`.
+pub fn intro_ternary() -> ConjunctiveQuery {
+    parse_cq("Q() :- R(x,u,y), R(y,v,z), R(z,w,x)").unwrap()
+}
+
+/// Introduction: its nontrivial acyclic approximation
+/// `Q'() :- R(x,u,y), R(y,v,u), R(u,w,x)`.
+pub fn intro_ternary_approx() -> ConjunctiveQuery {
+    parse_cq("Q() :- R(x,u,y), R(y,v,u), R(u,w,x)").unwrap()
+}
+
+/// Theorem 5.1's second-case witness `Q₃`: the (bipartite, unbalanced)
+/// oriented 4-cycle `E(x,y), E(y,z), E(z,u), E(x,u)`.
+pub fn q3_unbalanced() -> ConjunctiveQuery {
+    parse_cq("Q() :- E(x,y), E(y,z), E(z,u), E(x,u)").unwrap()
+}
+
+/// §5.1.2: the non-Boolean triangle `Q(x,y) :- E(x,y), E(y,z), E(z,x)`.
+pub fn nonboolean_triangle() -> ConjunctiveQuery {
+    parse_cq("Q(x, y) :- E(x,y), E(y,z), E(z,x)").unwrap()
+}
+
+/// §5.1.2: its acyclic approximation
+/// `Q'(x,y) :- E(x,y), E(y,x), E(x,x)`.
+pub fn nonboolean_triangle_approx() -> ConjunctiveQuery {
+    parse_cq("Q(x, y) :- E(x,y), E(y,x), E(x,x)").unwrap()
+}
+
+/// Proposition 5.9's query `Q(x₁,x₂,x₃)` over the oriented 4-cycle: all
+/// of its minimized acyclic approximations keep all 3 joins.
+pub fn prop_5_9_query() -> ConjunctiveQuery {
+    parse_cq("Q(x1, x2, x3) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1)").unwrap()
+}
+
+/// Example 6.6: the ternary 3-cycle
+/// `Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)`.
+pub fn example_66() -> ConjunctiveQuery {
+    parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)").unwrap()
+}
+
+/// Example 6.6's acyclic approximations `Q'₁, Q'₂, Q'₃` (fewer / equal /
+/// more joins than `Q`).
+pub fn example_66_approxes() -> [ConjunctiveQuery; 3] {
+    [
+        parse_cq("Q() :- R(x, y, x)").unwrap(),
+        parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x2), R(x2,x6,x1)").unwrap(),
+        parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1), R(x1,x3,x5)").unwrap(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqapx_core::{all_approximations, classes, ApproxOptions, Acyclic, TwK};
+    use cqapx_cq::{contained_in, equivalent, tableau_of};
+
+    #[test]
+    fn intro_ternary_has_nontrivial_approximation() {
+        let q = intro_ternary();
+        let qp = intro_ternary_approx();
+        assert!(contained_in(&qp, &q));
+        assert!(classes::QueryClass::contains_tableau(&Acyclic, &tableau_of(&qp)));
+        let rep = all_approximations(&q, &Acyclic, &ApproxOptions::default());
+        assert!(
+            rep.approximations.iter().any(|a| equivalent(a, &qp)),
+            "intro ternary approximation recovered; got {:?}",
+            rep.approximations.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+        );
+        // And it is nontrivial (more than one atom after minimization).
+        assert!(qp.atom_count() > 1);
+    }
+
+    #[test]
+    fn q3_has_only_the_trivial_bipartite_approximation() {
+        let rep = all_approximations(&q3_unbalanced(), &TwK(1), &ApproxOptions::default());
+        assert_eq!(rep.approximations.len(), 1);
+        assert!(equivalent(
+            &rep.approximations[0],
+            &cqapx_core::trivial_bipartite_query()
+        ));
+    }
+
+    #[test]
+    fn prop_59_all_approximations_keep_joins() {
+        let q = prop_5_9_query();
+        let rep = all_approximations(&q, &TwK(1), &ApproxOptions::default());
+        assert!(!rep.approximations.is_empty());
+        for a in &rep.approximations {
+            assert_eq!(
+                a.join_count(),
+                q.join_count(),
+                "Prop 5.9: minimized acyclic approximation {a} keeps all joins"
+            );
+        }
+    }
+
+    #[test]
+    fn nonboolean_triangle_approximation() {
+        let q = nonboolean_triangle();
+        let qp = nonboolean_triangle_approx();
+        let rep = all_approximations(&q, &TwK(1), &ApproxOptions::default());
+        assert!(rep.approximations.iter().any(|a| equivalent(a, &qp)));
+    }
+}

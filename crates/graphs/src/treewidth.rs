@@ -1,0 +1,489 @@
+//! Treewidth: exact decision procedure and tree decompositions.
+//!
+//! `TW(k)` — CQs whose Gaifman graph has treewidth at most `k` — is the
+//! graph-based tractable class of the paper (Grohe, Schwentick & Segoufin:
+//! for graph-based classes, bounded treewidth *characterizes* tractable CQ
+//! evaluation). Membership `tw(G) ≤ k` is decidable in linear time for
+//! fixed `k` (Bodlaender); here we implement an exact elimination-order
+//! branch-and-bound with memoization, plus the special cases the paper
+//! leans on:
+//!
+//! * `tw ≤ 1` ⇔ the graph is a forest (loops ignored — the hypergraph of a
+//!   loop atom `E(x,x)` is a single hyperedge, hence acyclic);
+//! * loop-free graphs of treewidth ≤ k are `(k+1)`-colorable (used in
+//!   Theorem 5.10).
+//!
+//! The exact search is exponential in the worst case but instantaneous on
+//! query-sized graphs (approximation candidates never exceed `|Q|` nodes).
+
+use crate::ugraph::UGraph;
+use cqapx_structures::Element;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A tree decomposition: bags plus tree edges between bag indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeDecomposition {
+    /// The bags (each a sorted set of vertices).
+    pub bags: Vec<Vec<Element>>,
+    /// Edges of the decomposition tree (pairs of bag indices).
+    pub tree_edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// The width: `max |bag| − 1` (−1 ≡ returns 0 for the empty graph).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| b.len().saturating_sub(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Validates the three tree-decomposition conditions against a graph:
+    /// every vertex covered, every (non-loop) edge inside a bag, and the
+    /// bags containing each vertex forming a connected subtree.
+    pub fn validate(&self, g: &UGraph) -> Result<(), String> {
+        let nb = self.bags.len();
+        // Tree shape: connected and acyclic on bag indices.
+        if nb > 0 {
+            if self.tree_edges.len() + 1 != nb {
+                return Err(format!(
+                    "decomposition tree has {} edges for {} bags",
+                    self.tree_edges.len(),
+                    nb
+                ));
+            }
+            let tree = UGraph::from_edges(
+                nb,
+                &self
+                    .tree_edges
+                    .iter()
+                    .map(|&(a, b)| (a as Element, b as Element))
+                    .collect::<Vec<_>>(),
+            );
+            if !tree.is_forest() {
+                return Err("decomposition tree contains a cycle".into());
+            }
+            let (ncomp, _) = tree.components();
+            if ncomp != 1 {
+                return Err("decomposition tree is disconnected".into());
+            }
+        }
+        // Vertex coverage.
+        let mut covered = vec![false; g.n()];
+        for b in &self.bags {
+            for &v in b {
+                if (v as usize) >= g.n() {
+                    return Err(format!("bag vertex {v} out of range"));
+                }
+                covered[v as usize] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            return Err(format!("vertex {v} not covered by any bag"));
+        }
+        // Edge coverage.
+        for (u, v) in g.edges() {
+            if !self
+                .bags
+                .iter()
+                .any(|b| b.contains(&u) && b.contains(&v))
+            {
+                return Err(format!("edge ({u},{v}) not inside any bag"));
+            }
+        }
+        // Connectivity of occurrences.
+        for v in 0..g.n() as Element {
+            let occ: Vec<usize> = (0..nb).filter(|&i| self.bags[i].contains(&v)).collect();
+            if occ.is_empty() {
+                continue;
+            }
+            let mut reach: HashSet<usize> = HashSet::new();
+            reach.insert(occ[0]);
+            let mut frontier = vec![occ[0]];
+            while let Some(b) = frontier.pop() {
+                for &(x, y) in &self.tree_edges {
+                    let other = if x == b {
+                        Some(y)
+                    } else if y == b {
+                        Some(x)
+                    } else {
+                        None
+                    };
+                    if let Some(o) = other {
+                        if self.bags[o].contains(&v) && reach.insert(o) {
+                            frontier.push(o);
+                        }
+                    }
+                }
+            }
+            if reach.len() != occ.len() {
+                return Err(format!("occurrences of vertex {v} are disconnected"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Internal: adjacency as 64-bit masks (per-component search keeps n ≤ 64).
+struct MaskGraph {
+    adj: Vec<u64>,
+    n: usize,
+}
+
+impl MaskGraph {
+    /// Neighbours of `v` *outside* the eliminated set, reachable through
+    /// eliminated vertices: the degree of `v` in the fill-in graph after
+    /// eliminating `elim`.
+    fn fill_neighbors(&self, v: usize, elim: u64) -> u64 {
+        let mut seen = 1u64 << v;
+        let mut frontier = 1u64 << v;
+        let mut result = 0u64;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let u = f.trailing_zeros() as usize;
+                f &= f - 1;
+                let nb = self.adj[u] & !seen;
+                result |= nb & !elim;
+                next |= nb & elim;
+                seen |= nb;
+            }
+            frontier = next;
+        }
+        result
+    }
+}
+
+/// Decides `tw(component) ≤ k` by branch-and-bound over elimination
+/// orders with a memo of refuted eliminated-sets. Returns an elimination
+/// order on success.
+fn component_tw_at_most(g: &MaskGraph, k: usize) -> Option<Vec<usize>> {
+    let full: u64 = if g.n == 64 { !0 } else { (1u64 << g.n) - 1 };
+    let mut dead: HashSet<u64> = HashSet::new();
+    let mut order = Vec::with_capacity(g.n);
+
+    fn rec(
+        g: &MaskGraph,
+        k: usize,
+        elim: u64,
+        full: u64,
+        dead: &mut HashSet<u64>,
+        order: &mut Vec<usize>,
+    ) -> bool {
+        if elim == full {
+            return true;
+        }
+        if dead.contains(&elim) {
+            return false;
+        }
+        let mut remaining = full & !elim;
+        // Gather candidates with fill-degree ≤ k; eliminate simplicial
+        // vertices (fill-neighbourhood already a clique) greedily — always
+        // safe.
+        let mut candidates: Vec<(usize, usize, u64)> = Vec::new();
+        while remaining != 0 {
+            let v = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let nb = g.fill_neighbors(v, elim);
+            let deg = nb.count_ones() as usize;
+            if deg <= k {
+                // simplicial check: all fill-neighbours pairwise adjacent
+                // in the fill graph.
+                let mut simplicial = true;
+                let mut rest = nb;
+                'outer: while rest != 0 {
+                    let a = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let a_nb = g.fill_neighbors(a, elim);
+                    if nb & !a_nb & !(1u64 << a) != 0 {
+                        simplicial = false;
+                        break 'outer;
+                    }
+                }
+                if simplicial {
+                    order.push(v);
+                    if rec(g, k, elim | (1u64 << v), full, dead, order) {
+                        return true;
+                    }
+                    order.pop();
+                    dead.insert(elim);
+                    return false;
+                }
+                candidates.push((deg, v, nb));
+            }
+        }
+        candidates.sort_unstable();
+        for (_, v, _) in candidates {
+            order.push(v);
+            if rec(g, k, elim | (1u64 << v), full, dead, order) {
+                return true;
+            }
+            order.pop();
+        }
+        dead.insert(elim);
+        false
+    }
+
+    if rec(g, k, 0, full, &mut dead, &mut order) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Builds a tree decomposition of one component from an elimination order.
+fn decomposition_from_order(
+    g: &MaskGraph,
+    order: &[usize],
+    vertex_names: &[Element],
+) -> TreeDecomposition {
+    let n = g.n;
+    let mut bags: Vec<Vec<Element>> = Vec::with_capacity(n);
+    let mut bag_of_vertex = vec![usize::MAX; n];
+    let mut tree_edges = Vec::new();
+    let mut elim = 0u64;
+    // position in elimination order
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    for (i, &v) in order.iter().enumerate() {
+        let nb = g.fill_neighbors(v, elim);
+        let mut bag: Vec<Element> = vec![vertex_names[v]];
+        let mut rest = nb;
+        let mut first_successor: Option<usize> = None;
+        while rest != 0 {
+            let u = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            bag.push(vertex_names[u]);
+            if first_successor.is_none_or(|f| pos[u] < pos[f]) {
+                first_successor = Some(u);
+            }
+        }
+        bag.sort_unstable();
+        let bag_idx = bags.len();
+        bags.push(bag);
+        bag_of_vertex[v] = bag_idx;
+        if let Some(u) = first_successor {
+            // connect later, once u's bag exists: record a pending edge via
+            // a second pass. Use negative marker: store (bag_idx, u).
+            tree_edges.push((bag_idx, usize::MAX - u));
+        } else if i + 1 == order.len() {
+            // last vertex: root, nothing to connect
+        } else {
+            // isolated in fill graph: connect to the next bag created to
+            // keep the tree connected (harmless: shares no vertices).
+            tree_edges.push((bag_idx, usize::MAX - order[i + 1]));
+        }
+        elim |= 1u64 << v;
+    }
+    // Resolve pending edges.
+    let resolved: Vec<(usize, usize)> = tree_edges
+        .into_iter()
+        .map(|(b, marker)| {
+            let u = usize::MAX - marker;
+            (b, bag_of_vertex[u])
+        })
+        .collect();
+    TreeDecomposition {
+        bags,
+        tree_edges: resolved,
+    }
+}
+
+/// Decides whether `tw(g) ≤ k`, returning a witness decomposition.
+///
+/// Loops are ignored (see the module docs). Works per connected component;
+/// each component must have at most 64 vertices (query-sized inputs —
+/// approximation candidates never exceed the number of query variables).
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_graphs::{treewidth, UGraph};
+///
+/// let c4 = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert!(treewidth::treewidth_at_most(&c4, 2).is_some());
+/// assert!(treewidth::treewidth_at_most(&c4, 1).is_none());
+/// ```
+pub fn treewidth_at_most(g: &UGraph, k: usize) -> Option<TreeDecomposition> {
+    if k == 0 {
+        // width 0: no edges
+        if g.edge_count() > 0 {
+            return None;
+        }
+        let bags: Vec<Vec<Element>> = (0..g.n() as Element).map(|v| vec![v]).collect();
+        let tree_edges = (1..g.n()).map(|i| (i - 1, i)).collect();
+        let td = TreeDecomposition { bags, tree_edges };
+        return Some(td);
+    }
+    if k == 1 && !g.is_forest() {
+        return None;
+    }
+    let (ncomp, comp) = g.components();
+    let mut all_bags: Vec<Vec<Element>> = Vec::new();
+    let mut all_edges: Vec<(usize, usize)> = Vec::new();
+    let mut component_roots: Vec<usize> = Vec::new();
+    for c in 0..ncomp as u32 {
+        let vertices: Vec<Element> = (0..g.n() as Element)
+            .filter(|&v| comp[v as usize] == c)
+            .collect();
+        assert!(
+            vertices.len() <= 64,
+            "treewidth search supports components of at most 64 vertices"
+        );
+        let index_of = |v: Element| vertices.iter().position(|&x| x == v).unwrap();
+        let mut adj = vec![0u64; vertices.len()];
+        for (u, v) in g.edges() {
+            if comp[u as usize] == c {
+                let iu = index_of(u);
+                let iv = index_of(v);
+                adj[iu] |= 1u64 << iv;
+                adj[iv] |= 1u64 << iu;
+            }
+        }
+        let mg = MaskGraph {
+            adj,
+            n: vertices.len(),
+        };
+        let order = component_tw_at_most(&mg, k)?;
+        let td = decomposition_from_order(&mg, &order, &vertices);
+        let off = all_bags.len();
+        component_roots.push(off);
+        all_bags.extend(td.bags);
+        all_edges.extend(td.tree_edges.iter().map(|&(a, b)| (a + off, b + off)));
+    }
+    // Join the per-component trees into one tree.
+    for w in component_roots.windows(2) {
+        all_edges.push((w[0], w[1]));
+    }
+    if all_bags.is_empty() {
+        all_bags.push(Vec::new());
+    }
+    let td = TreeDecomposition {
+        bags: all_bags,
+        tree_edges: all_edges,
+    };
+    debug_assert!(td.validate(g).is_ok(), "{:?}", td.validate(g));
+    Some(td)
+}
+
+/// The exact treewidth of `g` (0 for edgeless graphs; loops ignored).
+pub fn treewidth(g: &UGraph) -> usize {
+    for k in 0..g.n().max(1) {
+        if treewidth_at_most(g, k).is_some() {
+            return k;
+        }
+    }
+    g.n().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trees_have_width_1() {
+        let t = UGraph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        assert_eq!(treewidth(&t), 1);
+        let td = treewidth_at_most(&t, 1).unwrap();
+        td.validate(&t).unwrap();
+        assert!(td.width() <= 1);
+    }
+
+    #[test]
+    fn cycles_have_width_2() {
+        for n in 3..=8 {
+            let edges: Vec<(Element, Element)> = (0..n)
+                .map(|i| (i as Element, ((i + 1) % n) as Element))
+                .collect();
+            let c = UGraph::from_edges(n, &edges);
+            assert_eq!(treewidth(&c), 2, "C{n}");
+            let td = treewidth_at_most(&c, 2).unwrap();
+            td.validate(&c).unwrap();
+        }
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for m in 1..=7 {
+            let k = UGraph::complete(m);
+            assert_eq!(treewidth(&k), m - 1, "K{m}");
+        }
+    }
+
+    #[test]
+    fn grid_treewidth() {
+        // tw(P3 x P3) = 3.
+        let g = crate::generators::grid(3, 3);
+        let u = UGraph::underlying(&g);
+        assert_eq!(treewidth(&u), 3);
+        let td = treewidth_at_most(&u, 3).unwrap();
+        td.validate(&u).unwrap();
+    }
+
+    #[test]
+    fn loops_ignored() {
+        let g = UGraph::from_edges(2, &[(0, 1), (0, 0)]);
+        assert_eq!(treewidth(&g), 1);
+    }
+
+    #[test]
+    fn edgeless() {
+        let g = UGraph::new(4);
+        assert_eq!(treewidth(&g), 0);
+        let td = treewidth_at_most(&g, 0).unwrap();
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn disconnected_components() {
+        // K4 plus a triangle: tw = 3.
+        let mut edges = vec![];
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        edges.extend([(4, 5), (5, 6), (6, 4)]);
+        let g = UGraph::from_edges(7, &edges);
+        assert_eq!(treewidth(&g), 3);
+        let td = treewidth_at_most(&g, 3).unwrap();
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn wheel_width_3() {
+        let g = crate::generators::wheel(5);
+        let u = UGraph::underlying(&g);
+        assert_eq!(treewidth(&u), 3);
+    }
+
+    #[test]
+    fn validate_catches_bad_decompositions() {
+        let c3 = UGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        // Missing edge coverage.
+        let bad = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2]],
+            tree_edges: vec![(0, 1)],
+        };
+        assert!(bad.validate(&c3).is_err());
+        // Disconnected occurrences.
+        let p3 = UGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let bad2 = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2], vec![0]],
+            tree_edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(bad2.validate(&p3).is_err());
+    }
+
+    #[test]
+    fn k_minus_one_rejected_for_clique() {
+        let k5 = UGraph::complete(5);
+        assert!(treewidth_at_most(&k5, 3).is_none());
+        assert!(treewidth_at_most(&k5, 4).is_some());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the graph algorithms.
+
+use cqapx_graphs::{balance, coloring, treewidth, Digraph, UGraph};
+use proptest::prelude::*;
+
+fn digraph_strategy(max_n: usize, max_e: usize) -> impl Strategy<Value = Digraph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_e)
+            .prop_map(move |edges| Digraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Treewidth is monotone under edge addition and bounded by n−1.
+    #[test]
+    fn treewidth_monotone_and_bounded(g in digraph_strategy(7, 10)) {
+        let u = UGraph::underlying(&g);
+        let tw = treewidth::treewidth(&u);
+        prop_assert!(tw <= u.n().saturating_sub(1));
+        // adding an edge can only increase treewidth
+        if u.n() >= 2 {
+            let mut bigger = u.clone();
+            bigger.add_edge(0, (u.n() - 1) as u32);
+            prop_assert!(treewidth::treewidth(&bigger) >= tw);
+        }
+    }
+
+    /// A witness decomposition validates and has the claimed width.
+    #[test]
+    fn decompositions_validate(g in digraph_strategy(7, 12)) {
+        let u = UGraph::underlying(&g);
+        let tw = treewidth::treewidth(&u);
+        let td = treewidth::treewidth_at_most(&u, tw).expect("witness at exact width");
+        td.validate(&u).unwrap();
+        prop_assert!(td.width() <= tw);
+        if tw > 0 {
+            prop_assert!(treewidth::treewidth_at_most(&u, tw - 1).is_none());
+        }
+    }
+
+    /// k-colorability agrees with homomorphism into K⃗_k (the definition
+    /// the paper uses).
+    #[test]
+    fn coloring_agrees_with_hom(g in digraph_strategy(6, 10), k in 1usize..4) {
+        use cqapx_structures::HomProblem;
+        let colorable = coloring::is_k_colorable(&g, k);
+        let kk = cqapx_graphs::generators::complete_digraph(k).to_structure();
+        let via_hom = HomProblem::new(&g.to_structure(), &kk).exists();
+        prop_assert_eq!(colorable, via_hom);
+    }
+
+    /// Forests have treewidth ≤ 1 and are 2-colorable (loop-free ones).
+    #[test]
+    fn forests_are_easy(n in 2usize..8, extra in 0usize..3) {
+        // random tree by parent links + `extra` forward edges that keep
+        // it a forest only when extra = 0
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push(((i / 2) as u32, i as u32));
+        }
+        let g = Digraph::from_edges(n, &edges);
+        let u = UGraph::underlying(&g);
+        prop_assert!(u.is_forest());
+        prop_assert!(treewidth::treewidth(&u) <= 1);
+        prop_assert!(coloring::is_bipartite(&g));
+        let _ = extra;
+    }
+
+    /// Balanced digraphs map into directed paths (Hell–Nešetřil), and
+    /// level differences match edge orientation.
+    #[test]
+    fn balanced_iff_hom_to_path(g in digraph_strategy(6, 8)) {
+        use cqapx_structures::HomProblem;
+        let info = balance::levels(&g);
+        let long_path = Digraph::directed_path(12).to_structure();
+        let maps = HomProblem::new(&g.to_structure(), &long_path).exists();
+        prop_assert_eq!(info.balanced, maps, "balanced ⇔ hom to long path");
+        if info.balanced {
+            for (u, v) in g.edges() {
+                prop_assert_eq!(
+                    info.levels[v as usize] - info.levels[u as usize],
+                    1,
+                    "levels rise by one along edges"
+                );
+            }
+        }
+    }
+
+    /// Bipartiteness ⇔ hom to K⃗₂.
+    #[test]
+    fn bipartite_iff_hom_to_k2(g in digraph_strategy(6, 10)) {
+        use cqapx_structures::HomProblem;
+        let k2 = Digraph::from_edges(2, &[(0, 1), (1, 0)]).to_structure();
+        prop_assert_eq!(
+            coloring::is_bipartite(&g),
+            HomProblem::new(&g.to_structure(), &k2).exists()
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! The hypergraph type and the paper's closure operations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A vertex of a hypergraph.
+pub type Vertex = u32;
+
+/// A finite hypergraph `H = ⟨V, E⟩` on vertices `0..n`.
+///
+/// Hyperedges are kept as sorted sets; duplicates are retained in insertion
+/// order only once (set semantics). Empty hyperedges are not allowed.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_hypergraphs::Hypergraph;
+///
+/// // H(Q) for Q() :- R(x,y,z), R(x,v,v), E(v,z): hyperedges
+/// // {x,y,z}, {x,v}, {v,z} (the paper's Section 3 example).
+/// let h = Hypergraph::from_edges(4, &[vec![0, 1, 2], vec![0, 3], vec![3, 2]]);
+/// assert_eq!(h.n(), 4);
+/// assert_eq!(h.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<BTreeSet<Vertex>>,
+}
+
+impl Hypergraph {
+    /// An edge-less hypergraph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Hypergraph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds from an edge list (each edge a list of vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty edges or out-of-range vertices.
+    pub fn from_edges(n: usize, edges: &[Vec<Vertex>]) -> Self {
+        let mut h = Hypergraph::new(n);
+        for e in edges {
+            h.add_edge(e);
+        }
+        h
+    }
+
+    /// Adds a hyperedge (idempotent on equal vertex sets).
+    pub fn add_edge(&mut self, vertices: &[Vertex]) {
+        assert!(!vertices.is_empty(), "hyperedges must be nonempty");
+        for &v in vertices {
+            assert!((v as usize) < self.n, "vertex {v} out of range");
+        }
+        let set: BTreeSet<Vertex> = vertices.iter().copied().collect();
+        if !self.edges.contains(&set) {
+            self.edges.push(set);
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[BTreeSet<Vertex>] {
+        &self.edges
+    }
+
+    /// One hyperedge.
+    pub fn edge(&self, i: usize) -> &BTreeSet<Vertex> {
+        &self.edges[i]
+    }
+
+    /// The **induced subhypergraph** on `V' ⊆ V`:
+    /// `⟨V', {e ∩ V' | e ∈ E}⟩` (empty intersections dropped, vertices
+    /// renumbered densely). Returns the subhypergraph and the old→new
+    /// vertex map.
+    ///
+    /// One of the two closure operations of the paper's Theorem 6.1 /
+    /// Lemma 6.4.
+    pub fn induced(&self, keep: &BTreeSet<Vertex>) -> (Hypergraph, Vec<Option<Vertex>>) {
+        let mut remap: Vec<Option<Vertex>> = vec![None; self.n];
+        for (new, &old) in keep.iter().enumerate() {
+            assert!((old as usize) < self.n, "vertex {old} out of range");
+            remap[old as usize] = Some(new as Vertex);
+        }
+        let mut h = Hypergraph::new(keep.len());
+        for e in &self.edges {
+            let inter: Vec<Vertex> = e
+                .iter()
+                .filter_map(|&v| remap[v as usize])
+                .collect();
+            if !inter.is_empty() {
+                h.add_edge(&inter);
+            }
+        }
+        (h, remap)
+    }
+
+    /// The **edge extension** of hyperedge `i` by `extra` fresh vertices:
+    /// new vertices are appended to the universe and added to that single
+    /// hyperedge. The other closure operation of Lemma 6.4.
+    pub fn extend_edge(&self, i: usize, extra: usize) -> Hypergraph {
+        assert!(i < self.edges.len(), "edge index out of range");
+        let mut h = self.clone();
+        let first_new = h.n as Vertex;
+        h.n += extra;
+        let mut e = h.edges[i].clone();
+        for j in 0..extra {
+            e.insert(first_new + j as Vertex);
+        }
+        h.edges[i] = e;
+        h
+    }
+
+    /// The primal (Gaifman) graph: vertices of `H`, an undirected edge
+    /// between every two distinct vertices sharing a hyperedge. Returned as
+    /// an edge list; single-vertex hyperedges contribute a loop marker
+    /// `(v, v)` so downstream treewidth code can see the vertex is covered.
+    pub fn primal_edges(&self) -> Vec<(Vertex, Vertex)> {
+        let mut out = BTreeSet::new();
+        for e in &self.edges {
+            let vs: Vec<Vertex> = e.iter().copied().collect();
+            if vs.len() == 1 {
+                out.insert((vs[0], vs[0]));
+            }
+            for (i, &a) in vs.iter().enumerate() {
+                for &b in vs.iter().skip(i + 1) {
+                    out.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Vertices that occur in at least one hyperedge.
+    pub fn covered_vertices(&self) -> BTreeSet<Vertex> {
+        self.edges.iter().flat_map(|e| e.iter().copied()).collect()
+    }
+
+    /// Connected components of the sub-hypergraph induced by `vertices`
+    /// (two vertices are connected when some hyperedge contains both and
+    /// both are in `vertices`). Returns the vertex sets of the components.
+    pub fn components_within(&self, vertices: &BTreeSet<Vertex>) -> Vec<BTreeSet<Vertex>> {
+        let mut unvisited: BTreeSet<Vertex> = vertices.clone();
+        let mut out = Vec::new();
+        while let Some(&start) = unvisited.iter().next() {
+            let mut comp = BTreeSet::new();
+            let mut stack = vec![start];
+            unvisited.remove(&start);
+            comp.insert(start);
+            while let Some(v) = stack.pop() {
+                for e in &self.edges {
+                    if e.contains(&v) {
+                        for &w in e {
+                            if unvisited.remove(&w) {
+                                comp.insert(w);
+                                stack.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_subhypergraph() {
+        // The paper's Section 6 example: H with {a,b,c},{a,b},{b,c},{a,c};
+        // the induced subhypergraph on {a,b,c} is H itself.
+        let h = Hypergraph::from_edges(
+            3,
+            &[vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]],
+        );
+        let all: BTreeSet<Vertex> = [0, 1, 2].into_iter().collect();
+        let (ind, _) = h.induced(&all);
+        assert_eq!(ind.edge_count(), 4);
+        // Induced on {a, b}: edges {a,b} (from both {a,b,c} and {a,b}),
+        // {b}, {a}.
+        let ab: BTreeSet<Vertex> = [0, 1].into_iter().collect();
+        let (ind, remap) = h.induced(&ab);
+        assert_eq!(ind.n(), 2);
+        assert_eq!(ind.edge_count(), 3); // {0,1}, {1}, {0}
+        assert_eq!(remap[2], None);
+    }
+
+    #[test]
+    fn edge_extension() {
+        let h = Hypergraph::from_edges(3, &[vec![0, 1], vec![1, 2]]);
+        let e = h.extend_edge(0, 2);
+        assert_eq!(e.n(), 5);
+        assert_eq!(e.edge(0).len(), 4);
+        assert!(e.edge(0).contains(&3));
+        assert!(e.edge(0).contains(&4));
+        assert_eq!(e.edge(1).len(), 2);
+    }
+
+    #[test]
+    fn primal_graph() {
+        let h = Hypergraph::from_edges(4, &[vec![0, 1, 2], vec![2, 3]]);
+        let primal = h.primal_edges();
+        assert!(primal.contains(&(0, 1)));
+        assert!(primal.contains(&(0, 2)));
+        assert!(primal.contains(&(1, 2)));
+        assert!(primal.contains(&(2, 3)));
+        assert_eq!(primal.len(), 4);
+    }
+
+    #[test]
+    fn components() {
+        let h = Hypergraph::from_edges(5, &[vec![0, 1], vec![1, 2], vec![3, 4]]);
+        let all: BTreeSet<Vertex> = (0..5).collect();
+        let comps = h.components_within(&all);
+        assert_eq!(comps.len(), 2);
+        // Remove vertex 1: {0}, {2}, {3,4}.
+        let without1: BTreeSet<Vertex> = [0, 2, 3, 4].into_iter().collect();
+        let comps = h.components_within(&without1);
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let h = Hypergraph::from_edges(2, &[vec![0, 1], vec![1, 0]]);
+        assert_eq!(h.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_edge_rejected() {
+        let _ = Hypergraph::from_edges(2, &[vec![]]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Hypergraphs: acyclicity, join trees, and (generalized) hypertree width.
+//!
+//! The hypergraph-based tractable classes of the paper (Section 6) are:
+//!
+//! * `AC` — α-acyclic hypergraphs (Yannakakis' class), decided by **GYO
+//!   reduction**, with a **join tree** witness;
+//! * `HTW(k)` — hypertree width at most `k` (Gottlob, Leone & Scarcello),
+//!   with `AC = HTW(1)`; membership is polynomial for fixed `k` (we
+//!   implement a det-k-decomp-style search);
+//! * `GHTW(k)` — generalized hypertree width; membership is NP-complete for
+//!   k ≥ 3 (Gottlob, Miklós & Schwentick), so we expose the sandwich
+//!   `ghw ≤ htw ≤ 3·ghw + 1` instead of an exact test.
+//!
+//! Lemma 6.4 of the paper shows `HTW(k)` and `GHTW(k)` are closed under the
+//! two operations that drive the hypergraph-based approximation algorithm:
+//! **induced subhypergraphs** and **edge extensions**; both are implemented
+//! on [`Hypergraph`].
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod gyo;
+pub mod htw;
+pub mod hypergraph;
+pub mod jointree;
+
+pub use gyo::{gyo_reduce, is_acyclic};
+pub use htw::{htw_at_most, HypertreeDecomposition};
+pub use hypergraph::Hypergraph;
+pub use jointree::JoinTree;

@@ -1,0 +1,104 @@
+//! Graphviz DOT export, for inspecting tableaux and gadgets.
+
+use crate::pointed::Pointed;
+use crate::structure::Structure;
+use std::fmt::Write;
+
+/// Renders a structure as Graphviz DOT.
+///
+/// Binary relations become labeled edges; higher-arity tuples become small
+/// square "fact" nodes connected to their arguments with position-labeled
+/// edges (standard hypergraph incidence drawing).
+pub fn to_dot(s: &Structure) -> String {
+    to_dot_pointed(&Pointed::boolean(s.clone()))
+}
+
+/// Renders a pointed structure as DOT; distinguished elements are drawn as
+/// double circles annotated with their positions.
+pub fn to_dot_pointed(p: &Pointed) -> String {
+    let s = &p.structure;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph structure {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for e in s.elements() {
+        let positions: Vec<String> = p
+            .distinguished()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == e)
+            .map(|(i, _)| format!("x{}", i + 1))
+            .collect();
+        let label = if positions.is_empty() {
+            s.element_name(e)
+        } else {
+            format!("{} [{}]", s.element_name(e), positions.join(","))
+        };
+        let shape = if positions.is_empty() {
+            "circle"
+        } else {
+            "doublecircle"
+        };
+        let _ = writeln!(out, "  n{e} [label=\"{label}\", shape={shape}];");
+    }
+    let mut fact_id = 0usize;
+    for rel in s.vocabulary().rel_ids() {
+        let name = s.vocabulary().name(rel);
+        let arity = s.vocabulary().arity(rel);
+        for t in s.tuples(rel) {
+            if arity == 2 {
+                let _ = writeln!(out, "  n{} -> n{} [label=\"{}\"];", t[0], t[1], name);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  f{fact_id} [label=\"{name}\", shape=box, fontsize=9];"
+                );
+                for (i, &x) in t.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  f{fact_id} -> n{x} [label=\"{}\", style=dashed, arrowhead=none];",
+                        i + 1
+                    );
+                }
+                fact_id += 1;
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::StructureBuilder;
+    use crate::vocabulary::Vocabulary;
+
+    #[test]
+    fn binary_dot() {
+        let g = Structure::digraph(2, &[(0, 1)]);
+        let dot = to_dot(&g);
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn pointed_dot_marks_distinguished() {
+        let g = Structure::digraph(2, &[(0, 1)]);
+        let p = Pointed::new(g, vec![1]);
+        let dot = to_dot_pointed(&p);
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("[x1]"));
+    }
+
+    #[test]
+    fn ternary_dot_uses_fact_nodes() {
+        let v = Vocabulary::single(3);
+        let r = v.rel("R").unwrap();
+        let mut b = StructureBuilder::new(v, 3);
+        b.add(r, &[0, 1, 2]);
+        let s = b.finish();
+        let dot = to_dot(&s);
+        assert!(dot.contains("f0 [label=\"R\""));
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Isomorphism checks between structures.
+
+use crate::hom::HomProblem;
+use crate::pointed::Pointed;
+use crate::structure::Structure;
+
+/// `true` when the two structures are isomorphic.
+///
+/// Uses the homomorphism engine with an injectivity constraint: a bijective
+/// homomorphism between structures with equal per-relation tuple counts is
+/// an isomorphism (it maps each relation injectively into an equal-sized
+/// relation, hence onto it).
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_structures::{isomorphic, Structure};
+///
+/// let a = Structure::digraph(3, &[(0, 1), (1, 2), (2, 0)]);
+/// let b = Structure::digraph(3, &[(1, 0), (0, 2), (2, 1)]); // relabeled C3
+/// assert!(isomorphic(&a, &b));
+///
+/// let p = Structure::digraph(3, &[(0, 1), (1, 2)]);
+/// assert!(!isomorphic(&a, &p));
+/// ```
+pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
+    if a.vocabulary() != b.vocabulary() {
+        return false;
+    }
+    if a.universe_size() != b.universe_size() {
+        return false;
+    }
+    for rel in a.vocabulary().rel_ids() {
+        if a.tuples(rel).len() != b.tuples(rel).len() {
+            return false;
+        }
+    }
+    HomProblem::new(a, b).injective().exists()
+}
+
+/// Isomorphism of pointed structures: a structure isomorphism mapping the
+/// distinguished tuple of `a` to that of `b` pointwise.
+pub fn isomorphic_pointed(a: &Pointed, b: &Pointed) -> bool {
+    if a.structure.vocabulary() != b.structure.vocabulary() {
+        return false;
+    }
+    if a.structure.universe_size() != b.structure.universe_size() {
+        return false;
+    }
+    if a.distinguished().len() != b.distinguished().len() {
+        return false;
+    }
+    for rel in a.structure.vocabulary().rel_ids() {
+        if a.structure.tuples(rel).len() != b.structure.tuples(rel).len() {
+            return false;
+        }
+    }
+    HomProblem::new(&a.structure, &b.structure)
+        .pin_tuple(a.distinguished(), b.distinguished())
+        .injective()
+        .exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Element;
+
+    fn cycle(n: usize) -> Structure {
+        let edges: Vec<(Element, Element)> = (0..n)
+            .map(|i| (i as Element, ((i + 1) % n) as Element))
+            .collect();
+        Structure::digraph(n, &edges)
+    }
+
+    #[test]
+    fn relabeled_cycles() {
+        let a = cycle(5);
+        let b = Structure::digraph(5, &[(2, 3), (3, 4), (4, 0), (0, 1), (1, 2)]);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_sizes() {
+        assert!(!isomorphic(&cycle(3), &cycle(4)));
+    }
+
+    #[test]
+    fn same_counts_not_isomorphic() {
+        // Path 0->1->2->3 vs star with 3 edges: same node and edge counts.
+        let p = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = Structure::digraph(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!isomorphic(&p, &s));
+    }
+
+    #[test]
+    fn pointed_isomorphism_respects_tuple() {
+        let a = Pointed::new(cycle(3), vec![0]);
+        let b = Pointed::new(cycle(3), vec![1]);
+        // rotations exist, so these are isomorphic as pointed structures
+        assert!(isomorphic_pointed(&a, &b));
+        // path with endpoints distinguished differently
+        let p1 = Pointed::new(Structure::digraph(2, &[(0, 1)]), vec![0]);
+        let p2 = Pointed::new(Structure::digraph(2, &[(0, 1)]), vec![1]);
+        assert!(!isomorphic_pointed(&p1, &p2));
+    }
+
+    #[test]
+    fn reflexivity() {
+        let g = cycle(4);
+        assert!(isomorphic(&g, &g));
+    }
+}

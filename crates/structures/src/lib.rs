@@ -1,0 +1,50 @@
+//! Relational structures, homomorphisms, cores and quotients.
+//!
+//! This crate is the substrate for the whole `cq-approx` workspace: the
+//! PODS 2012 paper *Efficient Approximations of Conjunctive Queries*
+//! (Barceló, Libkin & Romero) works throughout with **tableaux of queries**
+//! — finite relational structures, possibly with a tuple of distinguished
+//! elements — and characterizes approximations via preorders based on the
+//! existence of **homomorphisms**.
+//!
+//! The main types are:
+//!
+//! * [`Vocabulary`] — a database schema: named relations with arities.
+//! * [`Structure`] — a finite relational structure (database) over a
+//!   vocabulary, with elements `0..n` and optional display names.
+//! * [`Pointed`] — a structure together with a tuple of distinguished
+//!   elements `(D, ā)`, the shape of a tableau of a non-Boolean query.
+//! * [`hom`] — a CSP-style homomorphism engine (MRV + forward checking)
+//!   supporting pinned elements, injectivity, excluded target elements and
+//!   all-solutions enumeration.
+//! * [`core_ops`] — cores and retracts (`core(D)` — every structure has a
+//!   unique core up to isomorphism).
+//! * [`mod@quotient`] + [`partition`] — homomorphic images of a structure are
+//!   exactly its quotients by partitions of the domain; enumeration of
+//!   partitions drives the approximation algorithms of the paper.
+//! * [`order`] — the homomorphism preorder `→` and the strict variant
+//!   `D ⥛ D'` (written `upslope` in the paper: `D → D'` but `D' ↛ D`).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod core_ops;
+pub mod dot;
+pub mod hom;
+pub mod iso;
+pub mod order;
+pub mod partition;
+pub mod pointed;
+pub mod quotient;
+pub mod structure;
+pub mod vocabulary;
+
+pub use core_ops::{core_of, is_core, CoreResult};
+pub use hom::{HomProblem, HomSearchStats, Homomorphism};
+pub use iso::isomorphic;
+pub use order::{hom_equivalent, hom_exists, strictly_below};
+pub use partition::Partition;
+pub use pointed::Pointed;
+pub use quotient::quotient;
+pub use structure::{Element, Structure, StructureBuilder, Tuple};
+pub use vocabulary::{RelId, Vocabulary};

@@ -1,0 +1,168 @@
+//! The homomorphism preorder on (pointed) structures.
+//!
+//! `D → D'` (a homomorphism exists) is reflexive and transitive; it becomes
+//! a partial order on cores. The paper's notation `D ⥛ D'` (rendered
+//! `upslope` in the extracted text) means `D → D'` **and** `D' ↛ D` —
+//! strictly below in the preorder. Dually, on queries, `Q ⊆ Q'` iff
+//! `T_{Q'} → T_Q`.
+
+use crate::hom::HomProblem;
+use crate::pointed::Pointed;
+
+/// `true` when a homomorphism `a → b` respecting distinguished tuples
+/// exists.
+pub fn hom_exists(a: &Pointed, b: &Pointed) -> bool {
+    if a.distinguished().len() != b.distinguished().len() {
+        return false;
+    }
+    HomProblem::new(&a.structure, &b.structure)
+        .pin_tuple(a.distinguished(), b.distinguished())
+        .exists()
+}
+
+/// `true` when `a → b` and `b → a` (homomorphic equivalence; equal cores).
+pub fn hom_equivalent(a: &Pointed, b: &Pointed) -> bool {
+    hom_exists(a, b) && hom_exists(b, a)
+}
+
+/// `true` when `a → b` but `b ↛ a` (the paper's strict `⥛`).
+pub fn strictly_below(a: &Pointed, b: &Pointed) -> bool {
+    hom_exists(a, b) && !hom_exists(b, a)
+}
+
+/// `true` when `a` and `b` are incomparable (no homomorphism either way).
+pub fn incomparable(a: &Pointed, b: &Pointed) -> bool {
+    !hom_exists(a, b) && !hom_exists(b, a)
+}
+
+/// Indices of the →-minimal elements of a family of pointed structures
+/// (elements with nothing strictly below them in the family).
+///
+/// Used by Theorem 4.1: the minimal elements of the quotient family
+/// `H_C(Q)` under `→` are exactly the `C`-approximations.
+pub fn minimal_elements(family: &[Pointed]) -> Vec<usize> {
+    let n = family.len();
+    // Cache pairwise hom-existence.
+    let mut below = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                below[i][j] = hom_exists(&family[i], &family[j]);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&i| {
+            // minimal iff no j with j -> i but i -/-> j
+            !(0..n).any(|j| j != i && below[j][i] && !below[i][j])
+        })
+        .collect()
+}
+
+/// Indices of →-maximal elements (nothing strictly above).
+pub fn maximal_elements(family: &[Pointed]) -> Vec<usize> {
+    let n = family.len();
+    let mut below = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                below[i][j] = hom_exists(&family[i], &family[j]);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&i| !(0..n).any(|j| j != i && below[i][j] && !below[j][i]))
+        .collect()
+}
+
+/// Deduplicates a family up to homomorphic equivalence, keeping the first
+/// representative of each class. Returns the kept indices.
+pub fn dedupe_hom_equivalent(family: &[Pointed]) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::new();
+    'outer: for i in 0..family.len() {
+        for &k in &kept {
+            if hom_equivalent(&family[i], &family[k]) {
+                continue 'outer;
+            }
+        }
+        kept.push(i);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{Element, Structure};
+
+    fn cycle(n: usize) -> Pointed {
+        let edges: Vec<(Element, Element)> = (0..n)
+            .map(|i| (i as Element, ((i + 1) % n) as Element))
+            .collect();
+        Pointed::boolean(Structure::digraph(n, &edges))
+    }
+
+    fn lp() -> Pointed {
+        Pointed::boolean(Structure::digraph(1, &[(0, 0)]))
+    }
+
+    #[test]
+    fn loop_is_top_of_everything() {
+        assert!(strictly_below(&cycle(3), &lp()));
+        assert!(strictly_below(&cycle(4), &lp()));
+        assert!(hom_equivalent(&lp(), &lp()));
+    }
+
+    #[test]
+    fn c6_strictly_below_c3() {
+        // Directed C6 maps onto C3 (wrap twice) but C3 cannot map into C6.
+        assert!(strictly_below(&cycle(6), &cycle(3)));
+        assert!(!hom_equivalent(&cycle(3), &cycle(4)));
+        // C3 ∪ C6 is hom-equivalent to C3.
+        let union = Pointed::boolean(
+            cycle(3).structure.disjoint_union(&cycle(6).structure),
+        );
+        assert!(hom_equivalent(&union, &cycle(3)));
+    }
+
+    #[test]
+    fn incomparable_cycles() {
+        // C3 and C4: C3 -> C4? no (lengths); C4 -> C3? gcd arguments: a
+        // directed C4 maps to C3 iff 3 | 4 — no. Incomparable.
+        assert!(incomparable(&cycle(3), &cycle(4)));
+    }
+
+    #[test]
+    fn minimal_and_maximal() {
+        // Order: C6 ⥛ C3 ⥛ loop; C4 ⥛ loop; C4 incomparable with C3, C6.
+        let family = vec![cycle(3), cycle(6), lp(), cycle(4)];
+        let mins = minimal_elements(&family);
+        assert_eq!(mins, vec![1, 3]); // C6 and C4
+        let maxs = maximal_elements(&family);
+        assert_eq!(maxs, vec![2]); // the loop
+    }
+
+    #[test]
+    fn dedupe() {
+        fn union(a: &Pointed, b: &Pointed) -> Pointed {
+            Pointed::boolean(a.structure.disjoint_union(&b.structure))
+        }
+        // C3, C3 ∪ C6 and C3 ∪ C9 are pairwise hom-equivalent (all ~ C3).
+        let family = vec![
+            cycle(3),
+            union(&cycle(3), &cycle(6)),
+            union(&cycle(3), &cycle(9)),
+            cycle(4),
+            lp(),
+        ];
+        let kept = dedupe_hom_equivalent(&family);
+        assert_eq!(kept, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn arity_mismatch_no_hom() {
+        let a = Pointed::new(Structure::digraph(2, &[(0, 1)]), vec![0]);
+        let b = Pointed::boolean(Structure::digraph(2, &[(0, 1)]));
+        assert!(!hom_exists(&a, &b));
+    }
+}

@@ -1,0 +1,292 @@
+//! Partitions of `{0, …, n-1}` and their enumeration.
+//!
+//! Homomorphic images of a tableau correspond exactly to its quotients by
+//! partitions of the variable set (Theorem 4.1 takes approximations among
+//! the structures `(Im(h), h(x̄))`, and the image of any map is determined
+//! by which variables it identifies). The approximation algorithms
+//! enumerate partitions as **restricted growth strings** (RGS): a sequence
+//! `b` with `b[0] = 0` and `b[i] ≤ 1 + max(b[0..i])`, canonical per
+//! set-partition. The number of partitions of an `n`-set is the `n`-th
+//! Bell number — the source of the paper's single-exponential bounds.
+
+use serde::{Deserialize, Serialize};
+use std::ops::ControlFlow;
+
+/// A partition of `{0, …, n-1}` in restricted-growth-string form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partition {
+    /// `blocks[i]` is the block index of element `i`; block indices are
+    /// dense and first-occurrence ordered (RGS normal form).
+    blocks: Vec<u32>,
+    n_blocks: u32,
+}
+
+impl Partition {
+    /// The identity partition (every element its own block).
+    pub fn identity(n: usize) -> Self {
+        Partition {
+            blocks: (0..n as u32).collect(),
+            n_blocks: n as u32,
+        }
+    }
+
+    /// The coarsest partition (all elements in one block). For `n = 0`
+    /// there are no blocks.
+    pub fn coarsest(n: usize) -> Self {
+        Partition {
+            blocks: vec![0; n],
+            n_blocks: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// Builds a partition from arbitrary block labels, normalizing to RGS
+    /// form.
+    pub fn from_labels(labels: &[u32]) -> Self {
+        let table = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut remap: Vec<Option<u32>> = vec![None; table];
+        let mut blocks = Vec::with_capacity(labels.len());
+        let mut next = 0u32;
+        for &l in labels {
+            let slot = &mut remap[l as usize];
+            let b = match *slot {
+                Some(b) => b,
+                None => {
+                    let b = next;
+                    *slot = Some(b);
+                    next += 1;
+                    b
+                }
+            };
+            blocks.push(b);
+        }
+        Partition {
+            blocks,
+            n_blocks: next,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` for the empty partition.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks as usize
+    }
+
+    /// The block of an element.
+    #[inline]
+    pub fn block_of(&self, e: usize) -> u32 {
+        self.blocks[e]
+    }
+
+    /// The block labels (RGS).
+    pub fn labels(&self) -> &[u32] {
+        &self.blocks
+    }
+
+    /// `true` when `self` refines `other` (every block of `self` is inside
+    /// a block of `other`).
+    pub fn refines(&self, other: &Partition) -> bool {
+        assert_eq!(self.len(), other.len());
+        // self refines other iff block_of(self) determines block_of(other).
+        let mut img: Vec<Option<u32>> = vec![None; self.n_blocks as usize];
+        for i in 0..self.len() {
+            let b = self.blocks[i] as usize;
+            match img[b] {
+                None => img[b] = Some(other.blocks[i]),
+                Some(x) => {
+                    if x != other.blocks[i] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The partition obtained by additionally merging elements `a` and `b`.
+    pub fn merge(&self, a: usize, b: usize) -> Partition {
+        let ba = self.blocks[a];
+        let bb = self.blocks[b];
+        if ba == bb {
+            return self.clone();
+        }
+        let labels: Vec<u32> = self
+            .blocks
+            .iter()
+            .map(|&x| if x == bb { ba } else { x })
+            .collect();
+        Partition::from_labels(&labels)
+    }
+}
+
+/// Enumerates every partition of `{0, …, n-1}` (Bell(n) of them) in RGS
+/// order, invoking the callback on each; stops early on `Break`.
+///
+/// Returns `true` when the enumeration ran to completion.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_structures::partition::for_each_partition;
+/// use std::ops::ControlFlow;
+///
+/// let mut count = 0;
+/// for_each_partition(4, |_p| {
+///     count += 1;
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(count, 15); // Bell(4)
+/// ```
+pub fn for_each_partition<F: FnMut(&Partition) -> ControlFlow<()>>(n: usize, mut f: F) -> bool {
+    if n == 0 {
+        return matches!(
+            f(&Partition {
+                blocks: vec![],
+                n_blocks: 0
+            }),
+            ControlFlow::Continue(())
+        );
+    }
+    // Iterative RGS enumeration.
+    let mut b = vec![0u32; n]; // current RGS
+    let mut m = vec![0u32; n]; // m[i] = max(b[0..=i])
+    loop {
+        let n_blocks = m[n - 1] + 1;
+        let p = Partition {
+            blocks: b.clone(),
+            n_blocks,
+        };
+        if let ControlFlow::Break(()) = f(&p) {
+            return false;
+        }
+        // Find rightmost position we can increment.
+        let mut i = n - 1;
+        loop {
+            if i == 0 {
+                return true; // exhausted
+            }
+            let max_prev = m[i - 1];
+            if b[i] <= max_prev {
+                // can increment b[i] up to max_prev + 1
+                b[i] += 1;
+                m[i] = m[i - 1].max(b[i]);
+                for j in i + 1..n {
+                    b[j] = 0;
+                    m[j] = m[j - 1];
+                }
+                break;
+            }
+            i -= 1;
+        }
+    }
+}
+
+/// The `n`-th Bell number (number of partitions of an `n`-set), saturating
+/// at `u64::MAX`.
+pub fn bell(n: usize) -> u64 {
+    // Bell triangle.
+    let mut row = vec![1u64];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().unwrap());
+        for &x in &row {
+            let prev = *next.last().unwrap();
+            next.push(prev.saturating_add(x));
+        }
+        row = next;
+    }
+    row[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_numbers() {
+        assert_eq!(bell(0), 1);
+        assert_eq!(bell(1), 1);
+        assert_eq!(bell(2), 2);
+        assert_eq!(bell(3), 5);
+        assert_eq!(bell(4), 15);
+        assert_eq!(bell(5), 52);
+        assert_eq!(bell(10), 115_975);
+    }
+
+    #[test]
+    fn enumeration_counts_match_bell() {
+        for n in 0..=7 {
+            let mut count = 0u64;
+            for_each_partition(n, |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            });
+            assert_eq!(count, bell(n), "Bell({n})");
+        }
+    }
+
+    #[test]
+    fn enumeration_yields_distinct_normalized_partitions() {
+        let mut seen = std::collections::HashSet::new();
+        for_each_partition(5, |p| {
+            assert_eq!(p, &Partition::from_labels(p.labels()), "RGS-normalized");
+            assert!(seen.insert(p.labels().to_vec()), "no duplicates");
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 52);
+    }
+
+    #[test]
+    fn early_break() {
+        let mut count = 0;
+        let completed = for_each_partition(6, |_| {
+            count += 1;
+            if count >= 10 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(!completed);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn from_labels_normalizes() {
+        let p = Partition::from_labels(&[5, 2, 5, 2, 0]);
+        assert_eq!(p.labels(), &[0, 1, 0, 1, 2]);
+        assert_eq!(p.n_blocks(), 3);
+    }
+
+    #[test]
+    fn refinement() {
+        let fine = Partition::from_labels(&[0, 1, 2, 3]);
+        let mid = Partition::from_labels(&[0, 0, 1, 1]);
+        let coarse = Partition::coarsest(4);
+        assert!(fine.refines(&mid));
+        assert!(mid.refines(&coarse));
+        assert!(fine.refines(&coarse));
+        assert!(!mid.refines(&fine));
+        let other = Partition::from_labels(&[0, 1, 0, 1]);
+        assert!(!mid.refines(&other));
+        assert!(!other.refines(&mid));
+    }
+
+    #[test]
+    fn merge() {
+        let p = Partition::identity(4);
+        let q = p.merge(1, 3);
+        assert_eq!(q.n_blocks(), 3);
+        assert_eq!(q.block_of(1), q.block_of(3));
+        let r = q.merge(1, 3);
+        assert_eq!(q, r);
+    }
+}

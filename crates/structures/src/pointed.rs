@@ -1,0 +1,185 @@
+//! Structures with a tuple of distinguished elements: `(D, ā)`.
+//!
+//! Tableaux of non-Boolean conjunctive queries have this shape; a
+//! homomorphism `(D₁, ā₁) → (D₂, ā₂)` must map `ā₁` to `ā₂` pointwise.
+
+use crate::structure::{Element, Structure};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structure together with a tuple of distinguished elements.
+///
+/// The distinguished tuple may repeat elements and may be empty (Boolean
+/// case). Distinguished elements must lie in the universe.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_structures::{Pointed, Structure};
+///
+/// // Tableau of Q(x, y) :- E(x,y), E(y,z), E(z,x)  with x=0, y=1, z=2.
+/// let t = Structure::digraph(3, &[(0, 1), (1, 2), (2, 0)]);
+/// let p = Pointed::new(t, vec![0, 1]);
+/// assert_eq!(p.distinguished(), &[0, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pointed {
+    /// The underlying structure.
+    pub structure: Structure,
+    distinguished: Vec<Element>,
+}
+
+impl Pointed {
+    /// Wraps a structure with a distinguished tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a distinguished element is outside the universe.
+    pub fn new(structure: Structure, distinguished: Vec<Element>) -> Self {
+        for &x in &distinguished {
+            assert!(
+                (x as usize) < structure.universe_size(),
+                "distinguished element {x} out of universe"
+            );
+        }
+        Pointed {
+            structure,
+            distinguished,
+        }
+    }
+
+    /// A Boolean (empty-tuple) pointed structure.
+    pub fn boolean(structure: Structure) -> Self {
+        Pointed {
+            structure,
+            distinguished: Vec::new(),
+        }
+    }
+
+    /// The distinguished tuple `ā`.
+    pub fn distinguished(&self) -> &[Element] {
+        &self.distinguished
+    }
+
+    /// Number of distinguished positions (free variables of the query).
+    pub fn arity(&self) -> usize {
+        self.distinguished.len()
+    }
+
+    /// `true` when there are no distinguished elements.
+    pub fn is_boolean(&self) -> bool {
+        self.distinguished.is_empty()
+    }
+
+    /// Applies a map to both the structure (image) and the tuple.
+    ///
+    /// Realizes `(Im(h), h(ā))` from the paper for a total map `h`.
+    pub fn map_image(&self, map: &[Element]) -> Pointed {
+        // `map_image` renumbers to the active domain of the image; rebuild
+        // the same renumbering here so distinguished elements stay aligned.
+        let raw = self.structure.map_image_raw(map);
+        let (img, remap) = raw.restrict_to_adom();
+        let distinguished = self
+            .distinguished
+            .iter()
+            .map(|&x| {
+                remap[map[x as usize] as usize]
+                    .expect("distinguished elements occur in some atom, so they survive")
+            })
+            .collect();
+        Pointed {
+            structure: img,
+            distinguished,
+        }
+    }
+
+    /// Restricts the universe to the active domain (distinguished elements
+    /// must occur in tuples, as they do for tableaux of queries whose free
+    /// variables all occur in atoms).
+    pub fn restrict_to_adom(&self) -> Pointed {
+        let (s, remap) = self.structure.restrict_to_adom();
+        let distinguished = self
+            .distinguished
+            .iter()
+            .map(|&x| remap[x as usize].expect("distinguished element must be active"))
+            .collect();
+        Pointed {
+            structure: s,
+            distinguished,
+        }
+    }
+}
+
+impl fmt::Debug for Pointed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pointed(ā = [")?;
+        for (i, &x) in self.distinguished.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.structure.element_name(x))?;
+        }
+        writeln!(f, "])")?;
+        write!(f, "{:?}", self.structure)
+    }
+}
+
+impl Structure {
+    /// The raw image of this structure under a map, *without* restricting
+    /// to the active domain (universe is `0..=max(map)`).
+    pub(crate) fn map_image_raw(&self, map: &[Element]) -> Structure {
+        assert_eq!(map.len(), self.universe_size(), "one image per element");
+        let max = map.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut b = crate::structure::StructureBuilder::new(self.vocabulary().clone(), max);
+        for rel in self.vocabulary().rel_ids() {
+            for t in self.tuples(rel) {
+                let mapped: Vec<Element> = t.iter().map(|&x| map[x as usize]).collect();
+                b.add(rel, &mapped);
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_pointed() {
+        let p = Pointed::boolean(Structure::digraph(2, &[(0, 1)]));
+        assert!(p.is_boolean());
+        assert_eq!(p.arity(), 0);
+    }
+
+    #[test]
+    fn map_image_tracks_distinguished() {
+        // 4-cycle with distinguished (0,1,2); collapse 3 onto 1.
+        let g = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = Pointed::new(g, vec![0, 1, 2]);
+        let q = p.map_image(&[0, 1, 2, 1]);
+        assert_eq!(q.structure.universe_size(), 3);
+        assert_eq!(q.distinguished(), &[0, 1, 2]);
+        let e = q.structure.vocabulary().rel("E").unwrap();
+        // edges (0,1),(1,2),(2,1),(1,0)
+        assert!(q.structure.contains(e, &[2, 1]));
+        assert!(q.structure.contains(e, &[1, 0]));
+    }
+
+    #[test]
+    fn map_image_renumbers_consistently() {
+        // Map onto non-dense labels: elements {0,1,2} -> {5,7,5}
+        let g = Structure::digraph(3, &[(0, 1), (1, 2)]);
+        let p = Pointed::new(g, vec![2]);
+        let q = p.map_image(&[5, 7, 5]);
+        assert_eq!(q.structure.universe_size(), 2);
+        // element 2 mapped to 5, which is renumbered to 0
+        assert_eq!(q.distinguished(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn distinguished_in_range() {
+        let _ = Pointed::new(Structure::digraph(2, &[(0, 1)]), vec![5]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Theorem 5.1 in action: classify Boolean graph queries by the shape of
+//! their tableau and print their acyclic approximations.
+//!
+//! Run with `cargo run --example trichotomy_classifier`.
+
+use cq_approx::prelude::*;
+
+fn main() {
+    let suite = [
+        ("triangle", "Q() :- E(x,y), E(y,z), E(z,x)"),
+        ("odd 5-cycle", "Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)"),
+        (
+            "directed 4-cycle",
+            "Q() :- E(a,b), E(b,c), E(c,d), E(d,a)",
+        ),
+        (
+            "oriented 4-cycle (unbalanced)",
+            "Q() :- E(x,y), E(y,z), E(z,u), E(x,u)",
+        ),
+        (
+            "intro Q2 (balanced)",
+            "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
+        ),
+        (
+            "balanced zigzag square",
+            "Q() :- E(x,y), E(z,y), E(z,u), E(x,u)",
+        ),
+    ];
+
+    for (name, body) in suite {
+        let q = parse_cq(body).unwrap();
+        let class = classify_boolean_graph_query(&q);
+        println!("{name}: {q}");
+        println!("  Theorem 5.1 class: {class:?}");
+        let prediction = match class {
+            BooleanTrichotomy::NotBipartite => "only the trivial loop E(x,x)",
+            BooleanTrichotomy::BipartiteUnbalanced => "only the double edge E(x,y),E(y,x)",
+            BooleanTrichotomy::BipartiteBalanced => "nontrivial, loop- and K2-free",
+        };
+        println!("  predicted acyclic approximations: {prediction}");
+        let rep = all_approximations(&q, &TwK(1), &ApproxOptions::default());
+        for a in &rep.approximations {
+            println!(
+                "  computed: {a}   ({} joins vs {} in Q)",
+                a.join_count(),
+                q.join_count()
+            );
+        }
+        println!();
+    }
+}

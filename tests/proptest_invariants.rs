@@ -1,0 +1,137 @@
+//! Property-based tests of the core invariants, on random digraph
+//! queries.
+
+use cq_approx::prelude::*;
+use cqapx_cq::eval::naive::eval_naive;
+use cqapx_structures::{
+    core_of, hom_exists, order, partition::for_each_partition, quotient::quotient_pointed,
+};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+
+/// Strategy: a random small digraph (as edge list over n nodes) whose
+/// every node is used (resampled via active-domain restriction).
+fn digraph_structure(max_n: usize) -> impl Strategy<Value = Structure> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..=(2 * n))
+            .prop_map(move |edges| {
+                let s = Structure::digraph(n, &edges);
+                let (s, _) = s.restrict_to_adom();
+                s
+            })
+            .prop_filter("needs at least one tuple", |s| !s.is_relations_empty())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quotient projections are homomorphisms; hom-composition works.
+    #[test]
+    fn quotients_are_homomorphic_images(s in digraph_structure(6)) {
+        let p = Pointed::boolean(s);
+        let n = p.structure.universe_size();
+        for_each_partition(n, |part| {
+            let (q, h) = quotient_pointed(&p, part);
+            assert!(h.verify(&p.structure, &q.structure));
+            // T_Q → quotient, always.
+            assert!(hom_exists(&p, &q));
+            ControlFlow::Continue(())
+        });
+    }
+
+    /// The core is hom-equivalent to the original and idempotent.
+    #[test]
+    fn core_equivalent_and_idempotent(s in digraph_structure(7)) {
+        let p = Pointed::boolean(s);
+        let r = core_of(&p);
+        prop_assert!(hom_exists(&p, &r.core));
+        prop_assert!(hom_exists(&r.core, &p));
+        let r2 = core_of(&r.core);
+        prop_assert_eq!(r2.iterations, 0);
+    }
+
+    /// Containment duality: Q ⊆ Q' iff the canonical database of Q
+    /// satisfies Q' at x̄ — here specialized to Boolean queries:
+    /// Q ⊆ Q' iff Q'(T_Q) is true.
+    #[test]
+    fn containment_matches_canonical_database(
+        s1 in digraph_structure(5),
+        s2 in digraph_structure(5),
+    ) {
+        let q1 = query_from_tableau(&Pointed::boolean(s1));
+        let q2 = query_from_tableau(&Pointed::boolean(s2));
+        let canonical_of_q1 = tableau_of(&q1).structure;
+        let q2_true_on_canon = !eval_naive(&q2, &canonical_of_q1).is_empty();
+        prop_assert_eq!(contained_in(&q1, &q2), q2_true_on_canon);
+    }
+
+    /// Approximations: soundness + class membership + →-minimality among
+    /// the in-class quotients.
+    #[test]
+    fn approximation_contract(s in digraph_structure(5)) {
+        let q = query_from_tableau(&Pointed::boolean(s));
+        let opts = ApproxOptions::default();
+        let rep = all_approximations(&q, &TwK(1), &opts);
+        prop_assert!(rep.complete);
+        prop_assert!(!rep.approximations.is_empty());
+        let tq = tableau_of(&q);
+        for a in &rep.approximations {
+            prop_assert!(contained_in(a, &q));
+            prop_assert!(TwK(1).contains_tableau(&tableau_of(a)));
+            // No in-class quotient strictly between T_Q and the
+            // approximation.
+            let ta = tableau_of(a);
+            let n = tq.structure.universe_size();
+            for_each_partition(n, |part| {
+                let (cand, _) = quotient_pointed(&tq, part);
+                if TwK(1).contains_tableau(&cand) {
+                    let strictly_between = order::hom_exists(&cand, &ta)
+                        && !order::hom_exists(&ta, &cand);
+                    assert!(!strictly_between, "quotient strictly between");
+                }
+                ControlFlow::Continue(())
+            });
+        }
+    }
+
+    /// Yannakakis agrees with naive evaluation on random acyclic queries
+    /// (generated as random forests of atoms) and random databases.
+    #[test]
+    fn yannakakis_equals_naive(
+        s in digraph_structure(5),
+        db in digraph_structure(8),
+    ) {
+        let q = query_from_tableau(&Pointed::boolean(s));
+        if let Ok(plan) = AcyclicPlan::compile(&q) {
+            let exact = eval_naive(&q, &db);
+            prop_assert_eq!(plan.eval(&db), exact);
+        }
+    }
+
+    /// Theorem 5.1 consistency: the polynomial classifier predicts the
+    /// computed acyclic approximations.
+    #[test]
+    fn trichotomy_consistent(s in digraph_structure(5)) {
+        let q = query_from_tableau(&Pointed::boolean(s));
+        let rep = all_approximations(&q, &TwK(1), &ApproxOptions::default());
+        match classify_boolean_graph_query(&q) {
+            BooleanTrichotomy::NotBipartite => {
+                prop_assert_eq!(rep.approximations.len(), 1);
+                prop_assert_eq!(rep.approximations[0].atom_count(), 1);
+            }
+            BooleanTrichotomy::BipartiteUnbalanced => {
+                prop_assert_eq!(rep.approximations.len(), 1);
+                let k2 = parse_cq("Q() :- E(x,y), E(y,x)").unwrap();
+                prop_assert!(equivalent(&rep.approximations[0], &k2));
+            }
+            BooleanTrichotomy::BipartiteBalanced => {
+                for a in &rep.approximations {
+                    for atom in a.atoms() {
+                        prop_assert_ne!(atom.args[0], atom.args[1]);
+                    }
+                }
+            }
+        }
+    }
+}
