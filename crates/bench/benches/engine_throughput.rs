@@ -1,0 +1,93 @@
+//! E13 hot paths: the serving engine's per-request overhead, the
+//! approximation cache's amortization, and parallel batch throughput.
+
+use cqapx_bench::workloads;
+use cqapx_engine::{ApproxClassChoice, Engine, EngineConfig, EvalMode, Request};
+use cqapx_structures::Structure;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn path_db(n: u32) -> Structure {
+    let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    Structure::digraph(n as usize, &edges)
+}
+
+fn sandwich_config() -> EngineConfig {
+    EngineConfig {
+        naive_cost_budget: 0.0, // force every cyclic query onto the sandwich
+        approx_class: ApproxClassChoice::TwK(1),
+        ..EngineConfig::default()
+    }
+}
+
+/// First-vs-cached approximation: `cold` builds a fresh engine per
+/// iteration (every request recomputes the single-exponential search),
+/// `warm` shares one engine (every request after the first is a cache
+/// hit). The gap between the two medians is the cache's payoff.
+fn bench_cache_amortization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+    let (_, q2) = workloads::serving_suite().pop().expect("suite nonempty");
+    let db = path_db(16);
+
+    group.bench_function("cold_miss_every_time", |b| {
+        b.iter(|| {
+            let engine = Engine::new(sandwich_config());
+            let d = engine.register_database("p", db.clone());
+            let q = engine.prepare_query("q2", q2.clone());
+            engine.execute(&Request {
+                query: q,
+                db: d,
+                mode: EvalMode::CertainOnly,
+                timeout: None,
+            })
+        })
+    });
+
+    let engine = Engine::new(sandwich_config());
+    let d = engine.register_database("p", db.clone());
+    let q = engine.prepare_query("q2", q2.clone());
+    engine.execute(&Request {
+        query: q,
+        db: d,
+        mode: EvalMode::CertainOnly,
+        timeout: None,
+    }); // prime the cache
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| {
+            engine.execute(&Request {
+                query: q,
+                db: d,
+                mode: EvalMode::CertainOnly,
+                timeout: None,
+            })
+        })
+    });
+    group.finish();
+}
+
+/// Mixed-suite batches at increasing sizes: wall time per batch (the
+/// printed median divided by the batch size is per-request latency).
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    let engine = Engine::new(EngineConfig::default());
+    let db_a = engine.register_database("path", path_db(24));
+    let db_b = engine.register_database("dag", workloads::layered_dag(6, 6, 0.5, 11));
+    let ids: Vec<_> = workloads::serving_suite()
+        .into_iter()
+        .map(|(name, q)| engine.prepare_query(name, q))
+        .collect();
+
+    for batch in [16usize, 64, 256] {
+        let reqs: Vec<Request> = (0..batch)
+            .map(|i| Request::new(ids[i % ids.len()], if i % 2 == 0 { db_a } else { db_b }))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("mixed_suite", batch), &reqs, |b, reqs| {
+            b.iter(|| engine.execute_batch(reqs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_amortization, bench_batch_throughput);
+criterion_main!(benches);

@@ -21,9 +21,11 @@ fn bench_speedup(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive_Q", layers), &db, |b, db| {
             b.iter(|| eval_boolean_naive(&q, db))
         });
-        group.bench_with_input(BenchmarkId::new("yannakakis_Qprime", layers), &db, |b, db| {
-            b.iter(|| plan.eval_boolean(db))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis_Qprime", layers),
+            &db,
+            |b, db| b.iter(|| plan.eval_boolean(db)),
+        );
     }
     group.finish();
 }

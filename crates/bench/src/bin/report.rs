@@ -9,7 +9,10 @@
 //! ```
 //!
 //! Experiment ids: fig1 fig2 prop44 trichotomy speedup tight nonboolean
-//! twk strong hyper dp ablation
+//! twk strong hyper dp ablation engine
+//!
+//! The `engine` experiment additionally writes `BENCH_engine.json`
+//! (queries/sec, cache hit rate) for machine-readable perf tracking.
 
 use cqapx_bench as bench;
 
@@ -28,6 +31,7 @@ fn main() {
         "hyper",
         "dp",
         "ablation",
+        "engine",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -48,6 +52,7 @@ fn main() {
             "hyper" => bench::exp_hyper(),
             "dp" => bench::exp_dp(),
             "ablation" => bench::exp_ablation(),
+            "engine" => bench::exp_engine(),
             other => {
                 eprintln!("unknown experiment id {other}; known: {all:?}");
                 std::process::exit(2);

@@ -86,6 +86,34 @@ pub fn random_relation_db(n: usize, arity: usize, tuples: usize, seed: u64) -> S
     b.finish()
 }
 
+/// The query mix for the engine-serving benchmarks: acyclic shapes the
+/// planner sends to Yannakakis, cheap cyclic shapes it evaluates
+/// naively, and an expensive cyclic shape (the introduction's `Q2`) that
+/// exercises the approximation sandwich and its cache.
+pub fn serving_suite() -> Vec<(&'static str, ConjunctiveQuery)> {
+    vec![
+        (
+            "two_hop (acyclic)",
+            parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap(),
+        ),
+        (
+            "triangle_members (cyclic)",
+            parse_cq("Q(x) :- E(x, y), E(y, z), E(z, x)").unwrap(),
+        ),
+        (
+            "c4 (cyclic)",
+            parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap(),
+        ),
+        (
+            "intro Q2 (expensive)",
+            parse_cq(
+                "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
 /// A random cyclic Boolean graph query with `n` variables whose tableau
 /// is connected (resampled until cyclic).
 pub fn random_cyclic_query(n: usize, seed: u64) -> ConjunctiveQuery {
@@ -100,7 +128,9 @@ pub fn random_cyclic_query(n: usize, seed: u64) -> ConjunctiveQuery {
                 return q;
             }
         }
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
 }
 
@@ -112,8 +142,7 @@ mod tests {
     fn fig1_suite_is_cyclic() {
         for (name, q) in fig1_suite() {
             assert!(
-                !cqapx_cq::classes::is_acyclic_query(&q)
-                    || cqapx_cq::treewidth_of_query(&q) > 1,
+                !cqapx_cq::classes::is_acyclic_query(&q) || cqapx_cq::treewidth_of_query(&q) > 1,
                 "{name} should be outside TW(1) or AC"
             );
         }
@@ -124,7 +153,9 @@ mod tests {
         let d = layered_dag(4, 5, 0.5, 7);
         let g = Digraph::from_structure(&d);
         // no directed cycle: topological by layers
-        assert!(g.edges().all(|(u, v)| (u as usize) / 5 < (v as usize) / 5 + 1));
+        assert!(g
+            .edges()
+            .all(|(u, v)| (u as usize) / 5 < (v as usize) / 5 + 1));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Local stand-in for the slice of `proptest` this workspace's property
+//! tests use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`/`prop_flat_map`/`prop_filter`, integer-range and tuple
+//! strategies, [`collection::vec`]/[`collection::btree_set`],
+//! [`arbitrary::any`], the `proptest!`/`prop_assert*`/`prop_assume!`
+//! macros, and `ProptestConfig::with_cases`.
+//!
+//! Semantics: each test function runs `cases` deterministic
+//! pseudo-random cases (seeded from the test's name, so failures
+//! reproduce across runs). Rejections — `prop_filter` misses and
+//! `prop_assume!` failures — are retried with a global cap. **No
+//! shrinking**: a failing case panics with the seed index so it can be
+//! re-run; the real proptest can be swapped back in via Cargo.toml alone.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual glob import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Rejects the current case (it is re-drawn, not counted) when the
+/// condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Declares property tests: a block of `#[test]` functions whose
+/// arguments are drawn from strategies, with an optional
+/// `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let strategies = ( $( $strat, )+ );
+                let mut accepted: u32 = 0;
+                let mut drawn: u32 = 0;
+                while accepted < config.cases {
+                    drawn += 1;
+                    assert!(
+                        drawn < config.cases.saturating_mul(20) + 1000,
+                        "too many rejected samples in {} ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases
+                    );
+                    // Fresh tuple binding each draw; any strategy rejection
+                    // re-draws the whole case.
+                    let ( $( $arg, )+ ) = {
+                        let ( $( ref $arg, )+ ) = strategies;
+                        (
+                            $(
+                                match $crate::strategy::Strategy::generate($arg, &mut rng) {
+                                    Some(v) => v,
+                                    None => continue,
+                                },
+                            )+
+                        )
+                    };
+                    let case = drawn;
+                    let counted = (move || -> bool {
+                        let _ = case;
+                        $body
+                        #[allow(unreachable_code)]
+                        true
+                    })();
+                    if counted {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}

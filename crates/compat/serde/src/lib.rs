@@ -1,0 +1,14 @@
+//! Local stand-in for `serde` (see `serde_derive` for why it exists).
+//!
+//! Exposes the two marker traits and their (no-op) derive macros under the
+//! usual names, so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Swapping in the
+//! real serde later requires only a Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no crate-registry access, so this workspace
+//! vendors the tiny slice of the serde surface it actually uses. The code
+//! base only *derives* `Serialize`/`Deserialize` (nothing serializes yet);
+//! these derives therefore expand to nothing, keeping the annotations
+//! compiling until a real serde can be dropped in.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted wherever `#[derive(Serialize)]` appears.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted wherever `#[derive(Deserialize)]` appears.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -29,7 +29,7 @@
 
 use crate::classes::{ClassKind, QueryClass};
 use cqapx_cq::{query_from_tableau, tableau_of, ConjunctiveQuery};
-use cqapx_structures::iso::isomorphic_pointed;
+use cqapx_structures::iso::{isomorphic_pointed, signature_pointed, IsoSignature};
 use cqapx_structures::{
     core_of, order, partition::for_each_partition, quotient::quotient_pointed, Partition, Pointed,
     StructureBuilder,
@@ -38,7 +38,12 @@ use std::collections::HashSet;
 use std::ops::ControlFlow;
 
 /// Tuning knobs for the approximation search.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq`/`Hash` are derived so the whole struct can sit
+/// inside [`ApproxCacheKey`]: every field influences the result, and
+/// embedding the struct (rather than a hand-picked fingerprint) keeps
+/// future fields automatically part of the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ApproxOptions {
     /// Cap on the number of partitions enumerated (Bell(n) grows fast).
     /// When hit, the result is still sound but flagged incomplete.
@@ -81,8 +86,44 @@ pub struct ApproxReport {
     pub complete: bool,
 }
 
+/// A stable, hashable cache key for approximation results: the tableau's
+/// isomorphism-invariant signature plus the class name and an options
+/// fingerprint.
+///
+/// Two queries whose tableaux are isomorphic (same query up to variable
+/// renaming) produce equal keys, so a cache keyed by `ApproxCacheKey` can
+/// share one [`ApproxReport`] between them. Signature equality is
+/// necessary but not sufficient for isomorphism, so a cache must confirm
+/// candidate hits with `isomorphic_pointed` against a stored
+/// representative tableau — see `cqapx-engine`'s approximation cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ApproxCacheKey {
+    /// Isomorphism-invariant signature of the query tableau.
+    pub signature: IsoSignature,
+    /// The class name, e.g. `"TW(1)"` (classes are identified by name).
+    pub class: String,
+    /// The [`ApproxOptions`] the result was computed under.
+    pub options: ApproxOptions,
+}
+
+impl ApproxCacheKey {
+    /// Builds the key for approximating tableau `t` within `class` under
+    /// `opts`.
+    pub fn new(t: &Pointed, class: &dyn QueryClass, opts: &ApproxOptions) -> ApproxCacheKey {
+        ApproxCacheKey {
+            signature: signature_pointed(t),
+            class: class.name(),
+            options: opts.clone(),
+        }
+    }
+}
+
 /// Enumerates the in-class candidate tableaux for a query tableau.
-fn candidates(t: &Pointed, class: &dyn QueryClass, opts: &ApproxOptions) -> (Vec<Pointed>, u64, bool) {
+fn candidates(
+    t: &Pointed,
+    class: &dyn QueryClass,
+    opts: &ApproxOptions,
+) -> (Vec<Pointed>, u64, bool) {
     let n = t.structure.universe_size();
     let mut seen: HashSet<Pointed> = HashSet::new();
     let mut out: Vec<Pointed> = Vec::new();
@@ -231,10 +272,7 @@ pub fn repairs_public(qt: &Pointed, class: &dyn QueryClass, opts: &ApproxOptions
                 let mut subset = base.clone();
                 subset.push(i);
                 // skip supersets of known hits (inclusion-minimality)
-                if hits
-                    .iter()
-                    .any(|h| h.iter().all(|x| subset.contains(x)))
-                {
+                if hits.iter().any(|h| h.iter().all(|x| subset.contains(x))) {
                     continue;
                 }
                 let cand = build(&subset);
@@ -522,7 +560,10 @@ mod tests {
         assert!(
             rep.approximations.iter().any(|a| equivalent(a, &expected)),
             "got {:?}",
-            rep.approximations.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+            rep.approximations
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         );
     }
 

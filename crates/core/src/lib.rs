@@ -36,8 +36,8 @@ pub mod trichotomy;
 pub mod trivial;
 
 pub use approx::{
-    all_approximations, all_approximations_tableaux, one_approximation, ApproxOptions,
-    ApproxReport,
+    all_approximations, all_approximations_tableaux, one_approximation, ApproxCacheKey,
+    ApproxOptions, ApproxReport,
 };
 pub use classes::{Acyclic, HtwK, QueryClass, TwK};
 pub use identify::is_approximation;

@@ -234,10 +234,7 @@ mod tests {
         let q = parse_cq("Q(a) :- E(a,b), E(b,c), E(c,a)").unwrap();
         let (under, over) = sandwich(&q, &TwK(1), &crate::approx::ApproxOptions::default());
         let over = over.unwrap();
-        let d = Structure::digraph(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)],
-        );
+        let d = Structure::digraph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
         let a_under = eval::naive::eval_naive(&under, &d);
         let a_exact = eval::naive::eval_naive(&q, &d);
         let a_over = eval::naive::eval_naive(&over, &d);

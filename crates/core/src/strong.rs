@@ -221,12 +221,7 @@ pub fn prop_5_14_queries(k: usize) -> (ConjunctiveQuery, ConjunctiveQuery) {
         args[pos] = 0;
         atoms.push(Atom { rel, args });
     }
-    let q_prime = ConjunctiveQuery::new(
-        vocab,
-        vec!["x".into(), "y".into()],
-        vec![],
-        atoms,
-    );
+    let q_prime = ConjunctiveQuery::new(vocab, vec!["x".into(), "y".into()], vec![], atoms);
     (q, q_prime)
 }
 
@@ -309,7 +304,10 @@ mod tests {
         assert!(
             rep.approximations.iter().any(|a| equivalent(a, &qp)),
             "Q' among the TW(1)-approximations: {:?}",
-            rep.approximations.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+            rep.approximations
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -350,7 +348,10 @@ mod tests {
         assert!(
             rep.approximations.iter().any(|a| equivalent(a, &qp)),
             "Q' must be a TW(1)-approximation of the generated Q; got {:?}",
-            rep.approximations.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+            rep.approximations
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         );
     }
 

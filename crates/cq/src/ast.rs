@@ -55,7 +55,10 @@ impl ConjunctiveQuery {
         free: Vec<VarId>,
         atoms: Vec<Atom>,
     ) -> Self {
-        assert!(!atoms.is_empty(), "conjunctive queries need at least one atom");
+        assert!(
+            !atoms.is_empty(),
+            "conjunctive queries need at least one atom"
+        );
         let n = var_names.len() as VarId;
         for a in &atoms {
             assert_eq!(

@@ -1,0 +1,113 @@
+//! The [`Evaluator`] trait: one interface over the naive backtracking
+//! join and compiled Yannakakis plans, so engines and planners can pick a
+//! strategy per (query, database) pair and swap it without touching call
+//! sites.
+
+use crate::ast::ConjunctiveQuery;
+use crate::eval::naive::{eval_boolean_naive, eval_naive};
+use crate::eval::yannakakis::AcyclicPlan;
+use cqapx_structures::{Element, Structure};
+use std::collections::BTreeSet;
+
+/// A prepared evaluation strategy for one conjunctive query.
+///
+/// Implementations must agree on semantics: `eval` returns exactly
+/// `Q(D)` in head order, and `eval_boolean` is `!eval(d).is_empty()`
+/// (possibly computed faster).
+pub trait Evaluator {
+    /// The query this evaluator answers.
+    fn query(&self) -> &ConjunctiveQuery;
+
+    /// Evaluates `Q(D)`: the full answer set, tuples in head order.
+    fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>>;
+
+    /// Decides `Q(D) ≠ ∅`.
+    fn eval_boolean(&self, d: &Structure) -> bool {
+        !self.eval(d).is_empty()
+    }
+
+    /// A short display name for plans/stats, e.g. `"naive"`.
+    fn strategy_name(&self) -> &'static str;
+}
+
+/// The backtracking-join evaluator; works for every CQ.
+#[derive(Debug, Clone)]
+pub struct NaiveEvaluator {
+    query: ConjunctiveQuery,
+}
+
+impl NaiveEvaluator {
+    /// Wraps a query for naive evaluation.
+    pub fn new(query: ConjunctiveQuery) -> Self {
+        NaiveEvaluator { query }
+    }
+}
+
+impl Evaluator for NaiveEvaluator {
+    fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
+        eval_naive(&self.query, d)
+    }
+
+    fn eval_boolean(&self, d: &Structure) -> bool {
+        eval_boolean_naive(&self.query, d)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+impl Evaluator for AcyclicPlan {
+    fn query(&self) -> &ConjunctiveQuery {
+        AcyclicPlan::query(self)
+    }
+
+    fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
+        AcyclicPlan::eval(self, d)
+    }
+
+    fn eval_boolean(&self, d: &Structure) -> bool {
+        AcyclicPlan::eval_boolean(self, d)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "yannakakis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn trait_objects_agree() {
+        let q = parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap();
+        let d = Structure::digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)]);
+        let evals: Vec<Box<dyn Evaluator>> = vec![
+            Box::new(NaiveEvaluator::new(q.clone())),
+            Box::new(AcyclicPlan::compile(&q).unwrap()),
+        ];
+        let expected = evals[0].eval(&d);
+        assert!(!expected.is_empty());
+        for e in &evals {
+            assert_eq!(e.eval(&d), expected, "{}", e.strategy_name());
+            assert!(e.eval_boolean(&d), "{}", e.strategy_name());
+            assert_eq!(e.query().to_string(), q.to_string());
+        }
+    }
+
+    #[test]
+    fn default_boolean_matches_eval() {
+        let q = parse_cq("Q() :- E(x, y), E(y, x)").unwrap();
+        let yes = Structure::digraph(2, &[(0, 1), (1, 0)]);
+        let no = Structure::digraph(2, &[(0, 1)]);
+        let n = NaiveEvaluator::new(q);
+        assert!(n.eval_boolean(&yes));
+        assert!(!n.eval_boolean(&no));
+    }
+}

@@ -1,8 +1,10 @@
 //! Query evaluation: naive backtracking and Yannakakis for acyclic CQs.
 
+pub mod evaluator;
 pub mod naive;
 pub mod relation;
 pub mod yannakakis;
 
+pub use evaluator::{Evaluator, NaiveEvaluator};
 pub use naive::{eval_boolean_naive, eval_naive};
 pub use yannakakis::{AcyclicPlan, NotAcyclic};

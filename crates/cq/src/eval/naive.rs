@@ -69,10 +69,7 @@ mod tests {
         let q = parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap();
         let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
         let ans = eval_naive(&q, &d);
-        assert_eq!(
-            ans,
-            [vec![0, 2], vec![1, 3]].into_iter().collect()
-        );
+        assert_eq!(ans, [vec![0, 2], vec![1, 3]].into_iter().collect());
         assert!(contains_answer(&q, &d, &[0, 2]));
         assert!(!contains_answer(&q, &d, &[0, 3]));
     }

@@ -96,21 +96,46 @@ impl VarRelation {
         let their_extra_pos = other.positions(&extra);
         let my_shared_pos = self.positions(&shared);
 
-        // Hash the smaller relation? Hash `other` grouped by shared key.
-        let mut index: HashMap<Vec<Element>, Vec<Vec<Element>>> = HashMap::new();
-        for r in &other.rows {
-            index
-                .entry(Self::key(r, &their_shared_pos))
-                .or_default()
-                .push(Self::key(r, &their_extra_pos));
-        }
+        // Hash the smaller relation, probe with the larger: the index is
+        // the memory-resident side, so build it on whichever input has
+        // fewer rows. Output rows are `self`-schema columns followed by
+        // `other`'s extra columns either way.
         let mut rows = HashSet::new();
-        for r in &self.rows {
-            if let Some(matches) = index.get(&Self::key(r, &my_shared_pos)) {
-                for ext in matches {
-                    let mut row = r.clone();
-                    row.extend_from_slice(ext);
-                    rows.insert(row);
+        if self.rows.len() <= other.rows.len() {
+            // Build on `self`, probe with `other`.
+            let mut index: HashMap<Vec<Element>, Vec<&Vec<Element>>> = HashMap::new();
+            for r in &self.rows {
+                index
+                    .entry(Self::key(r, &my_shared_pos))
+                    .or_default()
+                    .push(r);
+            }
+            for r in &other.rows {
+                if let Some(matches) = index.get(&Self::key(r, &their_shared_pos)) {
+                    let ext = Self::key(r, &their_extra_pos);
+                    for &mine in matches {
+                        let mut row = mine.clone();
+                        row.extend_from_slice(&ext);
+                        rows.insert(row);
+                    }
+                }
+            }
+        } else {
+            // Build on `other`, probe with `self`.
+            let mut index: HashMap<Vec<Element>, Vec<Vec<Element>>> = HashMap::new();
+            for r in &other.rows {
+                index
+                    .entry(Self::key(r, &their_shared_pos))
+                    .or_default()
+                    .push(Self::key(r, &their_extra_pos));
+            }
+            for r in &self.rows {
+                if let Some(matches) = index.get(&Self::key(r, &my_shared_pos)) {
+                    for ext in matches {
+                        let mut row = r.clone();
+                        row.extend_from_slice(ext);
+                        rows.insert(row);
+                    }
                 }
             }
         }
@@ -143,10 +168,7 @@ impl VarRelation {
     /// head variables allowed).
     pub fn rows_in_head_order(&self, head: &[VarId]) -> BTreeSet<Vec<Element>> {
         let positions = self.positions(head);
-        self.rows
-            .iter()
-            .map(|r| Self::key(r, &positions))
-            .collect()
+        self.rows.iter().map(|r| Self::key(r, &positions)).collect()
     }
 }
 
@@ -199,6 +221,36 @@ mod tests {
         let b = rel(&[1], &[&[7], &[8]]);
         let j = a.join(&b);
         assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_builds_on_smaller_side() {
+        // Regression for the build-side choice: results must be identical
+        // whichever operand is smaller, and identical to the flipped join
+        // modulo column order.
+        let small = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let big = rel(
+            &[1, 2],
+            &[&[2, 5], &[2, 6], &[4, 7], &[9, 9], &[8, 8], &[7, 7]],
+        );
+        let j1 = small.join(&big); // builds on `small`
+        let j2 = big.join(&small); // builds on `small` (still the smaller)
+        assert_eq!(j1.schema, vec![0, 1, 2]);
+        assert_eq!(j2.schema, vec![1, 2, 0]);
+        assert_eq!(j1.len(), 3);
+        // Same rows up to column permutation.
+        assert_eq!(
+            j1.rows_in_head_order(&[0, 1, 2]),
+            j2.rows_in_head_order(&[0, 1, 2])
+        );
+        // Equal-size operands exercise the build-on-self branch boundary.
+        let even = rel(&[1, 2], &[&[2, 5], &[4, 7]]);
+        let j3 = small.join(&even);
+        let j4 = even.join(&small);
+        assert_eq!(
+            j3.rows_in_head_order(&[0, 1, 2]),
+            j4.rows_in_head_order(&[0, 1, 2])
+        );
     }
 
     #[test]

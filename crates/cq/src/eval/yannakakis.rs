@@ -111,8 +111,7 @@ impl AcyclicPlan {
             'tuples: for t in d.tuples(atom.rel) {
                 // Bind variables left to right; reject inconsistent
                 // repetitions (e.g. R(x, x, y) against (1, 2, 3)).
-                let mut binding: Vec<Option<Element>> =
-                    vec![None; self.query.var_count()];
+                let mut binding: Vec<Option<Element>> = vec![None; self.query.var_count()];
                 for (&v, &val) in atom.args.iter().zip(t.iter()) {
                     match binding[v as usize] {
                         None => binding[v as usize] = Some(val),
@@ -256,10 +255,7 @@ mod tests {
 
     #[test]
     fn path_queries_agree() {
-        let d = Structure::digraph(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (5, 0)],
-        );
+        let d = Structure::digraph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (5, 0)]);
         check_agrees("Q(x, w) :- E(x, y), E(y, z), E(z, w)", &d);
         check_agrees("Q() :- E(x, y), E(y, z)", &d);
         check_agrees("Q(y) :- E(x, y), E(y, z)", &d);
@@ -323,10 +319,7 @@ mod tests {
         let q = parse_cq("Q(a, d) :- E(a, b), E(b, c), E(c, d)").unwrap();
         let plan = AcyclicPlan::compile(&q).unwrap();
         // A long "comb" with dead ends.
-        let d = Structure::digraph(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 6)],
-        );
+        let d = Structure::digraph(7, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 6)]);
         assert_eq!(plan.eval(&d), eval_naive(&q, &d));
     }
 }

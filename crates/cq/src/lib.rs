@@ -31,10 +31,13 @@ pub mod classes;
 pub mod containment;
 pub mod eval;
 pub mod parser;
+pub mod shape;
 pub mod tableau;
 
 pub use ast::{Atom, ConjunctiveQuery, VarId};
 pub use classes::{hypergraph_of, query_graph, treewidth_of_query};
 pub use containment::{contained_in, equivalent, is_minimized, minimize, strictly_contained_in};
+pub use eval::{Evaluator, NaiveEvaluator};
 pub use parser::parse_cq;
+pub use shape::QueryShape;
 pub use tableau::{query_from_tableau, tableau_of};

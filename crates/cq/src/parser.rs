@@ -241,11 +241,7 @@ fn assemble(
     let mut atoms = Vec::with_capacity(raw.len());
     for a in &raw {
         let rel = vocab.rel(&a.name).expect("checked above");
-        let args = a
-            .args
-            .iter()
-            .map(|s| intern(s, &mut var_ids))
-            .collect();
+        let args = a.args.iter().map(|s| intern(s, &mut var_ids)).collect();
         atoms.push(Atom { rel, args });
     }
     // Head variables must occur in the body (safety).

@@ -1,0 +1,101 @@
+//! Plan-relevant query metadata, computed once per prepared query.
+//!
+//! A [`QueryShape`] gathers everything a cost-based planner wants to know
+//! about a CQ *before* seeing any database: size measures, per-relation
+//! atom counts, and membership in the cheap-to-evaluate classes. The class
+//! checks are the expensive part (treewidth is exponential in the width),
+//! so the shape is meant to be computed at prepare time and cached
+//! alongside the query.
+
+use crate::ast::ConjunctiveQuery;
+use crate::classes::{is_acyclic_query, treewidth_of_query};
+use cqapx_structures::RelId;
+
+/// Static, database-independent facts about a query that drive planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryShape {
+    /// Number of variables `|Q|` (the paper's size measure).
+    pub var_count: usize,
+    /// Number of body atoms `m`.
+    pub atom_count: usize,
+    /// Head arity (0 for Boolean queries).
+    pub arity: usize,
+    /// `m − 1`, the join count.
+    pub join_count: usize,
+    /// Largest atom arity occurring in the body.
+    pub max_atom_arity: usize,
+    /// `Q ∈ AC`: an acyclic query evaluates in `O(|D|·|Q|)` via
+    /// Yannakakis — the planner's first choice.
+    pub acyclic: bool,
+    /// Treewidth of `G(Q)`; small width keeps even the naive join cheap
+    /// (`|D|^(tw+1)`-flavored instead of `|D|^|Q|`).
+    pub treewidth: usize,
+    /// Relations mentioned in the body, with their atom multiplicity,
+    /// sorted by `RelId`. Joined against per-database relation statistics
+    /// at plan time.
+    pub rel_uses: Vec<(RelId, usize)>,
+}
+
+impl QueryShape {
+    /// Computes the shape of a query. Cost: one GYO pass plus one exact
+    /// treewidth computation on `G(Q)` — intended for prepare time, not
+    /// per request.
+    pub fn of(q: &ConjunctiveQuery) -> QueryShape {
+        let mut rel_uses: Vec<(RelId, usize)> = Vec::new();
+        let mut max_atom_arity = 0;
+        for a in q.atoms() {
+            max_atom_arity = max_atom_arity.max(a.args.len());
+            match rel_uses.iter_mut().find(|(r, _)| *r == a.rel) {
+                Some((_, n)) => *n += 1,
+                None => rel_uses.push((a.rel, 1)),
+            }
+        }
+        rel_uses.sort_by_key(|&(r, _)| r.index());
+        QueryShape {
+            var_count: q.var_count(),
+            atom_count: q.atom_count(),
+            arity: q.arity(),
+            join_count: q.join_count(),
+            max_atom_arity,
+            acyclic: is_acyclic_query(q),
+            treewidth: treewidth_of_query(q),
+            rel_uses,
+        }
+    }
+
+    /// A crude upper bound on the exponent of naive evaluation,
+    /// `|D|^O(exponent)`: the number of variables.
+    pub fn naive_exponent(&self) -> usize {
+        self.var_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn shape_of_triangle() {
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let s = QueryShape::of(&q);
+        assert_eq!(s.var_count, 3);
+        assert_eq!(s.atom_count, 3);
+        assert_eq!(s.arity, 0);
+        assert_eq!(s.join_count, 2);
+        assert_eq!(s.max_atom_arity, 2);
+        assert!(!s.acyclic);
+        assert_eq!(s.treewidth, 2);
+        assert_eq!(s.rel_uses.len(), 1);
+        assert_eq!(s.rel_uses[0].1, 3);
+    }
+
+    #[test]
+    fn shape_of_path() {
+        let q = parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap();
+        let s = QueryShape::of(&q);
+        assert!(s.acyclic);
+        assert_eq!(s.treewidth, 1);
+        assert_eq!(s.arity, 2);
+    }
+}

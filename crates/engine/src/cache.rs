@@ -1,0 +1,258 @@
+//! The approximation cache: the single-exponential `C`-approximation
+//! search runs **once per query-isomorphism-class**, and every later
+//! request — same query text, renamed variables, or a different prepared
+//! query with an isomorphic tableau — reuses the `ApproxReport` and its
+//! compiled evaluation plans.
+//!
+//! Keying is two-level, reusing `cqapx_structures::iso`:
+//!
+//! 1. an [`ApproxCacheKey`] — the tableau's isomorphism-*invariant*
+//!    signature plus class name and option fingerprint — buckets
+//!    candidates in a hash map;
+//! 2. within a bucket, [`isomorphic_pointed`] against each entry's stored
+//!    representative tableau confirms the hit exactly (signatures can
+//!    collide; isomorphism cannot).
+
+use cqapx_core::{
+    all_approximations_tableaux, ApproxCacheKey, ApproxOptions, ApproxReport, QueryClass,
+};
+use cqapx_cq::eval::{AcyclicPlan, Evaluator, NaiveEvaluator};
+use cqapx_cq::query_from_tableau;
+use cqapx_structures::iso::isomorphic_pointed;
+use cqapx_structures::Pointed;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A cached approximation result: the report plus one ready evaluator per
+/// approximation (Yannakakis when the approximation is acyclic, naive
+/// backtracking otherwise — still cheap, the approximation is in-class).
+pub struct CachedApproximation {
+    /// The full approximation report (sound under-approximations of the
+    /// represented query, →-maximal within the class).
+    pub report: ApproxReport,
+    /// One evaluator per `report.approximations[i]`.
+    pub evaluators: Vec<Arc<dyn Evaluator + Send + Sync>>,
+    /// Wall time of the (single) computation this entry amortizes.
+    pub compute_time: Duration,
+}
+
+struct Entry {
+    representative: Arc<Pointed>,
+    value: Arc<CachedApproximation>,
+}
+
+/// A concurrent map from canonicalized tableaux to shared
+/// [`CachedApproximation`]s.
+///
+/// The bucket map's lock is held only for pointer-sized snapshots and
+/// inserts; the isomorphism confirmations (worst-case exponential
+/// backtracking) run outside it, so one pathological pair never stalls
+/// unrelated requests.
+#[derive(Default)]
+pub struct ApproxCache {
+    buckets: Mutex<HashMap<ApproxCacheKey, Vec<Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ApproxCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ApproxCache::default()
+    }
+
+    /// Returns the cached approximation of `t` within `class` under
+    /// `opts`, computing and inserting it on a miss. The `bool` is `true`
+    /// on a hit.
+    ///
+    /// The expensive computation runs outside the cache lock; two racing
+    /// misses on the same tableau both compute, and the loser either
+    /// adopts the incumbent or (if the insert interleaves) adds a benign
+    /// duplicate entry — both values are correct for every isomorphic
+    /// tableau, so duplicates cost memory, never answers.
+    pub fn get_or_compute(
+        &self,
+        t: &Pointed,
+        class: &dyn QueryClass,
+        opts: &ApproxOptions,
+    ) -> (Arc<CachedApproximation>, bool) {
+        let key = ApproxCacheKey::new(t, class, opts);
+        if let Some(v) = self.confirm(self.snapshot(&key), t) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (v, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let start = Instant::now();
+        let (tableaux, meta) = all_approximations_tableaux(t, class, opts);
+        let approximations: Vec<_> = tableaux.iter().map(query_from_tableau).collect();
+        let evaluators: Vec<Arc<dyn Evaluator + Send + Sync>> = approximations
+            .iter()
+            .map(|q| match AcyclicPlan::compile(q) {
+                Ok(plan) => Arc::new(plan) as Arc<dyn Evaluator + Send + Sync>,
+                Err(_) => Arc::new(NaiveEvaluator::new(q.clone())),
+            })
+            .collect();
+        let value = Arc::new(CachedApproximation {
+            report: ApproxReport {
+                approximations,
+                tableaux,
+                candidates: meta.candidates,
+                partitions: meta.partitions,
+                complete: meta.complete,
+            },
+            evaluators,
+            compute_time: start.elapsed(),
+        });
+
+        // Racing computation may have landed first; adopt the incumbent
+        // (isomorphism checked outside the lock on a snapshot).
+        if let Some(v) = self.confirm(self.snapshot(&key), t) {
+            return (v, false);
+        }
+        let mut buckets = self.buckets.lock().expect("cache lock poisoned");
+        buckets.entry(key).or_default().push(Entry {
+            representative: Arc::new(t.clone()),
+            value: Arc::clone(&value),
+        });
+        (value, false)
+    }
+
+    /// Peeks for a cached approximation without ever computing one —
+    /// the safe probe for paths that are already over a deadline.
+    /// Counts as a hit when it finds an entry; a fruitless peek is not
+    /// counted as a miss (no computation was skipped or run).
+    pub fn lookup_only(
+        &self,
+        t: &Pointed,
+        class: &dyn QueryClass,
+        opts: &ApproxOptions,
+    ) -> Option<Arc<CachedApproximation>> {
+        let key = ApproxCacheKey::new(t, class, opts);
+        let found = self.confirm(self.snapshot(&key), t);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Clones a bucket's entries under the lock (Arc bumps only).
+    fn snapshot(&self, key: &ApproxCacheKey) -> Vec<(Arc<Pointed>, Arc<CachedApproximation>)> {
+        let buckets = self.buckets.lock().expect("cache lock poisoned");
+        buckets
+            .get(key)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|e| (Arc::clone(&e.representative), Arc::clone(&e.value)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Confirms a bucket hit by exact isomorphism, outside any lock.
+    fn confirm(
+        &self,
+        entries: Vec<(Arc<Pointed>, Arc<CachedApproximation>)>,
+        t: &Pointed,
+    ) -> Option<Arc<CachedApproximation>> {
+        entries
+            .into_iter()
+            .find(|(rep, _)| isomorphic_pointed(rep, t))
+            .map(|(_, v)| v)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= computations run) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached isomorphism classes.
+    pub fn len(&self) -> usize {
+        self.buckets
+            .lock()
+            .expect("cache lock poisoned")
+            .values()
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters keep their values).
+    pub fn clear(&self) {
+        self.buckets.lock().expect("cache lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqapx_core::TwK;
+    use cqapx_cq::{parse_cq, tableau_of};
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ApproxCache::new();
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let t = tableau_of(&q);
+        let opts = ApproxOptions::default();
+        let (a, hit_a) = cache.get_or_compute(&t, &TwK(1), &opts);
+        let (b, hit_b) = cache.get_or_compute(&t, &TwK(1), &opts);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn isomorphic_queries_share_an_entry() {
+        let cache = ApproxCache::new();
+        let q1 = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let q2 = parse_cq("Q() :- E(b,c), E(c,a), E(a,b)").unwrap(); // renamed
+        let opts = ApproxOptions::default();
+        let (a, _) = cache.get_or_compute(&tableau_of(&q1), &TwK(1), &opts);
+        let (b, hit) = cache.get_or_compute(&tableau_of(&q2), &TwK(1), &opts);
+        assert!(hit, "isomorphic tableau must hit");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_class_is_a_different_entry() {
+        let cache = ApproxCache::new();
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let t = tableau_of(&q);
+        let opts = ApproxOptions::default();
+        cache.get_or_compute(&t, &TwK(1), &opts);
+        let (_, hit) = cache.get_or_compute(&t, &TwK(2), &opts);
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_evaluators_are_sound() {
+        use cqapx_structures::Structure;
+        let cache = ApproxCache::new();
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let (c, _) = cache.get_or_compute(&tableau_of(&q), &TwK(1), &ApproxOptions::default());
+        // The triangle's TW(1)-approximation is E(x,x): true iff a loop.
+        let looped = Structure::digraph(2, &[(0, 0), (0, 1)]);
+        let plain = Structure::digraph(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(c.report.approximations.len(), 1);
+        assert!(c.evaluators[0].eval_boolean(&looped));
+        assert!(!c.evaluators[0].eval_boolean(&plain));
+    }
+}

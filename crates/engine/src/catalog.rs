@@ -1,0 +1,223 @@
+//! The catalog: named registered databases (with relation statistics)
+//! and prepared queries (with plan-relevant metadata).
+//!
+//! Registration is the expensive, once-per-object step: databases get
+//! per-relation statistics scanned, queries get their [`QueryShape`]
+//! computed (class membership, treewidth) and — when acyclic — a
+//! Yannakakis plan compiled. Execution then only reads `Arc`-shared
+//! entries.
+
+use cqapx_cq::eval::AcyclicPlan;
+use cqapx_cq::{tableau_of, ConjunctiveQuery, QueryShape};
+use cqapx_structures::{Pointed, RelId, Structure};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Handle of a registered database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DbId(pub usize);
+
+/// Handle of a prepared query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub usize);
+
+/// Per-relation statistics of a registered database, the planner's cost
+/// inputs.
+#[derive(Debug, Clone)]
+pub struct RelationStats {
+    /// The relation.
+    pub rel: RelId,
+    /// Number of tuples.
+    pub cardinality: usize,
+    /// Distinct values per column (length = arity).
+    pub distinct_per_column: Vec<usize>,
+}
+
+/// A database registered in the catalog.
+#[derive(Debug)]
+pub struct DatabaseEntry {
+    /// Registration name.
+    pub name: String,
+    /// The structure itself.
+    pub structure: Arc<Structure>,
+    /// Per-relation statistics, in `RelId` order.
+    pub stats: Vec<RelationStats>,
+    /// Active-domain size.
+    pub adom_size: usize,
+}
+
+impl DatabaseEntry {
+    /// The statistics of one relation.
+    pub fn rel_stats(&self, rel: RelId) -> &RelationStats {
+        &self.stats[rel.index()]
+    }
+
+    /// Total tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.stats.iter().map(|s| s.cardinality).sum()
+    }
+}
+
+/// Scans per-relation statistics (one pass per relation).
+pub fn compute_stats(s: &Structure) -> Vec<RelationStats> {
+    s.vocabulary()
+        .rel_ids()
+        .map(|rel| {
+            let arity = s.vocabulary().arity(rel);
+            let tuples = s.tuples(rel);
+            let mut distinct: Vec<HashSet<u32>> = vec![HashSet::new(); arity];
+            for t in tuples {
+                for (col, &v) in t.iter().enumerate() {
+                    distinct[col].insert(v);
+                }
+            }
+            RelationStats {
+                rel,
+                cardinality: tuples.len(),
+                distinct_per_column: distinct.into_iter().map(|d| d.len()).collect(),
+            }
+        })
+        .collect()
+}
+
+/// A query prepared for serving.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Preparation name.
+    pub name: String,
+    /// The query.
+    pub query: ConjunctiveQuery,
+    /// Plan-relevant metadata (class membership, sizes).
+    pub shape: QueryShape,
+    /// The tableau `(T_Q, x̄)`, shared with the approximation cache.
+    pub tableau: Pointed,
+    /// Compiled Yannakakis plan, when the query is acyclic.
+    pub yannakakis: Option<Arc<AcyclicPlan>>,
+}
+
+/// Named databases and prepared queries.
+///
+/// Ids are append-only: re-registering a name points the name at a new
+/// entry but keeps old ids valid (in-flight requests keep their snapshot).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    dbs: Vec<Arc<DatabaseEntry>>,
+    queries: Vec<Arc<PreparedQuery>>,
+    db_names: HashMap<String, DbId>,
+    query_names: HashMap<String, QueryId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a database under a name, scanning its statistics.
+    pub fn register_database(&mut self, name: impl Into<String>, s: Structure) -> DbId {
+        let name = name.into();
+        let id = DbId(self.dbs.len());
+        self.dbs.push(Arc::new(DatabaseEntry {
+            name: name.clone(),
+            adom_size: s.active_domain().len(),
+            stats: compute_stats(&s),
+            structure: Arc::new(s),
+        }));
+        self.db_names.insert(name, id);
+        id
+    }
+
+    /// Prepares a query under a name: computes its shape and, when
+    /// acyclic, compiles its Yannakakis plan.
+    pub fn prepare_query(&mut self, name: impl Into<String>, q: ConjunctiveQuery) -> QueryId {
+        let name = name.into();
+        let id = QueryId(self.queries.len());
+        let shape = QueryShape::of(&q);
+        // GYO on H(Q) decides acyclicity and plan compilation runs the
+        // same reduction, so an acyclic shape must compile; fail loudly
+        // here (prepare time) rather than deep inside a request.
+        let yannakakis = if shape.acyclic {
+            let plan =
+                AcyclicPlan::compile(&q).expect("acyclic query must compile to a Yannakakis plan");
+            Some(Arc::new(plan))
+        } else {
+            None
+        };
+        self.queries.push(Arc::new(PreparedQuery {
+            name: name.clone(),
+            tableau: tableau_of(&q),
+            shape,
+            yannakakis,
+            query: q,
+        }));
+        self.query_names.insert(name, id);
+        id
+    }
+
+    /// The database behind an id.
+    pub fn database(&self, id: DbId) -> Option<Arc<DatabaseEntry>> {
+        self.dbs.get(id.0).cloned()
+    }
+
+    /// The prepared query behind an id.
+    pub fn query(&self, id: QueryId) -> Option<Arc<PreparedQuery>> {
+        self.queries.get(id.0).cloned()
+    }
+
+    /// Looks a database up by name.
+    pub fn database_by_name(&self, name: &str) -> Option<DbId> {
+        self.db_names.get(name).copied()
+    }
+
+    /// Looks a prepared query up by name.
+    pub fn query_by_name(&self, name: &str) -> Option<QueryId> {
+        self.query_names.get(name).copied()
+    }
+
+    /// Number of registered databases (including superseded entries).
+    pub fn database_count(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// Number of prepared queries (including superseded entries).
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqapx_cq::parse_cq;
+
+    #[test]
+    fn stats_cardinality_and_distinct() {
+        let s = Structure::digraph(4, &[(0, 1), (0, 2), (1, 2)]);
+        let stats = compute_stats(&s);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].cardinality, 3);
+        assert_eq!(stats[0].distinct_per_column, vec![2, 2]);
+    }
+
+    #[test]
+    fn prepare_compiles_acyclic_plans() {
+        let mut c = Catalog::new();
+        let path = c.prepare_query("path", parse_cq("Q(x) :- E(x,y), E(y,z)").unwrap());
+        let tri = c.prepare_query("tri", parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap());
+        assert!(c.query(path).unwrap().yannakakis.is_some());
+        assert!(c.query(tri).unwrap().yannakakis.is_none());
+        assert!(c.query(tri).unwrap().shape.treewidth == 2);
+        assert_eq!(c.query_by_name("path"), Some(path));
+    }
+
+    #[test]
+    fn reregistering_keeps_old_ids() {
+        let mut c = Catalog::new();
+        let a = c.register_database("g", Structure::digraph(2, &[(0, 1)]));
+        let b = c.register_database("g", Structure::digraph(3, &[(0, 1), (1, 2)]));
+        assert_ne!(a, b);
+        assert_eq!(c.database_by_name("g"), Some(b));
+        assert_eq!(c.database(a).unwrap().total_tuples(), 1);
+        assert_eq!(c.database(b).unwrap().total_tuples(), 2);
+    }
+}

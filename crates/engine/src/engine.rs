@@ -1,0 +1,736 @@
+//! The engine: catalog + cache + planner + parallel batch execution.
+
+use crate::cache::{ApproxCache, CachedApproximation};
+use crate::catalog::{Catalog, DatabaseEntry, DbId, PreparedQuery, QueryId};
+use crate::par::{default_threads, parallel_map};
+use crate::planner::{choose_plan, PlanDecision, PlanKind};
+use cqapx_core::{Acyclic, ApproxOptions, HtwK, QueryClass, TwK};
+use cqapx_cq::eval::naive::contains_answer;
+use cqapx_structures::{Element, HomProblem, Pointed, Structure};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Which tractable class the sandwich plan approximates into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxClassChoice {
+    /// `AC` (α-acyclic queries; evaluators use Yannakakis).
+    Acyclic,
+    /// `TW(k)`.
+    TwK(usize),
+    /// `HTW(k)`.
+    HtwK(usize),
+}
+
+impl ApproxClassChoice {
+    /// The class as a membership oracle.
+    pub fn as_class(&self) -> Box<dyn QueryClass + Send + Sync> {
+        match *self {
+            ApproxClassChoice::Acyclic => Box::new(Acyclic),
+            ApproxClassChoice::TwK(k) => Box::new(TwK(k)),
+            ApproxClassChoice::HtwK(k) => Box::new(HtwK(k)),
+        }
+    }
+}
+
+/// Engine-wide tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for batch execution (`0` = available parallelism).
+    pub threads: usize,
+    /// Planner budget: estimated branch nodes the naive join may cost
+    /// before the planner switches to the approximation sandwich.
+    pub naive_cost_budget: f64,
+    /// Class for sandwich approximations.
+    pub approx_class: ApproxClassChoice,
+    /// Options for the (cached) approximation search.
+    pub approx_options: ApproxOptions,
+    /// Default per-request timeout (individual requests may override).
+    ///
+    /// The deadline bounds **join evaluation** (naive search nodes and
+    /// answer enumeration). It does not bound a first-time approximation
+    /// search on the certain-answer path — that work is amortized across
+    /// all requests for the query's isomorphism class and is treated as
+    /// prepare-style work — nor the in-class approximation evaluators
+    /// (tractable by construction). Pre-warm the cache with a
+    /// [`EvalMode::CertainOnly`] request if first-request latency
+    /// matters.
+    pub default_timeout: Option<Duration>,
+    /// Search-node budget granted per millisecond of remaining deadline
+    /// (converts wall timeouts into hom-search node budgets, so even
+    /// fruitless searches stop near the deadline).
+    pub nodes_per_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            naive_cost_budget: 5e7,
+            approx_class: ApproxClassChoice::TwK(1),
+            approx_options: ApproxOptions::default(),
+            default_timeout: None,
+            nodes_per_ms: 50_000,
+        }
+    }
+}
+
+/// How much of the answer a request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// The exact answer `Q(D)` (sandwich plans refine via the exact join).
+    #[default]
+    Exact,
+    /// Only guaranteed-correct answers, as fast as possible: sandwich
+    /// plans stop at `Q'(D) ⊆ Q(D)` without refining.
+    CertainOnly,
+}
+
+/// One unit of work for [`Engine::execute_batch`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The prepared query to evaluate.
+    pub query: QueryId,
+    /// The registered database to evaluate on.
+    pub db: DbId,
+    /// Exact or certain-only.
+    pub mode: EvalMode,
+    /// Per-request timeout override (falls back to the engine default).
+    /// Bounds join evaluation, not a first-time approximation search —
+    /// see [`EngineConfig::default_timeout`].
+    pub timeout: Option<Duration>,
+}
+
+impl Request {
+    /// An exact-mode request with the engine's default timeout.
+    pub fn new(query: QueryId, db: DbId) -> Self {
+        Request {
+            query,
+            db,
+            mode: EvalMode::Exact,
+            timeout: None,
+        }
+    }
+}
+
+/// Completeness of a response's answer set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// `answers` is exactly `Q(D)`.
+    Complete,
+    /// `answers ⊆ Q(D)`: the certain answers of the approximation
+    /// (requested via [`EvalMode::CertainOnly`]).
+    CertainOnly,
+    /// The deadline or node budget cut evaluation short; `answers` is
+    /// still sound (`⊆ Q(D)`) but possibly incomplete.
+    TimedOut,
+}
+
+/// The outcome of one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Answer tuples (sound in every status; complete only in
+    /// [`ResponseStatus::Complete`]).
+    pub answers: BTreeSet<Vec<Element>>,
+    /// Completeness of `answers`.
+    pub status: ResponseStatus,
+    /// The plan the engine chose.
+    pub plan: PlanKind,
+    /// For sandwich plans: whether the approximation came from the cache.
+    pub cache_hit: Option<bool>,
+    /// Wall time of this request.
+    pub wall: Duration,
+    /// The planner's rationale.
+    pub plan_reason: String,
+}
+
+/// Aggregate serving statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests answered exactly.
+    pub complete: u64,
+    /// Requests answered with certain answers only.
+    pub certain_only: u64,
+    /// Requests cut short by deadline/budget.
+    pub timed_out: u64,
+    /// Plan counts.
+    pub plan_yannakakis: u64,
+    /// Plan counts.
+    pub plan_naive: u64,
+    /// Plan counts.
+    pub plan_sandwich: u64,
+    /// Approximation-cache hits (sandwich requests that skipped the
+    /// single-exponential search, whether via the per-query memo or the
+    /// shared isomorphism-keyed cache).
+    pub cache_hits: u64,
+    /// Approximation-cache misses (searches actually run).
+    pub cache_misses: u64,
+    /// Total answer tuples returned.
+    pub answers: u64,
+    /// Summed per-request wall time (across workers; exceeds elapsed
+    /// wall clock under parallelism).
+    pub busy: Duration,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]` (0 when no sandwich request ran yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "requests        {}", self.requests)?;
+        writeln!(
+            f,
+            "  complete {} · certain-only {} · timed-out {}",
+            self.complete, self.certain_only, self.timed_out
+        )?;
+        writeln!(
+            f,
+            "plans           yannakakis {} · naive {} · sandwich {}",
+            self.plan_yannakakis, self.plan_naive, self.plan_sandwich
+        )?;
+        writeln!(
+            f,
+            "approx cache    hits {} · misses {} (hit rate {:.1}%)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(f, "answers         {}", self.answers)?;
+        write!(f, "busy time       {:?}", self.busy)
+    }
+}
+
+/// A stateful query-serving engine: register databases, prepare queries,
+/// then execute single requests or parallel batches.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_engine::{Engine, EngineConfig, Request};
+/// use cqapx_cq::parse_cq;
+/// use cqapx_structures::Structure;
+///
+/// let engine = Engine::new(EngineConfig::default());
+/// let db = engine.register_database("path", Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]));
+/// let q = engine.prepare_query("ends", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+/// let resp = engine.execute(&Request::new(q, db));
+/// assert_eq!(resp.answers.len(), 2);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    catalog: RwLock<Catalog>,
+    cache: ApproxCache,
+    /// Per-`QueryId` memo of the cached approximation, so repeated
+    /// requests for the same prepared query skip even the signature and
+    /// isomorphism confirmation (O(1) hash lookup instead).
+    approx_memo: Mutex<HashMap<QueryId, Arc<CachedApproximation>>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            catalog: RwLock::new(Catalog::new()),
+            cache: ApproxCache::new(),
+            approx_memo: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// Registers a database (scans statistics).
+    pub fn register_database(&self, name: impl Into<String>, s: Structure) -> DbId {
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .register_database(name, s)
+    }
+
+    /// Prepares a query (computes shape; compiles Yannakakis if acyclic).
+    pub fn prepare_query(&self, name: impl Into<String>, q: cqapx_cq::ConjunctiveQuery) -> QueryId {
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .prepare_query(name, q)
+    }
+
+    /// Looks up a registered database by name.
+    pub fn database_by_name(&self, name: &str) -> Option<DbId> {
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .database_by_name(name)
+    }
+
+    /// Looks up a prepared query by name.
+    pub fn query_by_name(&self, name: &str) -> Option<QueryId> {
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .query_by_name(name)
+    }
+
+    /// The approximation cache (hit/miss counters, size).
+    pub fn cache(&self) -> &ApproxCache {
+        &self.cache
+    }
+
+    /// A snapshot of the aggregate statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.lock().expect("stats lock poisoned").clone()
+    }
+
+    /// Executes one request synchronously.
+    pub fn execute(&self, req: &Request) -> Response {
+        let (q, d) = self.resolve(req);
+        let resp = self.run(req, &q, &d);
+        self.record(&resp);
+        resp
+    }
+
+    /// Executes a batch in parallel (scoped worker threads, input order
+    /// preserved). Each request carries its own deadline.
+    pub fn execute_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        let threads = if self.config.threads == 0 {
+            default_threads()
+        } else {
+            self.config.threads
+        };
+        let work: Vec<(Request, Arc<PreparedQuery>, Arc<DatabaseEntry>)> = reqs
+            .iter()
+            .map(|r| {
+                let (q, d) = self.resolve(r);
+                (r.clone(), q, d)
+            })
+            .collect();
+        let responses = parallel_map(work, threads, |(req, q, d)| self.run(&req, &q, &d));
+        for r in &responses {
+            self.record(r);
+        }
+        responses
+    }
+
+    /// Exact membership check `ā ∈ Q(D)` — the on-demand refinement for
+    /// answers not already certain: a single pinned homomorphism search,
+    /// far cheaper than materializing `Q(D)`.
+    pub fn refine_contains(&self, query: QueryId, db: DbId, answer: &[Element]) -> bool {
+        let (q, d) = self.resolve(&Request::new(query, db));
+        contains_answer(&q.query, &d.structure, answer)
+    }
+
+    /// # Panics
+    ///
+    /// Panics on unknown ids and on a (query, database) pair over
+    /// different vocabularies — planning with another vocabulary's
+    /// relation statistics would silently mis-cost, and evaluation would
+    /// fail deep inside the join; a serving API should reject the pair
+    /// at the door with a clear message.
+    fn resolve(&self, req: &Request) -> (Arc<PreparedQuery>, Arc<DatabaseEntry>) {
+        let catalog = self.catalog.read().expect("catalog lock poisoned");
+        let q = catalog
+            .query(req.query)
+            .unwrap_or_else(|| panic!("unknown query id {:?}", req.query));
+        let d = catalog
+            .database(req.db)
+            .unwrap_or_else(|| panic!("unknown database id {:?}", req.db));
+        assert_eq!(
+            q.query.vocabulary(),
+            d.structure.vocabulary(),
+            "query {:?} and database {:?} have different vocabularies",
+            q.name,
+            d.name
+        );
+        (q, d)
+    }
+
+    fn record(&self, r: &Response) {
+        let mut s = self.stats.lock().expect("stats lock poisoned");
+        s.requests += 1;
+        match r.status {
+            ResponseStatus::Complete => s.complete += 1,
+            ResponseStatus::CertainOnly => s.certain_only += 1,
+            ResponseStatus::TimedOut => s.timed_out += 1,
+        }
+        match r.plan {
+            PlanKind::Yannakakis => s.plan_yannakakis += 1,
+            PlanKind::Naive => s.plan_naive += 1,
+            PlanKind::Sandwich => s.plan_sandwich += 1,
+        }
+        match r.cache_hit {
+            Some(true) => s.cache_hits += 1,
+            Some(false) => s.cache_misses += 1,
+            None => {}
+        }
+        s.answers += r.answers.len() as u64;
+        s.busy += r.wall;
+    }
+
+    fn run(&self, req: &Request, q: &PreparedQuery, d: &DatabaseEntry) -> Response {
+        let start = Instant::now();
+        let deadline = req
+            .timeout
+            .or(self.config.default_timeout)
+            .map(|t| start + t);
+        let decision: PlanDecision = choose_plan(&q.shape, d, self.config.naive_cost_budget);
+        let mut plan_reason = decision.reason.clone();
+        let (answers, status, cache_hit) = match decision.kind {
+            PlanKind::Yannakakis => {
+                let plan = q
+                    .yannakakis
+                    .as_ref()
+                    .expect("acyclic prepared queries carry a Yannakakis plan");
+                (plan.eval(&d.structure), ResponseStatus::Complete, None)
+            }
+            PlanKind::Naive => {
+                let (answers, timed_out) =
+                    self.eval_naive_bounded(&q.tableau, &d.structure, deadline);
+                let status = if timed_out {
+                    ResponseStatus::TimedOut
+                } else {
+                    ResponseStatus::Complete
+                };
+                (answers, status, None)
+            }
+            PlanKind::Sandwich => match req.mode {
+                EvalMode::CertainOnly => {
+                    // Certain answers: the union over all →-maximal
+                    // in-class approximations, each a sound
+                    // under-approximation.
+                    let (certain, hit) = self.certain_answers(req.query, q, d);
+                    (certain, ResponseStatus::CertainOnly, Some(hit))
+                }
+                EvalMode::Exact => {
+                    // Exact mode wants Q(D) itself, so run the full join
+                    // under the deadline first; the approximation rescues
+                    // a cut-short join with its certain answers.
+                    plan_reason.push_str(
+                        "; exact mode: full join under the deadline, approximation as fallback",
+                    );
+                    let (exact, timed_out) =
+                        self.eval_naive_bounded(&q.tableau, &d.structure, deadline);
+                    if timed_out {
+                        // Already over the deadline: only a *cached*
+                        // approximation may be consulted — starting the
+                        // single-exponential search here would blow the
+                        // timeout by orders of magnitude.
+                        let memoized = self
+                            .approx_memo
+                            .lock()
+                            .expect("memo lock poisoned")
+                            .get(&req.query)
+                            .cloned();
+                        let class = self.config.approx_class.as_class();
+                        match memoized.or_else(|| {
+                            self.cache.lookup_only(
+                                &q.tableau,
+                                class.as_ref(),
+                                &self.config.approx_options,
+                            )
+                        }) {
+                            Some(cached) => {
+                                let mut answers = exact;
+                                for e in &cached.evaluators {
+                                    answers.extend(e.eval(&d.structure));
+                                }
+                                (answers, ResponseStatus::TimedOut, Some(true))
+                            }
+                            None => (exact, ResponseStatus::TimedOut, None),
+                        }
+                    } else {
+                        (exact, ResponseStatus::Complete, None)
+                    }
+                }
+            },
+        };
+        Response {
+            answers,
+            status,
+            plan: decision.kind,
+            cache_hit,
+            wall: start.elapsed(),
+            plan_reason,
+        }
+    }
+
+    /// The cached approximation for a prepared query: first a per-id
+    /// memo (O(1)), then the isomorphism-keyed shared cache. Memo hits
+    /// count as cache hits in the response/stats (the search was
+    /// skipped), without touching `ApproxCache`'s lookup counters.
+    fn approximation_of(
+        &self,
+        qid: QueryId,
+        q: &PreparedQuery,
+    ) -> (Arc<CachedApproximation>, bool) {
+        if let Some(c) = self
+            .approx_memo
+            .lock()
+            .expect("memo lock poisoned")
+            .get(&qid)
+        {
+            return (Arc::clone(c), true);
+        }
+        let class = self.config.approx_class.as_class();
+        let (cached, hit) =
+            self.cache
+                .get_or_compute(&q.tableau, class.as_ref(), &self.config.approx_options);
+        self.approx_memo
+            .lock()
+            .expect("memo lock poisoned")
+            .insert(qid, Arc::clone(&cached));
+        (cached, hit)
+    }
+
+    /// The certain answers of the cached approximation: the union of
+    /// `Q'(D)` over every →-maximal in-class approximation `Q' ⊆ Q`.
+    /// Returns the cache-hit flag of the lookup.
+    fn certain_answers(
+        &self,
+        qid: QueryId,
+        q: &PreparedQuery,
+        d: &DatabaseEntry,
+    ) -> (BTreeSet<Vec<Element>>, bool) {
+        let (cached, hit) = self.approximation_of(qid, q);
+        let mut answers: BTreeSet<Vec<Element>> = BTreeSet::new();
+        for e in &cached.evaluators {
+            answers.extend(e.eval(&d.structure));
+        }
+        (answers, hit)
+    }
+
+    /// Naive evaluation under a deadline: answers accumulate through
+    /// `HomProblem::for_each`; the deadline is checked at every found
+    /// answer and the remaining wall time is converted into a
+    /// search-node budget so answer-free subtrees stop near the deadline
+    /// too. Returns `(answers, timed_out)`; answers are sound either way.
+    fn eval_naive_bounded(
+        &self,
+        tableau: &Pointed,
+        d: &Structure,
+        deadline: Option<Instant>,
+    ) -> (BTreeSet<Vec<Element>>, bool) {
+        let mut answers = BTreeSet::new();
+        let mut timed_out = false;
+        let mut problem = HomProblem::new(&tableau.structure, d);
+        if let Some(dl) = deadline {
+            let remaining_ms = dl
+                .saturating_duration_since(Instant::now())
+                .as_millis()
+                .max(1) as u64;
+            problem = problem.node_budget(remaining_ms.saturating_mul(self.config.nodes_per_ms));
+        }
+        let stats = problem.for_each(|h| {
+            if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                timed_out = true;
+                return ControlFlow::Break(());
+            }
+            let a: Vec<Element> = tableau
+                .distinguished()
+                .iter()
+                .map(|&v| h.apply(v))
+                .collect();
+            answers.insert(a);
+            ControlFlow::Continue(())
+        });
+        (answers, timed_out || stats.budget_exhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqapx_cq::eval::naive::eval_naive;
+    use cqapx_cq::parse_cq;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    #[test]
+    fn acyclic_query_served_by_yannakakis() {
+        let e = engine();
+        let db = e.register_database("p", Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]));
+        let q = e.prepare_query("ends", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        let r = e.execute(&Request::new(q, db));
+        assert_eq!(r.plan, PlanKind::Yannakakis);
+        assert_eq!(r.status, ResponseStatus::Complete);
+        assert_eq!(r.answers.len(), 2);
+        assert_eq!(e.stats().plan_yannakakis, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different vocabularies")]
+    fn vocabulary_mismatch_rejected_at_the_door() {
+        use cqapx_structures::{StructureBuilder, Vocabulary};
+        let e = engine();
+        let v = Vocabulary::new(vec![("R", 3)]);
+        let r = v.rel("R").unwrap();
+        let mut b = StructureBuilder::new(v, 3);
+        b.add(r, &[0, 1, 2]);
+        let db = e.register_database("ternary", b.finish());
+        // Graph-vocabulary query against a ternary-vocabulary database.
+        let q = e.prepare_query("edge", parse_cq("Q(x, y) :- E(x, y)").unwrap());
+        e.execute(&Request::new(q, db));
+    }
+
+    #[test]
+    fn cyclic_small_served_naive_exactly() {
+        let e = engine();
+        let db = e.register_database(
+            "tri",
+            Structure::digraph(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]),
+        );
+        let q = e.prepare_query(
+            "triangle",
+            parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap(),
+        );
+        let r = e.execute(&Request::new(q, db));
+        assert_eq!(r.plan, PlanKind::Naive);
+        assert_eq!(r.status, ResponseStatus::Complete);
+        assert_eq!(r.answers.len(), 1); // Boolean true: the empty tuple
+    }
+
+    #[test]
+    fn sandwich_serves_certain_answers_and_caches() {
+        let e = Engine::new(EngineConfig {
+            naive_cost_budget: 0.0, // force the sandwich
+            ..EngineConfig::default()
+        });
+        let db = e.register_database("loops", Structure::digraph(3, &[(0, 0), (0, 1), (1, 2)]));
+        let q = e.prepare_query(
+            "triangle",
+            parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap(),
+        );
+        let req = Request {
+            query: q,
+            db,
+            mode: EvalMode::CertainOnly,
+            timeout: None,
+        };
+        let r1 = e.execute(&req);
+        assert_eq!(r1.plan, PlanKind::Sandwich);
+        assert_eq!(r1.status, ResponseStatus::CertainOnly);
+        assert_eq!(r1.cache_hit, Some(false));
+        // The TW(1)-approximation of the triangle is E(x,x); the loop at 0
+        // makes it true — a certain answer (0→0→0 is a real triangle hom).
+        assert_eq!(r1.answers.len(), 1);
+        let r2 = e.execute(&req);
+        assert_eq!(r2.cache_hit, Some(true));
+        assert_eq!(r2.answers, r1.answers);
+        assert_eq!(e.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn sandwich_exact_mode_refines_to_exact() {
+        let e = Engine::new(EngineConfig {
+            naive_cost_budget: 0.0,
+            ..EngineConfig::default()
+        });
+        let s = Structure::digraph(4, &[(0, 1), (1, 2), (2, 0), (3, 3)]);
+        let db = e.register_database("d", s.clone());
+        let query = parse_cq("Q(x) :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let q = e.prepare_query("tri-x", query.clone());
+        let r = e.execute(&Request::new(q, db));
+        assert_eq!(r.plan, PlanKind::Sandwich);
+        assert_eq!(r.status, ResponseStatus::Complete);
+        assert_eq!(r.answers, eval_naive(&query, &s));
+        assert_eq!(r.answers.len(), 4); // 0,1,2 from the triangle + 3's loop
+    }
+
+    #[test]
+    fn batch_runs_in_parallel_and_aggregates_stats() {
+        let e = engine();
+        let db = e.register_database(
+            "p",
+            Structure::digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+        );
+        let q1 = e.prepare_query("hop2", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        let q2 = e.prepare_query("tri", parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap());
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| Request::new(if i % 2 == 0 { q1 } else { q2 }, db))
+            .collect();
+        let rs = e.execute_batch(&reqs);
+        assert_eq!(rs.len(), 8);
+        for (i, r) in rs.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(r.answers.len(), 3);
+            } else {
+                assert!(r.answers.is_empty()); // no triangle in a path
+            }
+        }
+        let stats = e.stats();
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.plan_yannakakis, 4);
+        assert_eq!(stats.plan_naive, 4);
+    }
+
+    #[test]
+    fn timeout_yields_sound_partial_answers() {
+        let e = Engine::new(EngineConfig {
+            nodes_per_ms: 1, // starve the search
+            ..EngineConfig::default()
+        });
+        // Dense-ish digraph so the triangle search has real work.
+        let edges: Vec<(u32, u32)> = (0..30u32)
+            .flat_map(|u| {
+                (0..30u32)
+                    .filter(move |&v| v != u && (u + v) % 3 != 0)
+                    .map(move |v| (u, v))
+            })
+            .collect();
+        let db = e.register_database("dense", Structure::digraph(30, &edges));
+        let query = parse_cq("Q(x) :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let q = e.prepare_query("tri-x", query.clone());
+        let full = eval_naive(&query, &Structure::digraph(30, &edges));
+        let req = Request {
+            query: q,
+            db,
+            mode: EvalMode::Exact,
+            timeout: Some(Duration::from_millis(1)),
+        };
+        let r = e.execute(&req);
+        // Whatever came back is sound.
+        for a in &r.answers {
+            assert!(full.contains(a));
+        }
+        if r.status == ResponseStatus::TimedOut {
+            assert!(r.answers.len() <= full.len());
+        } else {
+            assert_eq!(r.answers, full);
+        }
+    }
+
+    #[test]
+    fn refine_contains_checks_membership_on_demand() {
+        let e = engine();
+        let s = Structure::digraph(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let db = e.register_database("d", s);
+        let q = e.prepare_query("tri-x", parse_cq("Q(x) :- E(x,y), E(y,z), E(z,x)").unwrap());
+        assert!(e.refine_contains(q, db, &[0]));
+        assert!(!e.refine_contains(q, db, &[3]));
+    }
+
+    #[test]
+    fn stats_display_renders() {
+        let e = engine();
+        let db = e.register_database("p", Structure::digraph(2, &[(0, 1)]));
+        let q = e.prepare_query("edge", parse_cq("Q(x, y) :- E(x, y)").unwrap());
+        e.execute(&Request::new(q, db));
+        let text = e.stats().to_string();
+        assert!(text.contains("requests"));
+        assert!(text.contains("hit rate"));
+    }
+}

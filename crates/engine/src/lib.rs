@@ -1,0 +1,58 @@
+//! **cqapx-engine** — a cached, planned, parallel query-serving
+//! subsystem over the approximation pipeline.
+//!
+//! The paper (Barceló–Libkin–Romero, PODS 2012) makes intractable CQs
+//! cheap via `C`-approximations; this crate makes that *operational*: a
+//! stateful engine that amortizes the single-exponential approximation
+//! search across requests, picks an evaluation strategy per
+//! (query, database) pair from relation statistics, and serves batches
+//! in parallel.
+//!
+//! ```text
+//!              ┌────────────────────────────────────────────────┐
+//!              │                  cqapx-engine                  │
+//!  prepare(Q)  │   ┌─────────┐    register_database(D)          │
+//!  ───────────►│   │ Catalog │◄───────────────────────────────  │
+//!              │   └────┬────┘  QueryShape (acyclic? tw?)       │
+//!              │        │       RelationStats (|R|, distinct)   │
+//!              │        ▼                                       │
+//!  execute /   │   ┌─────────┐  acyclic       → Yannakakis      │
+//!  batch ─────►│   │ Planner │  cheap here    → naive join      │
+//!              │   └────┬────┘  else          → sandwich        │
+//!              │        │ (sandwich)                            │
+//!              │        ▼                                       │
+//!              │   ┌─────────────┐ key: canonical tableau       │
+//!              │   │ ApproxCache │ (iso signature + class)      │
+//!              │   └────┬────────┘ value: ApproxReport + plans  │
+//!              │        ▼                                       │
+//!              │   scoped worker threads, per-request deadline  │
+//!              │   → Response {answers, status} + EngineStats   │
+//!              └────────────────────────────────────────────────┘
+//! ```
+//!
+//! The **sandwich** plan is the paper's program: serve the *certain*
+//! answers `Q'(D) ⊆ Q(D)` of the cached in-class approximation `Q'`
+//! immediately (tractable to evaluate), and refine to exact answers only
+//! on demand — either a full bounded join ([`EvalMode::Exact`]) or
+//! per-tuple membership checks ([`Engine::refine_contains`]).
+//!
+//! Entry points: [`Engine`], [`Request`], [`EngineConfig`]; the pieces
+//! ([`catalog::Catalog`], [`cache::ApproxCache`], [`planner`]) are public
+//! for direct use and testing.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod catalog;
+pub mod engine;
+pub mod par;
+pub mod planner;
+
+pub use cache::{ApproxCache, CachedApproximation};
+pub use catalog::{Catalog, DatabaseEntry, DbId, PreparedQuery, QueryId, RelationStats};
+pub use engine::{
+    ApproxClassChoice, Engine, EngineConfig, EngineStats, EvalMode, Request, Response,
+    ResponseStatus,
+};
+pub use planner::{choose_plan, estimate_naive_cost, PlanDecision, PlanKind};

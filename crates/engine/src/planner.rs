@@ -1,0 +1,149 @@
+//! The cost-based planner: picks an evaluation strategy per
+//! (prepared query, registered database) pair.
+//!
+//! Decision ladder (cheapest guarantee first):
+//!
+//! 1. **Yannakakis** — the query is acyclic: `O(|D|·|Q|)`, always best.
+//! 2. **Naive backtracking** — the estimated join cost against *this*
+//!    database's relation statistics fits the configured budget (small
+//!    tableau, small database, or selective relations).
+//! 3. **Approximation sandwich** — everything else: serve the certain
+//!    answers `Q'(D)` of the cached `C`-approximation `Q' ⊆ Q`
+//!    (guaranteed-correct under-approximation, tractable to evaluate),
+//!    refining exactly only on demand.
+
+use crate::catalog::DatabaseEntry;
+use cqapx_cq::QueryShape;
+use std::fmt;
+
+/// The strategy chosen for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Semijoin full reducer + bottom-up joins on the join tree.
+    Yannakakis,
+    /// Backtracking join (homomorphism search from the tableau).
+    Naive,
+    /// Certain answers from the cached in-class approximation.
+    Sandwich,
+}
+
+impl fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanKind::Yannakakis => "yannakakis",
+            PlanKind::Naive => "naive",
+            PlanKind::Sandwich => "sandwich",
+        })
+    }
+}
+
+/// A plan choice with its cost rationale.
+#[derive(Debug, Clone)]
+pub struct PlanDecision {
+    /// The chosen strategy.
+    pub kind: PlanKind,
+    /// Estimated cost of naive backtracking on this database (branch
+    /// nodes, order of magnitude); `f64::INFINITY` when saturated.
+    pub est_naive_cost: f64,
+    /// One-line human-readable rationale.
+    pub reason: String,
+}
+
+/// An order-of-magnitude upper estimate of backtracking-join work: the
+/// minimum of the variable-assignment bound `adom^|vars|` and the
+/// atom-by-atom bound `∏ |R_atom|` (each atom's relation cardinality,
+/// with multiplicity). Saturates at `f64::INFINITY`.
+pub fn estimate_naive_cost(shape: &QueryShape, db: &DatabaseEntry) -> f64 {
+    let adom = db.adom_size.max(1) as f64;
+    let assignment_bound = adom.powi(shape.var_count.min(1_000) as i32);
+    let mut atom_bound = 1.0_f64;
+    for &(rel, uses) in &shape.rel_uses {
+        let card = db.rel_stats(rel).cardinality.max(1) as f64;
+        atom_bound *= card.powi(uses.min(1_000) as i32);
+        if !atom_bound.is_finite() {
+            break;
+        }
+    }
+    assignment_bound.min(atom_bound)
+}
+
+/// Chooses the strategy for `shape` against `db`, with `naive_budget`
+/// bounding the estimated cost the naive join may incur.
+pub fn choose_plan(shape: &QueryShape, db: &DatabaseEntry, naive_budget: f64) -> PlanDecision {
+    if shape.acyclic {
+        return PlanDecision {
+            kind: PlanKind::Yannakakis,
+            est_naive_cost: estimate_naive_cost(shape, db),
+            reason: "query is acyclic: Yannakakis is O(|D|·|Q|)".into(),
+        };
+    }
+    let est = estimate_naive_cost(shape, db);
+    if est <= naive_budget {
+        PlanDecision {
+            kind: PlanKind::Naive,
+            est_naive_cost: est,
+            reason: format!(
+                "cyclic but cheap here: est. {est:.1e} branch nodes ≤ budget {naive_budget:.1e}"
+            ),
+        }
+    } else {
+        PlanDecision {
+            kind: PlanKind::Sandwich,
+            est_naive_cost: est,
+            reason: format!(
+                "cyclic and expensive here (est. {est:.1e} > budget {naive_budget:.1e}): serving certain answers via the cached approximation"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use cqapx_cq::parse_cq;
+    use cqapx_structures::Structure;
+
+    fn shape(q: &str) -> QueryShape {
+        QueryShape::of(&parse_cq(q).unwrap())
+    }
+
+    fn db(n: usize, edges: &[(u32, u32)]) -> std::sync::Arc<crate::catalog::DatabaseEntry> {
+        let mut c = Catalog::new();
+        let id = c.register_database("d", Structure::digraph(n, edges));
+        c.database(id).unwrap()
+    }
+
+    #[test]
+    fn acyclic_always_yannakakis() {
+        let s = shape("Q(x) :- E(x,y), E(y,z)");
+        let d = db(3, &[(0, 1), (1, 2)]);
+        assert_eq!(choose_plan(&s, &d, 1e6).kind, PlanKind::Yannakakis);
+        assert_eq!(choose_plan(&s, &d, 0.0).kind, PlanKind::Yannakakis);
+    }
+
+    #[test]
+    fn cyclic_small_db_goes_naive() {
+        let s = shape("Q() :- E(x,y), E(y,z), E(z,x)");
+        let d = db(3, &[(0, 1), (1, 2), (2, 0)]);
+        let p = choose_plan(&s, &d, 1e6);
+        assert_eq!(p.kind, PlanKind::Naive);
+        assert!(p.est_naive_cost <= 27.0 + 1e-9);
+    }
+
+    #[test]
+    fn cyclic_large_db_goes_sandwich() {
+        let s = shape("Q() :- E(x,y), E(y,z), E(z,x)");
+        let d = db(3, &[(0, 1), (1, 2), (2, 0)]);
+        let p = choose_plan(&s, &d, 10.0);
+        assert_eq!(p.kind, PlanKind::Sandwich);
+    }
+
+    #[test]
+    fn estimates_use_relation_stats() {
+        // 2 tuples → atom bound 2^3 = 8 beats adom^3 = 27.
+        let s = shape("Q() :- E(x,y), E(y,z), E(z,x)");
+        let d = db(3, &[(0, 1), (1, 2)]);
+        assert!(estimate_naive_cost(&s, &d) <= 8.0 + 1e-9);
+    }
+}

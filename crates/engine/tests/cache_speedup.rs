@@ -1,0 +1,57 @@
+//! Acceptance check for the approximation cache: the second request for
+//! an expensive approximation must hit the cache and be at least an
+//! order of magnitude faster than the first.
+
+use cqapx_core::{ApproxOptions, TwK};
+use cqapx_cq::{parse_cq, tableau_of};
+use cqapx_engine::ApproxCache;
+use std::time::Instant;
+
+#[test]
+fn cached_approximation_is_10x_faster() {
+    // The introduction's Q2: 8 variables, cyclic, with a unique acyclic
+    // approximation — the search enumerates Bell(8) = 4140 partitions
+    // with treewidth checks, while a cache hit is one signature plus one
+    // isomorphism check.
+    let q2 =
+        parse_cq("Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)")
+            .unwrap();
+    let t = tableau_of(&q2);
+    let opts = ApproxOptions::default();
+    let cache = ApproxCache::new();
+
+    let t0 = Instant::now();
+    let (first, hit_first) = cache.get_or_compute(&t, &TwK(1), &opts);
+    let t_miss = t0.elapsed();
+    assert!(!hit_first);
+    assert_eq!(first.report.approximations.len(), 1);
+
+    // A renamed (isomorphic) variant must hit the same entry.
+    let renamed =
+        parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(a1,b1), E(b1,c1), E(c1,d1), E(a,c1), E(b,d1)")
+            .unwrap();
+    let renamed_tableau = tableau_of(&renamed);
+    let (second, hit_second) = cache.get_or_compute(&renamed_tableau, &TwK(1), &opts);
+    assert!(hit_second, "isomorphic tableau must hit the cache");
+    assert_eq!(
+        first.report.approximations.len(),
+        second.report.approximations.len()
+    );
+
+    // Timing: take the minimum hit time over several lookups so a single
+    // descheduling blip on a loaded CI machine cannot flake the ratio;
+    // the miss above ran a Bell(8)-partition search and dwarfs any hit.
+    let t_hit = (0..20)
+        .map(|_| {
+            let t0 = Instant::now();
+            let (_, hit) = cache.get_or_compute(&renamed_tableau, &TwK(1), &opts);
+            assert!(hit);
+            t0.elapsed()
+        })
+        .min()
+        .expect("nonempty");
+    assert!(
+        t_miss >= 10 * t_hit,
+        "cache hit must be ≥10× faster: miss {t_miss:?} vs best-of-20 hit {t_hit:?}"
+    );
+}

@@ -70,11 +70,7 @@ pub fn exact_acyclic_homomorphism(g: &Digraph, t: &Digraph) -> bool {
 /// argument), so the search space is the partitions of `V(G)` — feasible
 /// for small `G`, exponential in general, as Theorem 4.12 predicts.
 /// Returns `None` when the partition budget is exhausted first.
-pub fn graph_acyclic_approximation(
-    g: &Digraph,
-    t: &Digraph,
-    max_partitions: u64,
-) -> Option<bool> {
+pub fn graph_acyclic_approximation(g: &Digraph, t: &Digraph, max_partitions: u64) -> Option<bool> {
     assert!(
         UGraph::underlying(t).is_forest(),
         "T must be an acyclic digraph"
@@ -113,11 +109,7 @@ pub fn graph_acyclic_approximation(
 
 /// Convenience: the structure of the disjoint union `G + H` used by the
 /// Proposition 5.12 reduction (`G ↦ G^↔ + K⃗_{k+1}`).
-pub fn prop_5_12_instance(
-    undirected_edges: &[(u32, u32)],
-    n: usize,
-    k: usize,
-) -> Structure {
+pub fn prop_5_12_instance(undirected_edges: &[(u32, u32)], n: usize, k: usize) -> Structure {
     let g = cqapx_graphs::generators::symmetric(n, undirected_edges);
     let kk = cqapx_graphs::generators::complete_digraph(k + 1);
     g.disjoint_union(&kk).to_structure()

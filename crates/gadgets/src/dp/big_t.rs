@@ -34,7 +34,13 @@ pub fn big_t() -> BigT {
         let branch_ti = t_i(i);
         // Glue T_i with its initial at v.
         let identify: Vec<Option<Element>> = (0..branch_ti.g.n() as Element)
-            .map(|x| if x == branch_ti.initial { Some(v) } else { None })
+            .map(|x| {
+                if x == branch_ti.initial {
+                    Some(v)
+                } else {
+                    None
+                }
+            })
             .collect();
         let placed = g.glue(&branch_ti.g, &identify);
         let yi = placed[branch_ti.terminal as usize];

@@ -60,9 +60,8 @@ pub fn extended_chooser_34() -> PairGadget {
     let t245 = t_ijk(2, 4, 5);
     let t35_inv = t_ij(3, 5).inverse();
     let t15 = t_ij(1, 5);
-    let (chain, junctions) = Anchored::chain(&[
-        &t12, &t25_inv, &t35, &t15_inv, &t245, &t35_inv, &t15,
-    ]);
+    let (chain, junctions) =
+        Anchored::chain(&[&t12, &t25_inv, &t35, &t15_inv, &t245, &t35_inv, &t15]);
     PairGadget {
         g: chain.g,
         a: junctions[0],

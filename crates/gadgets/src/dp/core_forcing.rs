@@ -46,13 +46,7 @@ pub fn w_n(n: usize) -> WPath {
     let x: Vec<Element> = (1..=n).map(|i| (2 + 2 * i) as Element).collect();
     let y: Vec<Element> = (1..=n).map(|i| (3 + 2 * i) as Element).collect();
     let e = (p.len()) as Element;
-    WPath {
-        g,
-        a: 0,
-        e,
-        x,
-        y,
-    }
+    WPath { g, a: 0, e, x, y }
 }
 
 /// `W_n^k` (Figure 22): `W_n` plus a fresh node `z_k` with the marker
@@ -104,9 +98,7 @@ mod tests {
     fn claim_8_16_pairwise_incomparable_cores() {
         // For each n, the W_n^k (1 ≤ k ≤ n) are incomparable cores.
         for n in [3usize, 5] {
-            let family: Vec<_> = (1..=n)
-                .map(|k| w_n_k(n, k).g.to_structure())
-                .collect();
+            let family: Vec<_> = (1..=n).map(|k| w_n_k(n, k).g.to_structure()).collect();
             for (i, a) in family.iter().enumerate() {
                 assert!(
                     core_ops::is_core(&Pointed::boolean(a.clone())),

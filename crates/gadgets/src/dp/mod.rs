@@ -19,8 +19,8 @@
 pub mod anchored;
 pub mod big_t;
 pub mod choosers;
-pub mod core_forcing;
 pub mod connectors;
+pub mod core_forcing;
 pub mod paths;
 pub mod qstar;
 
@@ -28,4 +28,4 @@ pub use anchored::Anchored;
 pub use big_t::{big_t, BigT};
 pub use connectors::{t_ij, t_ijk};
 pub use paths::{p_i, p_ij, p_ijk};
-pub use qstar::{q_star, t_i, t_5, QStar};
+pub use qstar::{q_star, t_5, t_i, QStar};

@@ -79,12 +79,7 @@ mod tests {
             );
             for (j, b) in paths.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !HomProblem::new(a, b).exists(),
-                        "P_{} ↛ P_{}",
-                        i + 1,
-                        j + 1
-                    );
+                    assert!(!HomProblem::new(a, b).exists(), "P_{} ↛ P_{}", i + 1, j + 1);
                 }
             }
         }

@@ -208,12 +208,7 @@ mod tests {
         for (i, a) in ts.iter().enumerate() {
             for (j, b) in ts.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !HomProblem::new(a, b).exists(),
-                        "T_{} ↛ T_{}",
-                        i + 1,
-                        j + 1
-                    );
+                    assert!(!HomProblem::new(a, b).exists(), "T_{} ↛ T_{}", i + 1, j + 1);
                 }
             }
         }

@@ -16,10 +16,8 @@ pub fn intro_q1_approx() -> ConjunctiveQuery {
 /// Introduction: `Q₂() :- P₃(x,y,z,u), P₃(x',y',z',u'), E(x,z'), E(y,u')`
 /// (bipartite balanced; nontrivial acyclic approximation).
 pub fn intro_q2() -> ConjunctiveQuery {
-    parse_cq(
-        "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
-    )
-    .unwrap()
+    parse_cq("Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)")
+        .unwrap()
 }
 
 /// Introduction: `Q'₂() :- P₄(x',x,y,z,u)` — the path-of-length-4 query.
@@ -81,7 +79,7 @@ pub fn example_66_approxes() -> [ConjunctiveQuery; 3] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cqapx_core::{all_approximations, classes, ApproxOptions, Acyclic, TwK};
+    use cqapx_core::{all_approximations, classes, Acyclic, ApproxOptions, TwK};
     use cqapx_cq::{contained_in, equivalent, tableau_of};
 
     #[test]
@@ -89,12 +87,18 @@ mod tests {
         let q = intro_ternary();
         let qp = intro_ternary_approx();
         assert!(contained_in(&qp, &q));
-        assert!(classes::QueryClass::contains_tableau(&Acyclic, &tableau_of(&qp)));
+        assert!(classes::QueryClass::contains_tableau(
+            &Acyclic,
+            &tableau_of(&qp)
+        ));
         let rep = all_approximations(&q, &Acyclic, &ApproxOptions::default());
         assert!(
             rep.approximations.iter().any(|a| equivalent(a, &qp)),
             "intro ternary approximation recovered; got {:?}",
-            rep.approximations.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+            rep.approximations
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         );
         // And it is nontrivial (more than one atom after minimization).
         assert!(qp.atom_count() > 1);

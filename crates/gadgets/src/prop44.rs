@@ -219,10 +219,7 @@ mod tests {
     fn folded_words_pairwise_incomparable_n2() {
         // Claim 4.7 for n = 2: the 4 folds are pairwise incomparable cores.
         let words = all_words(2);
-        let folds: Vec<_> = words
-            .iter()
-            .map(|w| g_n_s(w).to_structure())
-            .collect();
+        let folds: Vec<_> = words.iter().map(|w| g_n_s(w).to_structure()).collect();
         for (i, a) in folds.iter().enumerate() {
             assert!(
                 core_ops::is_core(&Pointed::boolean(a.clone())),
@@ -230,10 +227,7 @@ mod tests {
             );
             for (j, b) in folds.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !HomProblem::new(a, b).exists(),
-                        "fold {i} ↛ fold {j}"
-                    );
+                    assert!(!HomProblem::new(a, b).exists(), "fold {i} ↛ fold {j}");
                 }
             }
         }
@@ -247,7 +241,9 @@ mod tests {
         let info = balance::levels(&g3);
         assert!(info.balanced);
         assert_eq!(info.height, 29, "G_3 reaches level 29");
-        assert_eq!(info.levels[anchors[0].a as usize] + 10,
-                   info.levels[anchors[1].a as usize]);
+        assert_eq!(
+            info.levels[anchors[0].a as usize] + 10,
+            info.levels[anchors[1].a as usize]
+        );
     }
 }

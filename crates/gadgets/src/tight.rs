@@ -52,7 +52,7 @@ pub fn example_57() -> Digraph {
 mod tests {
     use super::*;
     use cqapx_core::{all_approximations, ApproxOptions, TwK};
-    use cqapx_cq::{equivalent, query_from_tableau, parse_cq};
+    use cqapx_cq::{equivalent, parse_cq, query_from_tableau};
     use cqapx_graphs::{balance, coloring};
     use cqapx_structures::{HomProblem, Pointed};
 
@@ -87,9 +87,7 @@ mod tests {
         let rep = all_approximations(&q, &TwK(1), &ApproxOptions::default());
         assert!(rep.complete);
         assert_eq!(rep.approximations.len(), 1, "unique approximation");
-        let p4 = query_from_tableau(&Pointed::boolean(
-            Digraph::directed_path(4).to_structure(),
-        ));
+        let p4 = query_from_tableau(&Pointed::boolean(Digraph::directed_path(4).to_structure()));
         assert!(equivalent(&rep.approximations[0], &p4));
     }
 
@@ -105,7 +103,10 @@ mod tests {
             rep.approximations.len(),
             1,
             "got {:?}",
-            rep.approximations.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+            rep.approximations
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         );
         let p4 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,e)").unwrap();
         assert!(equivalent(&rep.approximations[0], &p4));
@@ -115,7 +116,7 @@ mod tests {
     fn no_quotient_strictly_between_g3_and_p4() {
         // Tightness within the (complete, by Thm 4.1) quotient witness
         // space: no quotient Q'' of G_3 with P4-query ⊂ Q'' ⊂ Q.
-        use cqapx_structures::{partition::for_each_partition, quotient::quotient_pointed, order};
+        use cqapx_structures::{order, partition::for_each_partition, quotient::quotient_pointed};
         use std::ops::ControlFlow;
         let g = Pointed::boolean(g_k(3).to_structure());
         let p4 = Pointed::boolean(Digraph::directed_path(4).to_structure());

@@ -113,7 +113,10 @@ pub fn is_balanced(g: &Digraph) -> bool {
 /// Panics when `g` is not balanced (height is undefined).
 pub fn height(g: &Digraph) -> i64 {
     let info = levels(g);
-    assert!(info.balanced, "height is only defined for balanced digraphs");
+    assert!(
+        info.balanced,
+        "height is only defined for balanced digraphs"
+    );
     info.height
 }
 

@@ -86,21 +86,11 @@ pub fn k_coloring_ugraph(u: &UGraph, k: usize) -> Option<Vec<u32>> {
     let adj = u.adjacency();
     let mut colors: Vec<Option<u32>> = vec![None; n];
 
-    fn assignable(
-        v: usize,
-        c: u32,
-        adj: &[Vec<Element>],
-        colors: &[Option<u32>],
-    ) -> bool {
+    fn assignable(v: usize, c: u32, adj: &[Vec<Element>], colors: &[Option<u32>]) -> bool {
         adj[v].iter().all(|&w| colors[w as usize] != Some(c))
     }
 
-    fn solve(
-        adj: &[Vec<Element>],
-        colors: &mut Vec<Option<u32>>,
-        k: usize,
-        max_used: u32,
-    ) -> bool {
+    fn solve(adj: &[Vec<Element>], colors: &mut Vec<Option<u32>>, k: usize, max_used: u32) -> bool {
         // MRV: pick uncolored vertex with fewest available colors.
         let n = colors.len();
         let mut best: Option<(usize, usize)> = None; // (avail, vertex)

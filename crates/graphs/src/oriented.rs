@@ -75,10 +75,7 @@ impl OrientedPath {
 
     /// Net length: forward edges minus backward edges.
     pub fn net_length(&self) -> i64 {
-        self.steps
-            .iter()
-            .map(|&b| if b { -1i64 } else { 1 })
-            .sum()
+        self.steps.iter().map(|&b| if b { -1i64 } else { 1 }).sum()
     }
 
     /// The step directions.

@@ -85,11 +85,7 @@ impl TreeDecomposition {
         }
         // Edge coverage.
         for (u, v) in g.edges() {
-            if !self
-                .bags
-                .iter()
-                .any(|b| b.contains(&u) && b.contains(&v))
-            {
+            if !self.bags.iter().any(|b| b.contains(&u) && b.contains(&v)) {
                 return Err(format!("edge ({u},{v}) not inside any bag"));
             }
         }

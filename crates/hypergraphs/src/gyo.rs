@@ -55,7 +55,12 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
                 }
             }
         }
-        for e in edges.iter_mut().enumerate().filter(|(i, _)| alive[*i]).map(|(_, e)| e) {
+        for e in edges
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| alive[*i])
+            .map(|(_, e)| e)
+        {
             let before = e.len();
             e.retain(|&v| occurrence[v as usize] > 1);
             if e.len() < before {
@@ -78,9 +83,7 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
                 }
                 continue;
             }
-            if let Some(j) = (0..m)
-                .find(|&j| j != i && alive[j] && edges[i].is_subset(&edges[j]))
-            {
+            if let Some(j) = (0..m).find(|&j| j != i && alive[j] && edges[i].is_subset(&edges[j])) {
                 alive[i] = false;
                 parent[i] = Some(j);
                 changed = true;
@@ -98,10 +101,7 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
         GyoResult {
             join_tree: Some(JoinTree {
                 n_edges: m,
-                parent: parent
-                    .iter()
-                    .map(|p| p.map(|x| x as u32))
-                    .collect(),
+                parent: parent.iter().map(|p| p.map(|x| x as u32)).collect(),
             }),
             residual_edges: Vec::new(),
         }
@@ -164,10 +164,7 @@ mod tests {
 
     #[test]
     fn covered_triangle_acyclic() {
-        let h = Hypergraph::from_edges(
-            3,
-            &[vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]],
-        );
+        let h = Hypergraph::from_edges(3, &[vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]]);
         let r = gyo_reduce(&h);
         let jt = r.join_tree.expect("acyclic");
         jt.validate(&h).unwrap();
@@ -188,10 +185,7 @@ mod tests {
     fn cycle_of_ternary_edges_cyclic() {
         // R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1) — Example 6.6's query has a
         // Berge cycle through x1, x3, x5: α-cyclic.
-        let h = Hypergraph::from_edges(
-            6,
-            &[vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 0]],
-        );
+        let h = Hypergraph::from_edges(6, &[vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 0]]);
         assert!(!is_acyclic(&h));
     }
 

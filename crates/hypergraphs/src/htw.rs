@@ -158,11 +158,7 @@ impl<'a> Search<'a> {
 
     /// Edge-components of `comp_edges` relative to the bag `chi`: two edges
     /// are connected when they share a vertex outside `chi`.
-    fn edge_components(
-        &self,
-        comp_edges: &EdgeSet,
-        chi: &BTreeSet<Vertex>,
-    ) -> Vec<EdgeSet> {
+    fn edge_components(&self, comp_edges: &EdgeSet, chi: &BTreeSet<Vertex>) -> Vec<EdgeSet> {
         let mut remaining: EdgeSet = comp_edges
             .iter()
             .copied()
@@ -215,19 +211,13 @@ impl<'a> Search<'a> {
                 continue;
             }
             // Normal-form bag: (∪λ ∩ component vertices) ∪ connector.
-            let mut chi: BTreeSet<Vertex> = union
-                .intersection(&comp_vertices)
-                .copied()
-                .collect();
+            let mut chi: BTreeSet<Vertex> = union.intersection(&comp_vertices).copied().collect();
             chi.extend(connector.iter().copied());
             // Progress: the bag must see into the component.
             if !comp_vertices.is_empty()
-                && chi.intersection(&comp_vertices).count() == connector
-                    .intersection(&comp_vertices)
-                    .count()
-                && !comp_edges
-                    .iter()
-                    .all(|&e| self.h.edge(e).is_subset(&chi))
+                && chi.intersection(&comp_vertices).count()
+                    == connector.intersection(&comp_vertices).count()
+                && !comp_edges.iter().all(|&e| self.h.edge(e).is_subset(&chi))
             {
                 // λ adds nothing beyond the connector but does not finish
                 // the component either: no progress.
@@ -250,10 +240,8 @@ impl<'a> Search<'a> {
                     .iter()
                     .flat_map(|&e| self.h.edge(e).iter().copied())
                     .collect();
-                let sub_connector: BTreeSet<Vertex> = sub_vertices
-                    .intersection(&chi_owned)
-                    .copied()
-                    .collect();
+                let sub_connector: BTreeSet<Vertex> =
+                    sub_vertices.intersection(&chi_owned).copied().collect();
                 match self.decompose(&sub, &sub_connector) {
                     None => continue 'covers,
                     Some(st) => {
@@ -296,7 +284,10 @@ impl<'a> Search<'a> {
 /// d.validate(&tri).unwrap();
 /// ```
 pub fn htw_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDecomposition> {
-    assert!(k >= 1, "hypertree width is at least 1 for nonempty hypergraphs");
+    assert!(
+        k >= 1,
+        "hypertree width is at least 1 for nonempty hypergraphs"
+    );
     if h.edge_count() == 0 {
         return Some(HypertreeDecomposition {
             nodes: Vec::new(),
@@ -370,7 +361,10 @@ pub fn hypertree_width(h: &Hypergraph) -> usize {
 /// membership test, for which `htw ≤ k ⇒ ghw ≤ k` suffices.
 pub fn ghw_bounds(h: &Hypergraph) -> (usize, usize) {
     let htw = hypertree_width(h);
-    (htw.saturating_sub(1).div_ceil(3).max(usize::from(htw > 0)), htw)
+    (
+        htw.saturating_sub(1).div_ceil(3).max(usize::from(htw > 0)),
+        htw,
+    )
 }
 
 #[cfg(test)]
@@ -389,10 +383,7 @@ mod tests {
                 false,
             ),
             (
-                Hypergraph::from_edges(
-                    3,
-                    &[vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]],
-                ),
+                Hypergraph::from_edges(3, &[vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]]),
                 true,
             ),
         ];
@@ -460,10 +451,7 @@ mod tests {
     #[test]
     fn closure_under_induced() {
         // Lemma 6.4: induced subhypergraphs preserve htw ≤ k.
-        let h = Hypergraph::from_edges(
-            4,
-            &[vec![0, 1, 2], vec![2, 3], vec![3, 0]],
-        );
+        let h = Hypergraph::from_edges(4, &[vec![0, 1, 2], vec![2, 3], vec![3, 0]]);
         let w = hypertree_width(&h);
         let keep: BTreeSet<Vertex> = [0, 2, 3].into_iter().collect();
         let (ind, _) = h.induced(&keep);

@@ -97,10 +97,7 @@ impl Hypergraph {
         }
         let mut h = Hypergraph::new(keep.len());
         for e in &self.edges {
-            let inter: Vec<Vertex> = e
-                .iter()
-                .filter_map(|&v| remap[v as usize])
-                .collect();
+            let inter: Vec<Vertex> = e.iter().filter_map(|&v| remap[v as usize]).collect();
             if !inter.is_empty() {
                 h.add_edge(&inter);
             }
@@ -186,10 +183,7 @@ mod tests {
     fn induced_subhypergraph() {
         // The paper's Section 6 example: H with {a,b,c},{a,b},{b,c},{a,c};
         // the induced subhypergraph on {a,b,c} is H itself.
-        let h = Hypergraph::from_edges(
-            3,
-            &[vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]],
-        );
+        let h = Hypergraph::from_edges(3, &[vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]]);
         let all: BTreeSet<Vertex> = [0, 1, 2].into_iter().collect();
         let (ind, _) = h.induced(&all);
         assert_eq!(ind.edge_count(), 4);

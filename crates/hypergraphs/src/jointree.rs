@@ -37,8 +37,7 @@ impl JoinTree {
     pub fn bottom_up_order(&self) -> Vec<usize> {
         let ch = self.children();
         let mut order = Vec::with_capacity(self.n_edges);
-        let mut stack: Vec<(usize, bool)> =
-            self.roots().into_iter().map(|r| (r, false)).collect();
+        let mut stack: Vec<(usize, bool)> = self.roots().into_iter().map(|r| (r, false)).collect();
         while let Some((v, expanded)) = stack.pop() {
             if expanded {
                 order.push(v);
@@ -107,8 +106,7 @@ impl JoinTree {
                     }
                 }
             }
-            let mut roots: Vec<usize> =
-                (0..occ.len()).map(|i| find(&mut comp, i)).collect();
+            let mut roots: Vec<usize> = (0..occ.len()).map(|i| find(&mut comp, i)).collect();
             roots.sort_unstable();
             roots.dedup();
             if roots.len() != 1 {

@@ -16,10 +16,7 @@ fn hypergraph_strategy(
             1..=max_edges,
         )
         .prop_map(move |edges| {
-            let lists: Vec<Vec<u32>> = edges
-                .into_iter()
-                .map(|e| e.into_iter().collect())
-                .collect();
+            let lists: Vec<Vec<u32>> = edges.into_iter().map(|e| e.into_iter().collect()).collect();
             Hypergraph::from_edges(n, &lists)
         })
     })

@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn odd_cycles_are_cores() {
         for n in [3, 5, 7] {
-            assert!(is_core(&Pointed::boolean(cycle(n))), "C{n} should be a core");
+            assert!(
+                is_core(&Pointed::boolean(cycle(n))),
+                "C{n} should be a core"
+            );
         }
     }
 

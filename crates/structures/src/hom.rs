@@ -159,7 +159,8 @@ impl<'a> HomProblem<'a> {
     /// Forces `h(src[i]) = tgt[i]` for every position.
     pub fn pin_tuple(mut self, src: &[Element], tgt: &[Element]) -> Self {
         assert_eq!(src.len(), tgt.len(), "pinned tuples must align");
-        self.pins.extend(src.iter().copied().zip(tgt.iter().copied()));
+        self.pins
+            .extend(src.iter().copied().zip(tgt.iter().copied()));
         self
     }
 
@@ -519,9 +520,7 @@ impl<'a> Solver<'a> {
         // Supported values per unassigned variable of this constraint.
         let mut support: Vec<(Element, BitSet)> = Vec::new();
         for &v in &vars {
-            if self.assignment[v as usize].is_none()
-                && !support.iter().any(|(u, _)| *u == v)
-            {
+            if self.assignment[v as usize].is_none() && !support.iter().any(|(u, _)| *u == v) {
                 support.push((v, BitSet::empty(self.n_target)));
             }
         }

@@ -41,7 +41,7 @@ pub mod vocabulary;
 
 pub use core_ops::{core_of, is_core, CoreResult};
 pub use hom::{HomProblem, HomSearchStats, Homomorphism};
-pub use iso::isomorphic;
+pub use iso::{isomorphic, signature_pointed, IsoSignature};
 pub use order::{hom_equivalent, hom_exists, strictly_below};
 pub use partition::Partition;
 pub use pointed::Pointed;

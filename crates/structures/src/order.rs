@@ -119,9 +119,7 @@ mod tests {
         assert!(strictly_below(&cycle(6), &cycle(3)));
         assert!(!hom_equivalent(&cycle(3), &cycle(4)));
         // C3 ∪ C6 is hom-equivalent to C3.
-        let union = Pointed::boolean(
-            cycle(3).structure.disjoint_union(&cycle(6).structure),
-        );
+        let union = Pointed::boolean(cycle(3).structure.disjoint_union(&cycle(6).structure));
         assert!(hom_equivalent(&union, &cycle(3)));
     }
 

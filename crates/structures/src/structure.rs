@@ -144,7 +144,10 @@ impl Structure {
         }
         let mut out = b.finish();
         if let Some(names) = &self.names {
-            let new_names = adom.iter().map(|&old| names[old as usize].clone()).collect();
+            let new_names = adom
+                .iter()
+                .map(|&old| names[old as usize].clone())
+                .collect();
             out.names = Some(new_names);
         }
         (out, remap)
@@ -187,7 +190,8 @@ impl Structure {
             "disjoint union needs a common vocabulary"
         );
         let off = self.universe_size as Element;
-        let mut b = StructureBuilder::new(self.vocab.clone(), self.universe_size + other.universe_size);
+        let mut b =
+            StructureBuilder::new(self.vocab.clone(), self.universe_size + other.universe_size);
         for rel in self.vocab.rel_ids() {
             for t in self.tuples(rel) {
                 b.add(rel, t);
@@ -282,7 +286,11 @@ impl Structure {
 
 impl fmt::Debug for Structure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Structure over {} with {} elements:", self.vocab, self.universe_size)?;
+        writeln!(
+            f,
+            "Structure over {} with {} elements:",
+            self.vocab, self.universe_size
+        )?;
         for rel in self.vocab.rel_ids() {
             write!(f, "  {} = {{", self.vocab.name(rel))?;
             for (i, t) in self.tuples(rel).iter().enumerate() {

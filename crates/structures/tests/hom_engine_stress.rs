@@ -2,8 +2,7 @@
 //! property-based cross-validation against brute force.
 
 use cqapx_structures::{
-    core_of, hom_exists, isomorphic, HomProblem, Pointed, Structure, StructureBuilder,
-    Vocabulary,
+    core_of, hom_exists, isomorphic, HomProblem, Pointed, Structure, StructureBuilder, Vocabulary,
 };
 use proptest::prelude::*;
 use std::ops::ControlFlow;

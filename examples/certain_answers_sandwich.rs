@@ -30,10 +30,16 @@ fn main() {
     let d = Structure::digraph(
         8,
         &[
-            (0, 1), (1, 2), (2, 0),          // triangle on 0,1,2
-            (3, 4), (4, 5), (5, 3),          // triangle on 3,4,5
-            (6, 7), (7, 6),                  // a 2-cycle (almost)
-            (2, 6), (6, 3),
+            (0, 1),
+            (1, 2),
+            (2, 0), // triangle on 0,1,2
+            (3, 4),
+            (4, 5),
+            (5, 3), // triangle on 3,4,5
+            (6, 7),
+            (7, 6), // a 2-cycle (almost)
+            (2, 6),
+            (6, 3),
         ],
     );
     let plan_under = AcyclicPlan::compile(&under).unwrap();

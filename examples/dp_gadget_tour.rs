@@ -51,7 +51,12 @@ fn main() {
         let t0 = Instant::now();
         let table = dp::choosers::pair_table(&gadget, &t);
         let ok = table == dp::choosers::expected_extended_table(i, j);
-        println!("{name} ({} nodes): verified in {:.2?} — {}", gadget.g.n(), t0.elapsed(), ok);
+        println!(
+            "{name} ({} nodes): verified in {:.2?} — {}",
+            gadget.g.n(),
+            t0.elapsed(),
+            ok
+        );
         for (bi, row) in table.iter().enumerate() {
             let cells: Vec<&str> = row.iter().map(|&c| if c { "✓" } else { "·" }).collect();
             println!("   a=t{}: b ∈ [{}]", bi + 1, cells.join(" "));

@@ -12,7 +12,10 @@ fn main() {
     let q = parse_cq("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)").unwrap();
     println!("Q = {q}");
     println!("  acyclic: {}", classes::is_acyclic_query(&q));
-    println!("  hypertree width: {}", classes::hypertree_width_of_query(&q));
+    println!(
+        "  hypertree width: {}",
+        classes::hypertree_width_of_query(&q)
+    );
 
     let rep = all_approximations(&q, &Acyclic, &ApproxOptions::default());
     println!(

@@ -8,12 +8,14 @@ use cq_approx::prelude::*;
 fn main() {
     // The paper's introduction, query Q2: two 3-paths with two cross
     // edges — cyclic, so combined complexity |D|^O(|Q|) in general.
-    let q = parse_cq(
-        "Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)",
-    )
-    .unwrap();
+    let q =
+        parse_cq("Q() :- E(x,y), E(y,z), E(z,u), E(x1,y1), E(y1,z1), E(z1,u1), E(x,z1), E(y,u1)")
+            .unwrap();
     println!("query Q:    {q}");
-    println!("  cyclic:   {}", !cq_approx::cq::classes::is_acyclic_query(&q));
+    println!(
+        "  cyclic:   {}",
+        !cq_approx::cq::classes::is_acyclic_query(&q)
+    );
 
     // Classify per Theorem 5.1: bipartite + balanced means nontrivial
     // acyclic approximations exist.
@@ -46,8 +48,14 @@ fn main() {
     let t = tableau_of(&q);
     let d2 = t.structure.clone();
     println!("\ndatabase: the tableau of Q itself (canonical database)");
-    println!("  Q' (Yannakakis): {}  <- may miss answers…", plan.eval_boolean(&d2));
-    println!("  Q  (naive):      {}   <- …that the exact query has", !eval_naive(&q, &d2).is_empty());
+    println!(
+        "  Q' (Yannakakis): {}  <- may miss answers…",
+        plan.eval_boolean(&d2)
+    );
+    println!(
+        "  Q  (naive):      {}   <- …that the exact query has",
+        !eval_naive(&q, &d2).is_empty()
+    );
     assert!(
         !plan.eval_boolean(&d2) || !eval_naive(&q, &d2).is_empty(),
         "soundness: whenever Q' answers true, so does Q"

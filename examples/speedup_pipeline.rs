@@ -35,7 +35,10 @@ fn main() {
     let plan = AcyclicPlan::compile(&q_prime).expect("acyclic");
 
     // Dynamic step: evaluate on growing random databases.
-    println!("\n{:>8} {:>14} {:>14} {:>9} {:>9}", "|D| nodes", "naive Q", "Yannakakis Q'", "ans Q", "ans Q'");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>9} {:>9}",
+        "|D| nodes", "naive Q", "Yannakakis Q'", "ans Q", "ans Q'"
+    );
     for n in [50usize, 100, 200, 400] {
         let d = generators::random_digraph(n, 8.0 / n as f64, 42).to_structure();
         let t0 = Instant::now();

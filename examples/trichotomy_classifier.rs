@@ -8,11 +8,11 @@ use cq_approx::prelude::*;
 fn main() {
     let suite = [
         ("triangle", "Q() :- E(x,y), E(y,z), E(z,x)"),
-        ("odd 5-cycle", "Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)"),
         (
-            "directed 4-cycle",
-            "Q() :- E(a,b), E(b,c), E(c,d), E(d,a)",
+            "odd 5-cycle",
+            "Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)",
         ),
+        ("directed 4-cycle", "Q() :- E(a,b), E(b,c), E(c,d), E(d,a)"),
         (
             "oriented 4-cycle (unbalanced)",
             "Q() :- E(x,y), E(y,z), E(z,u), E(x,u)",

@@ -39,12 +39,14 @@
 //! | [`cq`] | CQ AST/parser, tableaux, containment, naive + Yannakakis evaluation |
 //! | [`core`] | **the paper's contribution**: approximation algorithms, trichotomy, identification |
 //! | [`gadgets`] | the paper's constructions (Prop 4.4, Prop 5.6, Theorem 4.12 appendix) |
+//! | [`engine`] | the serving subsystem: catalog, approximation cache, cost-based planner, parallel batches |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub use cqapx_core as core;
 pub use cqapx_cq as cq;
+pub use cqapx_engine as engine;
 pub use cqapx_gadgets as gadgets;
 pub use cqapx_graphs as graphs;
 pub use cqapx_hypergraphs as hypergraphs;
@@ -58,7 +60,10 @@ pub mod prelude {
     };
     pub use cqapx_cq::{
         contained_in, equivalent, eval::naive::eval_naive, eval::AcyclicPlan, minimize, parse_cq,
-        query_from_tableau, tableau_of, ConjunctiveQuery,
+        query_from_tableau, tableau_of, ConjunctiveQuery, Evaluator, QueryShape,
+    };
+    pub use cqapx_engine::{
+        Engine, EngineConfig, EngineStats, EvalMode, PlanKind, Request, Response, ResponseStatus,
     };
     pub use cqapx_graphs::Digraph;
     pub use cqapx_structures::{HomProblem, Pointed, Structure, Vocabulary};

@@ -61,8 +61,14 @@ fn decision_procedures_cross_check() {
     let c4 = Digraph::cycle(4);
     let k2 = Digraph::from_edges(2, &[(0, 1), (1, 0)]);
     let lp = Digraph::from_edges(1, &[(0, 0)]);
-    assert_eq!(decision::graph_acyclic_approximation(&c4, &k2, 1 << 20), Some(true));
-    assert_eq!(decision::graph_acyclic_approximation(&c4, &lp, 1 << 20), Some(false));
+    assert_eq!(
+        decision::graph_acyclic_approximation(&c4, &k2, 1 << 20),
+        Some(true)
+    );
+    assert_eq!(
+        decision::graph_acyclic_approximation(&c4, &lp, 1 << 20),
+        Some(false)
+    );
     // Against is_approximation on the query side.
     let q = query_from_tableau(&Pointed::boolean(c4.to_structure()));
     let k2q = query_from_tableau(&Pointed::boolean(k2.to_structure()));
@@ -90,12 +96,18 @@ fn intro_examples_end_to_end() {
     let q1 = paper_examples::intro_q1();
     let rep = all_approximations(&q1, &TwK(1), &ApproxOptions::default());
     assert_eq!(rep.approximations.len(), 1);
-    assert!(equivalent(&rep.approximations[0], &paper_examples::intro_q1_approx()));
+    assert!(equivalent(
+        &rep.approximations[0],
+        &paper_examples::intro_q1_approx()
+    ));
 
     let q2 = paper_examples::intro_q2();
     let rep = all_approximations(&q2, &TwK(1), &ApproxOptions::default());
     assert_eq!(rep.approximations.len(), 1);
-    assert!(equivalent(&rep.approximations[0], &paper_examples::intro_q2_approx()));
+    assert!(equivalent(
+        &rep.approximations[0],
+        &paper_examples::intro_q2_approx()
+    ));
 
     let q66 = paper_examples::example_66();
     let rep = all_approximations(&q66, &Acyclic, &ApproxOptions::default());

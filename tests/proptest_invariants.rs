@@ -109,6 +109,65 @@ proptest! {
         }
     }
 
+    /// Differential evaluation: naive, Yannakakis (when acyclic), and
+    /// the engine's chosen plan return identical answer sets — Boolean
+    /// and unary-head variants.
+    #[test]
+    fn engine_plan_matches_naive_and_yannakakis(
+        s in digraph_structure(5),
+        db in digraph_structure(7),
+    ) {
+        use cqapx_engine::{Engine, EngineConfig, Request};
+
+        // Boolean and unary-head variants of the same random body.
+        let queries = [
+            query_from_tableau(&Pointed::boolean(s.clone())),
+            query_from_tableau(&Pointed::new(s, vec![0])),
+        ];
+        let engine = Engine::new(EngineConfig::default());
+        let d = engine.register_database("db", db.clone());
+        for (i, q) in queries.into_iter().enumerate() {
+            let exact = eval_naive(&q, &db);
+            if let Ok(plan) = AcyclicPlan::compile(&q) {
+                prop_assert_eq!(plan.eval(&db), exact.clone());
+            }
+            let qid = engine.prepare_query(format!("q{i}"), q);
+            let r = engine.execute(&Request::new(qid, d));
+            prop_assert_eq!(r.answers, exact);
+        }
+    }
+
+    /// Differential evaluation under a forced approximation sandwich:
+    /// exact mode must still produce the exact answers, and certain-only
+    /// mode a sound subset.
+    #[test]
+    fn engine_sandwich_is_sound_and_exact_on_demand(
+        s in digraph_structure(4),
+        db in digraph_structure(7),
+    ) {
+        use cqapx_engine::{Engine, EngineConfig, EvalMode, Request};
+
+        let q = query_from_tableau(&Pointed::boolean(s));
+        let exact = eval_naive(&q, &db);
+        let engine = Engine::new(EngineConfig {
+            naive_cost_budget: 0.0, // every cyclic query goes sandwich
+            ..EngineConfig::default()
+        });
+        let d = engine.register_database("db", db.clone());
+        let qid = engine.prepare_query("q", q);
+        let r = engine.execute(&Request::new(qid, d));
+        prop_assert_eq!(r.answers, exact.clone());
+        let certain = engine.execute(&Request {
+            query: qid,
+            db: d,
+            mode: EvalMode::CertainOnly,
+            timeout: None,
+        });
+        for a in &certain.answers {
+            prop_assert!(exact.contains(a), "certain answer {:?} not in Q(D)", a);
+        }
+    }
+
     /// Theorem 5.1 consistency: the polynomial classifier predicts the
     /// computed acyclic approximations.
     #[test]
