@@ -9,10 +9,12 @@
 //! ```
 //!
 //! Experiment ids: fig1 fig2 prop44 trichotomy speedup tight nonboolean
-//! twk strong hyper dp ablation engine
+//! twk strong hyper dp ablation engine hom
 //!
 //! The `engine` experiment additionally writes `BENCH_engine.json`
-//! (queries/sec, cache hit rate) for machine-readable perf tracking.
+//! (queries/sec, cache hit rate) and the `hom` experiment writes
+//! `BENCH_hom.json` (new vs pre-refactor hom engine) for machine-readable
+//! perf tracking.
 
 use cqapx_bench as bench;
 
@@ -32,6 +34,7 @@ fn main() {
         "dp",
         "ablation",
         "engine",
+        "hom",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -53,6 +56,7 @@ fn main() {
             "dp" => bench::exp_dp(),
             "ablation" => bench::exp_ablation(),
             "engine" => bench::exp_engine(),
+            "hom" => bench::exp_hom(),
             other => {
                 eprintln!("unknown experiment id {other}; known: {all:?}");
                 std::process::exit(2);

@@ -9,6 +9,7 @@
 //! experiments validate shapes (who exists, what size, which growth), not
 //! absolute wall-clock numbers.
 
+pub mod baseline;
 pub mod experiments;
 pub mod workloads;
 

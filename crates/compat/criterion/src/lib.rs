@@ -14,8 +14,17 @@
 //! No plots, no statistics beyond the median — enough to track the perf
 //! trajectory offline; the real criterion can be swapped back in via
 //! Cargo.toml alone.
+//!
+//! Setting `CQAPX_BENCH_SMOKE=1` switches every benchmark to a single
+//! sample of a single iteration (no batch sizing): a CI smoke mode that
+//! proves the benches still *run* without paying for measurements.
 
 use std::time::{Duration, Instant};
+
+/// `true` when the single-iteration CI smoke mode is requested.
+fn smoke_mode() -> bool {
+    std::env::var_os("CQAPX_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
 
 pub use std::hint::black_box;
 
@@ -50,6 +59,12 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, recording the median per-iteration wall time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke_mode() {
+            let t = Instant::now();
+            black_box(f());
+            self.last_median = Some(t.elapsed());
+            return;
+        }
         // Warm-up and batch sizing: grow the batch until it takes ≥1ms.
         let mut batch = 1u32;
         loop {
@@ -90,6 +105,7 @@ fn human(d: Duration) -> String {
 }
 
 fn run_one(group: &str, name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let samples = if smoke_mode() { 1 } else { samples };
     let mut b = Bencher {
         samples,
         last_median: None,
@@ -100,8 +116,12 @@ fn run_one(group: &str, name: &str, samples: usize, f: impl FnOnce(&mut Bencher)
     } else {
         format!("{group}/{name}")
     };
+    let suffix = if smoke_mode() { " [smoke]" } else { "" };
     match b.last_median {
-        Some(m) => println!("bench {label} ... median {} ({samples} samples)", human(m)),
+        Some(m) => println!(
+            "bench {label} ... median {} ({samples} samples){suffix}",
+            human(m)
+        ),
         None => println!("bench {label} ... no measurement"),
     }
 }

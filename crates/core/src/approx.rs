@@ -29,10 +29,11 @@
 
 use crate::classes::{ClassKind, QueryClass};
 use cqapx_cq::{query_from_tableau, tableau_of, ConjunctiveQuery};
+use cqapx_structures::fxhash::{FxHashMap, FxHashSet};
 use cqapx_structures::iso::{isomorphic_pointed, signature_pointed, IsoSignature};
 use cqapx_structures::{
-    core_of, order, partition::for_each_partition, quotient::quotient_pointed, Partition, Pointed,
-    StructureBuilder,
+    core_of, order, partition::for_each_partition, quotient::quotient_pointed, HomSolver,
+    Partition, Pointed, SearchBudget, StructureBuilder,
 };
 use std::collections::HashSet;
 use std::ops::ControlFlow;
@@ -118,29 +119,270 @@ impl ApproxCacheKey {
     }
 }
 
+/// A per-search memo table of hom-order verdicts, keyed by isomorphism
+/// class.
+///
+/// The candidate space of the approximation search is full of repeats: a
+/// quotient and a repaired quotient, or two quotients by conjugate
+/// partitions, are frequently isomorphic, and the dedup/minimality
+/// filtering used to re-derive the same arrows `→` between them over and
+/// over. The memo assigns each tableau an **isomorphism class id** —
+/// bucketed by [`signature_pointed`] (a necessary condition), confirmed by
+/// [`isomorphic_pointed`] (exact, so signature collisions are harmless) —
+/// compiles one [`HomSolver`] per class representative, and caches one
+/// hom-existence verdict per ordered class pair. Hom existence is
+/// invariant under isomorphism on either side, so a per-class verdict is
+/// sound for every member.
+#[derive(Default)]
+pub struct HomOrderMemo {
+    reps: Vec<Pointed>,
+    solvers: Vec<HomSolver>,
+    by_sig: FxHashMap<IsoSignature, Vec<usize>>,
+    verdicts: FxHashMap<(usize, usize), bool>,
+}
+
+impl HomOrderMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        HomOrderMemo::default()
+    }
+
+    /// The isomorphism-class id of a tableau, interning it on first sight.
+    pub fn class_of(&mut self, p: &Pointed) -> usize {
+        let sig = signature_pointed(p);
+        let bucket = self.by_sig.entry(sig).or_default();
+        for &c in bucket.iter() {
+            // Signature equality already forces equal universe sizes,
+            // per-relation tuple counts and distinguished arities, so a
+            // pinned injective homomorphism from the stored representative
+            // is an isomorphism (the `isomorphic_pointed` argument), and
+            // the representative's compiled solver is reused for the
+            // confirmation.
+            let rep = &self.reps[c];
+            if rep.distinguished().len() == p.distinguished().len()
+                && self.solvers[c]
+                    .run(&p.structure)
+                    .pin_tuple(rep.distinguished(), p.distinguished())
+                    .injective()
+                    .exists()
+            {
+                return c;
+            }
+        }
+        let c = self.reps.len();
+        bucket.push(c);
+        self.reps.push(p.clone());
+        self.solvers.push(HomSolver::compile(&p.structure));
+        c
+    }
+
+    /// The stored representative of a class.
+    pub fn rep(&self, class: usize) -> &Pointed {
+        &self.reps[class]
+    }
+
+    /// Number of distinct isomorphism classes interned so far.
+    pub fn classes(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Number of hom verdicts actually derived (≤ ordered class pairs).
+    pub fn derived_verdicts(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// `class(a) → class(b)` in the hom preorder (`a ≤ b`), memoized.
+    pub fn hom_le(&mut self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true; // isomorphic tableaux are hom-equivalent
+        }
+        if let Some(&v) = self.verdicts.get(&(a, b)) {
+            return v;
+        }
+        let ra = &self.reps[a];
+        let rb = &self.reps[b];
+        let v = ra.distinguished().len() == rb.distinguished().len()
+            && self.solvers[a]
+                .run(&rb.structure)
+                .pin_tuple(ra.distinguished(), rb.distinguished())
+                .exists();
+        self.verdicts.insert((a, b), v);
+        v
+    }
+
+    /// Memoized [`order::hom_exists`] on arbitrary tableaux (both sides
+    /// are interned first).
+    pub fn hom_between(&mut self, a: &Pointed, b: &Pointed) -> bool {
+        let ca = self.class_of(a);
+        let cb = self.class_of(b);
+        self.hom_le(ca, cb)
+    }
+}
+
 /// Enumerates the in-class candidate tableaux for a query tableau.
+///
+/// Distinct partitions frequently induce the *same* quotient; building a
+/// `Structure` (and running the class-membership test) per partition used
+/// to pay for every duplicate. Each quotient is therefore fingerprinted
+/// first — block count plus the per-relation sorted mapped tuples,
+/// computed into reusable scratch buffers with no structure built — and
+/// only unseen fingerprints get materialized and class-checked.
 fn candidates(
     t: &Pointed,
     class: &dyn QueryClass,
     opts: &ApproxOptions,
 ) -> (Vec<Pointed>, u64, bool) {
-    let n = t.structure.universe_size();
-    let mut seen: HashSet<Pointed> = HashSet::new();
+    let s = &t.structure;
+    let n = s.universe_size();
+    let vocab = s.vocabulary().clone();
+    // Flatten the source tuples once: per relation, (arity, concatenated
+    // tuple elements).
+    let rels: Vec<(cqapx_structures::RelId, usize, Vec<u32>)> = vocab
+        .rel_ids()
+        .map(|rel| {
+            let arity = vocab.arity(rel);
+            let mut flat = Vec::with_capacity(arity * s.tuples(rel).len());
+            for tup in s.tuples(rel) {
+                flat.extend_from_slice(tup);
+            }
+            (rel, arity, flat)
+        })
+        .collect();
+
+    let mut seen_fp: FxHashSet<Box<[u32]>> = FxHashSet::default();
+    // `Structure`'s interior mutability is only its derived index cache,
+    // which equality and hashing ignore — the key is logically immutable.
+    #[allow(clippy::mutable_key_type)]
+    let mut seen_structs: FxHashSet<Pointed> = FxHashSet::default();
     let mut out: Vec<Pointed> = Vec::new();
     let mut count: u64 = 0;
+    // Reusable scratch: per-relation sorted/deduplicated mapped tuples,
+    // a u64 packing buffer for low arities, a chunk-sort order, a swap
+    // buffer for the generic path, and the fingerprint itself.
+    let mut mapped_rel: Vec<Vec<u32>> = vec![Vec::new(); rels.len()];
+    let mut packed: Vec<u64> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut sorted: Vec<u32> = Vec::new();
+    let mut fp: Vec<u32> = Vec::new();
+
     let complete = for_each_partition(n, |p| {
         count += 1;
         if count > opts.max_partitions {
             return ControlFlow::Break(());
         }
-        let (qt, _) = quotient_pointed(t, p);
-        if class.contains_tableau(&qt) {
-            if seen.insert(qt.clone()) {
+        let labels = p.labels();
+        fp.clear();
+        fp.push(p.n_blocks() as u32);
+        // The mapped distinguished tuple is part of the pointed quotient's
+        // identity: equal structures with differently-mapped free
+        // variables are different candidates.
+        fp.extend(t.distinguished().iter().map(|&x| labels[x as usize]));
+        for (ri, (_, arity, flat)) in rels.iter().enumerate() {
+            let w = *arity;
+            let buf = &mut mapped_rel[ri];
+            buf.clear();
+            if w == 0 {
+                fp.push(0);
+                continue;
+            }
+            if w <= 2 {
+                // Pack each mapped tuple into one u64: a plain integer
+                // sort + dedup, much cheaper than slice-compare sorting.
+                packed.clear();
+                if w == 1 {
+                    packed.extend(flat.iter().map(|&e| labels[e as usize] as u64));
+                } else {
+                    for pair in flat.chunks_exact(2) {
+                        packed.push(
+                            ((labels[pair[0] as usize] as u64) << 32)
+                                | labels[pair[1] as usize] as u64,
+                        );
+                    }
+                }
+                packed.sort_unstable();
+                packed.dedup();
+                for &v in &packed {
+                    if w == 2 {
+                        buf.push((v >> 32) as u32);
+                    }
+                    buf.push(v as u32);
+                }
+            } else {
+                buf.extend(flat.iter().map(|&e| labels[e as usize]));
+                let n_tuples = buf.len() / w;
+                order.clear();
+                order.extend(0..n_tuples);
+                order.sort_unstable_by(|&a, &b| {
+                    buf[a * w..(a + 1) * w].cmp(&buf[b * w..(b + 1) * w])
+                });
+                sorted.clear();
+                let mut prev: Option<usize> = None;
+                for &i in &order {
+                    let tup = &buf[i * w..(i + 1) * w];
+                    if prev.is_none_or(|pi| &buf[pi * w..(pi + 1) * w] != tup) {
+                        sorted.extend_from_slice(tup);
+                        prev = Some(i);
+                    }
+                }
+                std::mem::swap(buf, &mut sorted);
+            }
+            // Prefix the relation's deduplicated tuple count: relations
+            // are emitted in fixed order and each relation's arity is
+            // fixed, so the length prefix makes the encoding uniquely
+            // parseable — without it, a tuple of one relation could be
+            // misread as belonging to the next, making distinct
+            // quotients collide on multi-relation vocabularies.
+            fp.push((buf.len() / w) as u32);
+            fp.extend_from_slice(buf);
+        }
+        if seen_fp.contains(fp.as_slice()) {
+            return ControlFlow::Continue(());
+        }
+        seen_fp.insert(fp.clone().into_boxed_slice());
+
+        // First sighting of this quotient: class-check it from the raw
+        // buffers when the class supports that; materialize a `Pointed`
+        // only when it is actually a candidate (or feeds the repair
+        // search).
+        let n_blocks = p.n_blocks();
+        let verdict = class.contains_quotient(
+            n_blocks,
+            &mut rels
+                .iter()
+                .zip(mapped_rel.iter())
+                .filter(|((_, w, _), _)| *w > 0)
+                .flat_map(|((_, w, _), buf)| buf.chunks_exact(*w)),
+        );
+        let wants_repairs =
+            class.kind() == ClassKind::HypergraphClosed && opts.repair_extra_atoms > 0;
+        if verdict == Some(false) && !wants_repairs {
+            return ControlFlow::Continue(());
+        }
+
+        let mut b = StructureBuilder::new(vocab.clone(), n_blocks);
+        for ((rel, w, _), buf) in rels.iter().zip(mapped_rel.iter()) {
+            if *w == 0 {
+                continue;
+            }
+            for tup in buf.chunks_exact(*w) {
+                b.add(*rel, tup);
+            }
+        }
+        let distinguished = t
+            .distinguished()
+            .iter()
+            .map(|&x| labels[x as usize])
+            .collect();
+        let qt = Pointed::new(b.finish(), distinguished);
+
+        let in_class = verdict.unwrap_or_else(|| class.contains_tableau(&qt));
+        if in_class {
+            if seen_structs.insert(qt.clone()) {
                 out.push(qt);
             }
-        } else if class.kind() == ClassKind::HypergraphClosed && opts.repair_extra_atoms > 0 {
+        } else if wants_repairs {
             for repaired in repairs_public(&qt, class, opts) {
-                if seen.insert(repaired.clone()) {
+                if seen_structs.insert(repaired.clone()) {
                     out.push(repaired);
                 }
             }
@@ -301,12 +543,41 @@ pub fn all_approximations_tableaux(
 ) -> (Vec<Pointed>, ApproxReportMeta) {
     let (cands, partitions, complete) = candidates(t, class, opts);
     let n_candidates = cands.len();
-    // Deduplicate up to homomorphic equivalence first (keeps the quadratic
-    // minimality pass small).
-    let kept = order::dedupe_hom_equivalent(&cands);
-    let reps: Vec<Pointed> = kept.into_iter().map(|i| cands[i].clone()).collect();
-    let minimal = order::minimal_elements(&reps);
-    let mut result: Vec<Pointed> = minimal.into_iter().map(|i| reps[i].clone()).collect();
+    // Collapse candidates into isomorphism classes (isomorphic tableaux
+    // are hom-equivalent, so this is already part of the dedup) and run
+    // the dedup/minimality arrows through the per-search memo: every hom
+    // verdict between two classes is derived at most once.
+    let mut memo = HomOrderMemo::new();
+    let mut class_order: Vec<usize> = Vec::new();
+    let mut seen_classes: FxHashSet<usize> = FxHashSet::default();
+    for c in &cands {
+        let cid = memo.class_of(c);
+        if seen_classes.insert(cid) {
+            class_order.push(cid);
+        }
+    }
+    // Deduplicate up to homomorphic equivalence (first representative
+    // wins), keeping the quadratic minimality pass small.
+    let mut kept: Vec<usize> = Vec::new();
+    'outer: for &c in &class_order {
+        for &k in &kept {
+            if memo.hom_le(c, k) && memo.hom_le(k, c) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    // →-minimal elements among the kept classes.
+    let minimal: Vec<usize> = kept
+        .iter()
+        .copied()
+        .filter(|&i| {
+            !kept
+                .iter()
+                .any(|&j| j != i && memo.hom_le(j, i) && !memo.hom_le(i, j))
+        })
+        .collect();
+    let mut result: Vec<Pointed> = minimal.into_iter().map(|c| memo.rep(c).clone()).collect();
     if opts.minimize {
         result = result.iter().map(|p| core_of(p).core).collect();
         // Cores of non-equivalent structures are non-isomorphic; dedupe
@@ -387,17 +658,39 @@ pub fn one_approximation(
     class: &dyn QueryClass,
     beam_width: usize,
 ) -> ConjunctiveQuery {
+    one_approximation_budgeted(q, class, beam_width, None)
+}
+
+/// [`one_approximation`] under a shared [`SearchBudget`]: the anytime
+/// variant cooperating with the workspace-wide cancellation mechanism
+/// (the same step counter the hom solver and the serving engine charge).
+///
+/// The beam checks the budget between layers and between merge batches;
+/// once it runs dry the search stops expanding and falls back to the
+/// best in-class quotient found so far (or the always-in-class trivial
+/// quotient), so the result stays **sound** — in the class and contained
+/// in `Q` — under any budget, including an already-cancelled one.
+pub fn one_approximation_budgeted(
+    q: &ConjunctiveQuery,
+    class: &dyn QueryClass,
+    beam_width: usize,
+    budget: Option<&SearchBudget>,
+) -> ConjunctiveQuery {
     let t = tableau_of(q);
     let n = t.structure.universe_size();
     if class.contains_tableau(&t) {
         return q.clone();
     }
+    let out_of_budget = |b: Option<&SearchBudget>| b.is_some_and(|b| b.is_exhausted());
     let mut beam: Vec<Partition> = vec![Partition::identity(n)];
     let mut found: Vec<Pointed> = Vec::new();
-    while found.is_empty() && !beam.is_empty() {
+    while found.is_empty() && !beam.is_empty() && !out_of_budget(budget) {
         let mut next: Vec<Partition> = Vec::new();
         let mut seen: HashSet<Vec<u32>> = HashSet::new();
-        for p in &beam {
+        'expand: for p in &beam {
+            if out_of_budget(budget) {
+                break 'expand;
+            }
             for a in 0..n {
                 for b in (a + 1)..n {
                     if p.block_of(a) == p.block_of(b) {
@@ -406,6 +699,12 @@ pub fn one_approximation(
                     let merged = p.merge(a, b);
                     if !seen.insert(merged.labels().to_vec()) {
                         continue;
+                    }
+                    // Each examined quotient is one cooperative step.
+                    if let Some(bu) = budget {
+                        if !bu.charge(1) {
+                            break 'expand;
+                        }
                     }
                     let (qt, _) = quotient_pointed(&t, &merged);
                     if class.contains_tableau(&qt) {
@@ -585,6 +884,33 @@ mod tests {
         assert!(equivalent(&rep.approximations[0], &q));
         let one = one_approximation(&q, &TwK(1), 8);
         assert!(equivalent(&one, &q));
+    }
+
+    #[test]
+    fn multi_relation_fingerprints_do_not_collide() {
+        // Regression: without a length prefix per relation, the quotient
+        // fingerprint of a multi-relation vocabulary was ambiguous (a
+        // tuple of R could be misread as a tuple of S), silently dropping
+        // distinct candidates. Compare the candidate count against a
+        // ground-truth enumeration with full materialization.
+        use cqapx_structures::Vocabulary;
+        let v = Vocabulary::new(vec![("R", 1), ("S", 1)]);
+        let r = v.rel("R").unwrap();
+        let s = v.rel("S").unwrap();
+        let mut b = StructureBuilder::new(v, 4);
+        b.add(r, &[0]).add(r, &[1]).add(s, &[2]).add(s, &[3]);
+        let t = Pointed::boolean(b.finish());
+        #[allow(clippy::mutable_key_type)]
+        let mut ground_truth: HashSet<Pointed> = HashSet::new();
+        for_each_partition(4, |p| {
+            let (qt, _) = quotient_pointed(&t, p);
+            if TwK(1).contains_tableau(&qt) {
+                ground_truth.insert(qt);
+            }
+            ControlFlow::Continue(())
+        });
+        let (_, meta) = all_approximations_tableaux(&t, &TwK(1), &ApproxOptions::default());
+        assert_eq!(meta.candidates, ground_truth.len());
     }
 
     #[test]

@@ -35,6 +35,22 @@ pub trait QueryClass {
     fn kind(&self) -> ClassKind;
     /// Membership of the query whose tableau is `t`.
     fn contains_tableau(&self, t: &Pointed) -> bool;
+    /// Fast-path membership for a candidate given as raw data — universe
+    /// size plus the tuples' element slices — so enumeration loops (the
+    /// approximation search checks thousands of quotients) can decide
+    /// membership without materializing a `Structure` per candidate.
+    ///
+    /// Must agree with [`QueryClass::contains_tableau`] on the
+    /// materialized candidate (the built-in classes only look at element
+    /// co-occurrence, which the slices carry in full). The default
+    /// returns `None`: no fast path, the caller materializes.
+    fn contains_quotient(
+        &self,
+        _universe: usize,
+        _tuples: &mut dyn Iterator<Item = &[u32]>,
+    ) -> Option<bool> {
+        None
+    }
 }
 
 /// The Gaifman graph of a structure: elements as nodes, co-occurrence
@@ -83,6 +99,18 @@ pub fn structure_hypergraph(s: &Structure) -> Hypergraph {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TwK(pub usize);
 
+impl TwK {
+    fn graph_in_class(&self, g: &UGraph) -> bool {
+        if self.0 == 1 {
+            // Treewidth ≤ 1 is exactly forest-ness (loops immaterial):
+            // a union-find-cheap test for the hottest class.
+            g.is_forest()
+        } else {
+            treewidth_at_most(g, self.0).is_some()
+        }
+    }
+}
+
 impl QueryClass for TwK {
     fn name(&self) -> String {
         format!("TW({})", self.0)
@@ -91,7 +119,24 @@ impl QueryClass for TwK {
         ClassKind::SubgraphClosed
     }
     fn contains_tableau(&self, t: &Pointed) -> bool {
-        treewidth_at_most(&structure_graph(&t.structure), self.0).is_some()
+        self.graph_in_class(&structure_graph(&t.structure))
+    }
+    fn contains_quotient(
+        &self,
+        universe: usize,
+        tuples: &mut dyn Iterator<Item = &[u32]>,
+    ) -> Option<bool> {
+        let mut g = UGraph::new(universe);
+        for t in tuples {
+            for (i, &x) in t.iter().enumerate() {
+                for &y in t.iter().skip(i + 1) {
+                    if x != y {
+                        g.add_edge(x, y);
+                    }
+                }
+            }
+        }
+        Some(self.graph_in_class(&g))
     }
 }
 
@@ -99,6 +144,14 @@ impl QueryClass for TwK {
 /// `AC = HTW(1)`, and `AC = TW(1)` over graph vocabularies).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Acyclic;
+
+fn hypergraph_from_tuples(universe: usize, tuples: &mut dyn Iterator<Item = &[u32]>) -> Hypergraph {
+    let mut h = Hypergraph::new(universe);
+    for t in tuples {
+        h.add_edge(t);
+    }
+    h
+}
 
 impl QueryClass for Acyclic {
     fn name(&self) -> String {
@@ -109,6 +162,13 @@ impl QueryClass for Acyclic {
     }
     fn contains_tableau(&self, t: &Pointed) -> bool {
         gyo::is_acyclic(&structure_hypergraph(&t.structure))
+    }
+    fn contains_quotient(
+        &self,
+        universe: usize,
+        tuples: &mut dyn Iterator<Item = &[u32]>,
+    ) -> Option<bool> {
+        Some(gyo::is_acyclic(&hypergraph_from_tuples(universe, tuples)))
     }
 }
 
@@ -125,6 +185,13 @@ impl QueryClass for HtwK {
     }
     fn contains_tableau(&self, t: &Pointed) -> bool {
         htw::htw_at_most(&structure_hypergraph(&t.structure), self.0).is_some()
+    }
+    fn contains_quotient(
+        &self,
+        universe: usize,
+        tuples: &mut dyn Iterator<Item = &[u32]>,
+    ) -> Option<bool> {
+        Some(htw::htw_at_most(&hypergraph_from_tuples(universe, tuples), self.0).is_some())
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::ast::ConjunctiveQuery;
 use crate::tableau::{query_from_tableau, tableau_of};
-use cqapx_structures::{core_of, hom_exists};
+use cqapx_structures::{core_of, hom_exists, HomSolver, Pointed};
 
 /// `Q ⊆ Q'`: every answer of `Q` is an answer of `Q'` on every database.
 ///
@@ -32,14 +32,44 @@ pub fn contained_in(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
     hom_exists(&tableau_of(q2), &tableau_of(q))
 }
 
+/// The pinned hom check `(T_{Q'}, x̄') → (T_Q, x̄)` against prebuilt
+/// tableaux, with `solver` compiled from `t2`'s structure.
+fn tableau_contained(solver: &HomSolver, t2: &Pointed, t: &Pointed) -> bool {
+    solver
+        .run(&t.structure)
+        .pin_tuple(t2.distinguished(), t.distinguished())
+        .exists()
+}
+
 /// `Q ≡ Q'`: containment both ways.
+///
+/// Builds each tableau (and compiles each hom-solver source) once for
+/// both directions, rather than twice via [`contained_in`].
 pub fn equivalent(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
-    contained_in(q, q2) && contained_in(q2, q)
+    if q.vocabulary() != q2.vocabulary() || q.arity() != q2.arity() {
+        return false;
+    }
+    let (t, t2) = (tableau_of(q), tableau_of(q2));
+    let s2 = HomSolver::compile(&t2.structure);
+    if !tableau_contained(&s2, &t2, &t) {
+        return false;
+    }
+    let s = HomSolver::compile(&t.structure);
+    tableau_contained(&s, &t, &t2)
 }
 
 /// `Q ⊂ Q'`: strict containment.
 pub fn strictly_contained_in(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
-    contained_in(q, q2) && !contained_in(q2, q)
+    if q.vocabulary() != q2.vocabulary() || q.arity() != q2.arity() {
+        return false;
+    }
+    let (t, t2) = (tableau_of(q), tableau_of(q2));
+    let s2 = HomSolver::compile(&t2.structure);
+    if !tableau_contained(&s2, &t2, &t) {
+        return false;
+    }
+    let s = HomSolver::compile(&t.structure);
+    !tableau_contained(&s, &t, &t2)
 }
 
 /// The minimized (core) query equivalent to `Q`.

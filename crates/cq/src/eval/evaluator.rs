@@ -4,7 +4,7 @@
 //! sites.
 
 use crate::ast::ConjunctiveQuery;
-use crate::eval::naive::{eval_boolean_naive, eval_naive};
+use crate::eval::naive::NaivePlan;
 use crate::eval::yannakakis::AcyclicPlan;
 use cqapx_structures::{Element, Structure};
 use std::collections::BTreeSet;
@@ -30,30 +30,34 @@ pub trait Evaluator {
     fn strategy_name(&self) -> &'static str;
 }
 
-/// The backtracking-join evaluator; works for every CQ.
+/// The backtracking-join evaluator; works for every CQ. The tableau's
+/// hom-solver is compiled once at construction (see [`NaivePlan`]), so
+/// repeated evaluations pay only for the search.
 #[derive(Debug, Clone)]
 pub struct NaiveEvaluator {
-    query: ConjunctiveQuery,
+    plan: NaivePlan,
 }
 
 impl NaiveEvaluator {
-    /// Wraps a query for naive evaluation.
+    /// Compiles a query for repeated naive evaluation.
     pub fn new(query: ConjunctiveQuery) -> Self {
-        NaiveEvaluator { query }
+        NaiveEvaluator {
+            plan: NaivePlan::compile(query),
+        }
     }
 }
 
 impl Evaluator for NaiveEvaluator {
     fn query(&self) -> &ConjunctiveQuery {
-        &self.query
+        self.plan.query()
     }
 
     fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
-        eval_naive(&self.query, d)
+        self.plan.eval(d)
     }
 
     fn eval_boolean(&self, d: &Structure) -> bool {
-        eval_boolean_naive(&self.query, d)
+        self.plan.eval_boolean(d)
     }
 
     fn strategy_name(&self) -> &'static str {

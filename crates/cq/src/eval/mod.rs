@@ -6,5 +6,5 @@ pub mod relation;
 pub mod yannakakis;
 
 pub use evaluator::{Evaluator, NaiveEvaluator};
-pub use naive::{eval_boolean_naive, eval_naive};
+pub use naive::{eval_boolean_naive, eval_naive, NaivePlan};
 pub use yannakakis::{AcyclicPlan, NotAcyclic};

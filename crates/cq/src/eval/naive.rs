@@ -2,13 +2,112 @@
 //! tableau into the database).
 //!
 //! Works for every CQ; combined complexity `|D|^O(|Q|)` in the worst case
-//! — this is the baseline the paper's approximations beat.
+//! — this is the baseline the paper's approximations beat. [`NaivePlan`]
+//! compiles the tableau side once (a [`HomSolver`] with its constraints
+//! and incidence lists) so that repeated evaluations — a served query hit
+//! by many requests, a membership probe per candidate answer — pay only
+//! for the search; the database side rides on the per-structure index
+//! cache. The free functions are one-shot sugar over it.
 
 use crate::ast::ConjunctiveQuery;
 use crate::tableau::tableau_of;
-use cqapx_structures::{Element, HomProblem, Structure};
+use cqapx_structures::{Element, HomSearchStats, HomSolver, Pointed, SearchBudget, Structure};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
+
+/// A compiled naive evaluator: the query's tableau with its hom-solver
+/// compiled once, reusable against any number of databases.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_cq::{eval::NaivePlan, parse_cq};
+/// use cqapx_structures::Structure;
+///
+/// let plan = NaivePlan::compile(parse_cq("Q(x) :- E(x, y), E(y, x)").unwrap());
+/// let d = Structure::digraph(3, &[(0, 1), (1, 0), (1, 2)]);
+/// assert_eq!(plan.eval(&d).len(), 2); // x ∈ {0, 1}
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaivePlan {
+    query: ConjunctiveQuery,
+    tableau: Pointed,
+    solver: HomSolver,
+}
+
+impl NaivePlan {
+    /// Compiles the tableau of `q` for repeated evaluation.
+    pub fn compile(query: ConjunctiveQuery) -> NaivePlan {
+        let tableau = tableau_of(&query);
+        let solver = HomSolver::compile(&tableau.structure);
+        NaivePlan {
+            query,
+            tableau,
+            solver,
+        }
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The query's tableau `(T_Q, x̄)`.
+    pub fn tableau(&self) -> &Pointed {
+        &self.tableau
+    }
+
+    /// Streams answers of `Q(D)` to `f` (head-ordered tuples, possibly
+    /// with repetitions — one per homomorphism) until `f` breaks or the
+    /// optional shared budget runs dry. Returns the search statistics;
+    /// answers seen before exhaustion are sound.
+    pub fn for_each_answer<F: FnMut(&[Element]) -> ControlFlow<()>>(
+        &self,
+        d: &Structure,
+        budget: Option<&SearchBudget>,
+        mut f: F,
+    ) -> HomSearchStats {
+        let mut run = self.solver.run(d);
+        if let Some(b) = budget {
+            run = run.budget(b);
+        }
+        let mut answer: Vec<Element> = Vec::with_capacity(self.tableau.arity());
+        run.for_each(|h| {
+            answer.clear();
+            answer.extend(self.tableau.distinguished().iter().map(|&v| h.apply(v)));
+            f(&answer)
+        })
+    }
+
+    /// Evaluates `Q(D)`: the set of answer tuples.
+    pub fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
+        let mut answers = BTreeSet::new();
+        self.for_each_answer(d, None, |a| {
+            answers.insert(a.to_vec());
+            ControlFlow::Continue(())
+        });
+        answers
+    }
+
+    /// Decides `Q(D) ≠ ∅`.
+    pub fn eval_boolean(&self, d: &Structure) -> bool {
+        self.solver.run(d).exists()
+    }
+
+    /// Membership check `ā ∈ Q(D)` without materializing the answer set.
+    /// Answers mentioning elements outside `D`'s universe are simply not
+    /// answers (`false`), not an error.
+    pub fn contains_answer(&self, d: &Structure, answer: &[Element]) -> bool {
+        assert_eq!(answer.len(), self.query.arity(), "answer arity mismatch");
+        if answer.iter().any(|&a| (a as usize) >= d.universe_size()) {
+            return false;
+        }
+        self.solver
+            .run(d)
+            .pin_tuple(self.tableau.distinguished(), answer)
+            .exists()
+    }
+}
 
 /// Evaluates `Q(D)`: the set of answer tuples.
 ///
@@ -24,30 +123,18 @@ use std::ops::ControlFlow;
 /// assert_eq!(answers.len(), 2); // x ∈ {0, 1}
 /// ```
 pub fn eval_naive(q: &ConjunctiveQuery, d: &Structure) -> BTreeSet<Vec<Element>> {
-    let t = tableau_of(q);
-    let mut answers = BTreeSet::new();
-    HomProblem::new(&t.structure, d).for_each(|h| {
-        let a: Vec<Element> = t.distinguished().iter().map(|&v| h.apply(v)).collect();
-        answers.insert(a);
-        ControlFlow::Continue(())
-    });
-    answers
+    NaivePlan::compile(q.clone()).eval(d)
 }
 
 /// Evaluates a Boolean query (also usable for non-Boolean queries:
 /// "is the answer nonempty?").
 pub fn eval_boolean_naive(q: &ConjunctiveQuery, d: &Structure) -> bool {
-    let t = tableau_of(q);
-    HomProblem::new(&t.structure, d).exists()
+    NaivePlan::compile(q.clone()).eval_boolean(d)
 }
 
 /// Membership check `ā ∈ Q(D)` without materializing the answer set.
 pub fn contains_answer(q: &ConjunctiveQuery, d: &Structure, answer: &[Element]) -> bool {
-    assert_eq!(answer.len(), q.arity(), "answer arity mismatch");
-    let t = tableau_of(q);
-    HomProblem::new(&t.structure, d)
-        .pin_tuple(t.distinguished(), answer)
-        .exists()
+    NaivePlan::compile(q.clone()).contains_answer(d, answer)
 }
 
 #[cfg(test)]
@@ -88,5 +175,34 @@ mod tests {
         let d = Structure::digraph(3, &[]);
         assert!(eval_naive(&q, &d).is_empty());
         assert!(!eval_boolean_naive(&q, &d));
+    }
+
+    #[test]
+    fn plan_reused_across_databases() {
+        let plan = NaivePlan::compile(parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        let d1 = Structure::digraph(3, &[(0, 1), (1, 2)]);
+        let d2 = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(plan.eval(&d1).len(), 1);
+        assert_eq!(plan.eval(&d2).len(), 2);
+        assert!(plan.eval_boolean(&d2));
+        assert!(plan.contains_answer(&d2, &[1, 3]));
+        assert!(!plan.contains_answer(&d1, &[1, 3]));
+    }
+
+    #[test]
+    fn budgeted_answers_are_sound() {
+        let plan = NaivePlan::compile(parse_cq("Q(x) :- E(x,y), E(y,z), E(z,x)").unwrap());
+        let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 0), (3, 3)]);
+        let full = plan.eval(&d);
+        let budget = SearchBudget::new(2);
+        let mut partial: Vec<Vec<Element>> = Vec::new();
+        let stats = plan.for_each_answer(&d, Some(&budget), |a| {
+            partial.push(a.to_vec());
+            ControlFlow::Continue(())
+        });
+        for a in &partial {
+            assert!(full.contains(a));
+        }
+        assert!(stats.budget_exhausted || partial.len() >= full.len());
     }
 }

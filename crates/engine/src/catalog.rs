@@ -7,8 +7,8 @@
 //! Yannakakis plan compiled. Execution then only reads `Arc`-shared
 //! entries.
 
-use cqapx_cq::eval::AcyclicPlan;
-use cqapx_cq::{tableau_of, ConjunctiveQuery, QueryShape};
+use cqapx_cq::eval::{AcyclicPlan, NaivePlan};
+use cqapx_cq::{ConjunctiveQuery, QueryShape};
 use cqapx_structures::{Pointed, RelId, Structure};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -85,14 +85,26 @@ pub fn compute_stats(s: &Structure) -> Vec<RelationStats> {
 pub struct PreparedQuery {
     /// Preparation name.
     pub name: String,
-    /// The query.
-    pub query: ConjunctiveQuery,
     /// Plan-relevant metadata (class membership, sizes).
     pub shape: QueryShape,
-    /// The tableau `(T_Q, x̄)`, shared with the approximation cache.
-    pub tableau: Pointed,
+    /// The compiled naive plan: the tableau's hom-solver, built once at
+    /// prepare time and reused by every request (and by the refinement
+    /// membership probes). Also owns the query and its tableau.
+    pub naive: NaivePlan,
     /// Compiled Yannakakis plan, when the query is acyclic.
     pub yannakakis: Option<Arc<AcyclicPlan>>,
+}
+
+impl PreparedQuery {
+    /// The prepared query itself.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        self.naive.query()
+    }
+
+    /// The tableau `(T_Q, x̄)`, shared with the approximation cache.
+    pub fn tableau(&self) -> &Pointed {
+        self.naive.tableau()
+    }
 }
 
 /// Named databases and prepared queries.
@@ -145,10 +157,9 @@ impl Catalog {
         };
         self.queries.push(Arc::new(PreparedQuery {
             name: name.clone(),
-            tableau: tableau_of(&q),
+            naive: NaivePlan::compile(q),
             shape,
             yannakakis,
-            query: q,
         }));
         self.query_names.insert(name, id);
         id

@@ -5,8 +5,8 @@ use crate::catalog::{Catalog, DatabaseEntry, DbId, PreparedQuery, QueryId};
 use crate::par::{default_threads, parallel_map};
 use crate::planner::{choose_plan, PlanDecision, PlanKind};
 use cqapx_core::{Acyclic, ApproxOptions, HtwK, QueryClass, TwK};
-use cqapx_cq::eval::naive::contains_answer;
-use cqapx_structures::{Element, HomProblem, Pointed, Structure};
+use cqapx_cq::eval::NaivePlan;
+use cqapx_structures::{Element, SearchBudget, Structure};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::ops::ControlFlow;
@@ -325,11 +325,12 @@ impl Engine {
     }
 
     /// Exact membership check `ā ∈ Q(D)` — the on-demand refinement for
-    /// answers not already certain: a single pinned homomorphism search,
-    /// far cheaper than materializing `Q(D)`.
+    /// answers not already certain: a single pinned homomorphism search
+    /// on the prepared query's compiled plan, far cheaper than
+    /// materializing `Q(D)`.
     pub fn refine_contains(&self, query: QueryId, db: DbId, answer: &[Element]) -> bool {
         let (q, d) = self.resolve(&Request::new(query, db));
-        contains_answer(&q.query, &d.structure, answer)
+        q.naive.contains_answer(&d.structure, answer)
     }
 
     /// # Panics
@@ -348,7 +349,7 @@ impl Engine {
             .database(req.db)
             .unwrap_or_else(|| panic!("unknown database id {:?}", req.db));
         assert_eq!(
-            q.query.vocabulary(),
+            q.query().vocabulary(),
             d.structure.vocabulary(),
             "query {:?} and database {:?} have different vocabularies",
             q.name,
@@ -385,6 +386,19 @@ impl Engine {
             .timeout
             .or(self.config.default_timeout)
             .map(|t| start + t);
+        // One shared step budget per request: the naive-join searches a
+        // request fans into all charge the same counter, so the join
+        // phase as a whole — not each sub-search — honors the deadline.
+        // (As documented on `EngineConfig::default_timeout`, the
+        // deadline bounds join evaluation; in-class approximation
+        // evaluators are tractable by construction and run unbudgeted.)
+        let budget = deadline.map(|dl| {
+            let remaining_ms = dl
+                .saturating_duration_since(Instant::now())
+                .as_millis()
+                .max(1) as u64;
+            SearchBudget::new(remaining_ms.saturating_mul(self.config.nodes_per_ms))
+        });
         let decision: PlanDecision = choose_plan(&q.shape, d, self.config.naive_cost_budget);
         let mut plan_reason = decision.reason.clone();
         let (answers, status, cache_hit) = match decision.kind {
@@ -397,7 +411,7 @@ impl Engine {
             }
             PlanKind::Naive => {
                 let (answers, timed_out) =
-                    self.eval_naive_bounded(&q.tableau, &d.structure, deadline);
+                    self.eval_naive_bounded(&q.naive, &d.structure, deadline, budget.as_ref());
                 let status = if timed_out {
                     ResponseStatus::TimedOut
                 } else {
@@ -421,7 +435,7 @@ impl Engine {
                         "; exact mode: full join under the deadline, approximation as fallback",
                     );
                     let (exact, timed_out) =
-                        self.eval_naive_bounded(&q.tableau, &d.structure, deadline);
+                        self.eval_naive_bounded(&q.naive, &d.structure, deadline, budget.as_ref());
                     if timed_out {
                         // Already over the deadline: only a *cached*
                         // approximation may be consulted — starting the
@@ -436,7 +450,7 @@ impl Engine {
                         let class = self.config.approx_class.as_class();
                         match memoized.or_else(|| {
                             self.cache.lookup_only(
-                                &q.tableau,
+                                q.tableau(),
                                 class.as_ref(),
                                 &self.config.approx_options,
                             )
@@ -486,7 +500,7 @@ impl Engine {
         let class = self.config.approx_class.as_class();
         let (cached, hit) =
             self.cache
-                .get_or_compute(&q.tableau, class.as_ref(), &self.config.approx_options);
+                .get_or_compute(q.tableau(), class.as_ref(), &self.config.approx_options);
         self.approx_memo
             .lock()
             .expect("memo lock poisoned")
@@ -511,38 +525,27 @@ impl Engine {
         (answers, hit)
     }
 
-    /// Naive evaluation under a deadline: answers accumulate through
-    /// `HomProblem::for_each`; the deadline is checked at every found
-    /// answer and the remaining wall time is converted into a
-    /// search-node budget so answer-free subtrees stop near the deadline
-    /// too. Returns `(answers, timed_out)`; answers are sound either way.
+    /// Naive evaluation under a deadline: answers stream out of the
+    /// prepared query's compiled [`NaivePlan`]; the deadline is checked
+    /// at every found answer, and the request's shared [`SearchBudget`]
+    /// (the remaining wall time converted into solver steps) stops even
+    /// answer-free subtrees near the deadline. Returns
+    /// `(answers, timed_out)`; answers are sound either way.
     fn eval_naive_bounded(
         &self,
-        tableau: &Pointed,
+        plan: &NaivePlan,
         d: &Structure,
         deadline: Option<Instant>,
+        budget: Option<&SearchBudget>,
     ) -> (BTreeSet<Vec<Element>>, bool) {
         let mut answers = BTreeSet::new();
         let mut timed_out = false;
-        let mut problem = HomProblem::new(&tableau.structure, d);
-        if let Some(dl) = deadline {
-            let remaining_ms = dl
-                .saturating_duration_since(Instant::now())
-                .as_millis()
-                .max(1) as u64;
-            problem = problem.node_budget(remaining_ms.saturating_mul(self.config.nodes_per_ms));
-        }
-        let stats = problem.for_each(|h| {
+        let stats = plan.for_each_answer(d, budget, |a| {
             if deadline.is_some_and(|dl| Instant::now() >= dl) {
                 timed_out = true;
                 return ControlFlow::Break(());
             }
-            let a: Vec<Element> = tableau
-                .distinguished()
-                .iter()
-                .map(|&v| h.apply(v))
-                .collect();
-            answers.insert(a);
+            answers.insert(a.to_vec());
             ControlFlow::Continue(())
         });
         (answers, timed_out || stats.budget_exhausted)

@@ -12,8 +12,9 @@
 //! an endomorphism must fix `ā` pointwise, matching CQ minimization in the
 //! presence of free variables.
 
-use crate::hom::{HomProblem, Homomorphism};
+use crate::hom::Homomorphism;
 use crate::pointed::Pointed;
+use crate::solver::HomSolver;
 use crate::structure::{Element, Structure};
 
 /// The result of a core computation.
@@ -31,19 +32,23 @@ pub struct CoreResult {
 /// Searches for an endomorphism of `p` whose image misses at least one
 /// element, i.e. a witness that `p` is not a core.
 ///
-/// Distinguished elements are pinned to themselves.
+/// Distinguished elements are pinned to themselves. The endomorphism
+/// source is compiled once and reused across all `n` exclusion probes
+/// (and the target-side index is the structure's cached one), so each
+/// probe pays only for its search.
 fn non_surjective_endomorphism(p: &Pointed) -> Option<Homomorphism> {
     let s = &p.structure;
     let n = s.universe_size();
+    let solver = HomSolver::compile(s);
     for avoid in 0..n as Element {
         if p.distinguished().contains(&avoid) {
             continue; // pinned elements are always in the image
         }
-        let mut prob = HomProblem::new(s, s).exclude_target(avoid);
+        let mut run = solver.run(s).exclude_target(avoid);
         for &d in p.distinguished() {
-            prob = prob.pin(d, d);
+            run = run.pin(d, d);
         }
-        if let Some(h) = prob.find() {
+        if let Some(h) = run.find() {
             return Some(h);
         }
     }
@@ -101,11 +106,59 @@ pub fn core_of(p: &Pointed) -> CoreResult {
     let mut retraction: Vec<Element> = (0..p.structure.universe_size() as Element).collect();
     let mut iterations = 0;
 
+    // Monotonicity of unavoidability under retraction: if the current
+    // structure `D` has no endomorphism (fixing ā) avoiding `y`, then no
+    // retract `D'` of `D` containing `y` has one either — an endomorphism
+    // `g` of `D'` avoiding `y` would compose with the projection and the
+    // inclusion into `π;g;ι`, an endomorphism of `D` avoiding `y`. So a
+    // failed probe settles its element for the *entire* run: the flag is
+    // carried through each retraction's renumbering and the element is
+    // never probed again, bounding the total number of failed probes by
+    // the universe size (the seed engine restarted every probe from
+    // scratch after each retraction).
+    let mut proven: Vec<bool> = vec![false; current.structure.universe_size()];
+
     loop {
-        match non_surjective_endomorphism(&current) {
+        let s = &current.structure;
+        let n = s.universe_size();
+        let solver = HomSolver::compile(s);
+        let mut witness: Option<Homomorphism> = None;
+        for avoid in 0..n as Element {
+            if proven[avoid as usize] || current.distinguished().contains(&avoid) {
+                continue;
+            }
+            let mut run = solver.run(s).exclude_target(avoid);
+            for &d in current.distinguished() {
+                run = run.pin(d, d);
+            }
+            match run.find() {
+                Some(h) => {
+                    witness = Some(h);
+                    break;
+                }
+                None => proven[avoid as usize] = true,
+            }
+        }
+        match witness {
             None => break,
-            Some(h) => {
+            Some(mut h) => {
                 iterations += 1;
+                // Iterate the witness to its eventual image (h², h⁴, …):
+                // every power of an endomorphism fixing ā is again one,
+                // and the image chain shrinks until h is injective on it.
+                // One cheap O(n log n) squeeze per *search* often saves
+                // whole search-and-rebuild iterations.
+                let mut image = h.image_size();
+                loop {
+                    let h2 = h.then(&h);
+                    let next_image = h2.image_size();
+                    if next_image < image {
+                        h = h2;
+                        image = next_image;
+                    } else {
+                        break;
+                    }
+                }
                 // Build the image as a pointed structure, tracking renaming.
                 let next = current.map_image(&h.map);
                 // Track where each original element goes: through h, then
@@ -117,6 +170,16 @@ pub fn core_of(p: &Pointed) -> CoreResult {
                     let via_h = h.map[*r as usize];
                     *r = remap[via_h as usize].expect("image elements are active");
                 }
+                // Carry the settled flags through the renumbering
+                // (collapsed elements drop out; surviving ones keep their
+                // verdict by the monotonicity argument above).
+                let mut next_proven = vec![false; next.structure.universe_size()];
+                for (old, new) in remap.iter().enumerate() {
+                    if let Some(new) = new {
+                        next_proven[*new as usize] = proven[old];
+                    }
+                }
+                proven = next_proven;
                 current = next;
             }
         }

@@ -1,13 +1,16 @@
-//! A CSP-style homomorphism engine.
+//! The homomorphism facade: [`Homomorphism`] witnesses and the one-shot
+//! [`HomProblem`] builder.
 //!
 //! Finding a homomorphism `D₁ → D₂` between relational structures is
 //! exactly solving a constraint satisfaction problem (Kolaitis & Vardi):
 //! variables are the elements of `D₁`, domains are the elements of `D₂`,
 //! and every tuple of `D₁` is a table constraint over the corresponding
-//! tuples of `D₂`. This module implements a backtracking solver with
-//! minimum-remaining-values (MRV) variable ordering and generalized arc
-//! consistency (forward checking over the tuples incident to the last
-//! assigned variable).
+//! tuples of `D₂`. The search itself lives in [`crate::solver`]: a
+//! propagation solver (AC-3 over table constraints, MRV branching) running
+//! on the per-structure inverted indexes of [`crate::index`].
+//! `HomProblem` is the convenience wrapper for one-shot questions; when
+//! one source is solved against many targets or variants, compile it once
+//! with [`HomSolver::compile`](crate::HomSolver) instead.
 //!
 //! The same engine serves the whole workspace:
 //!
@@ -18,9 +21,9 @@
 //! * verification of the paper's gadget claims (incomparability of oriented
 //!   paths, chooser properties, …).
 
-use crate::structure::{Element, Structure, Tuple};
-use crate::vocabulary::RelId;
-use std::collections::HashSet;
+use crate::solver::{HomRun, HomSolver, SearchBudget};
+use crate::structure::{Element, Structure};
+use std::cell::RefCell;
 use std::ops::ControlFlow;
 
 /// A homomorphism, stored as the image of each source element.
@@ -30,6 +33,13 @@ pub struct Homomorphism {
     pub map: Vec<Element>,
 }
 
+thread_local! {
+    /// Reusable mark bitset for [`Homomorphism::image_size`] /
+    /// [`Homomorphism::is_non_injective`] — these sit in the core-search
+    /// inner loop, so they must not allocate or sort per call.
+    static IMAGE_MARKS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
 impl Homomorphism {
     /// The image of a source element.
     #[inline]
@@ -37,24 +47,51 @@ impl Homomorphism {
         self.map[e as usize]
     }
 
-    /// `true` when two distinct source elements share an image.
-    pub fn is_non_injective(&self) -> bool {
-        let mut seen = vec![false; self.map.iter().map(|&x| x as usize + 1).max().unwrap_or(0)];
-        for &x in &self.map {
-            if seen[x as usize] {
-                return true;
-            }
-            seen[x as usize] = true;
-        }
-        false
+    /// Clears and sizes the thread-local mark bitset for this map.
+    /// Allocation-free after warm-up (the scratch persists across calls).
+    fn with_image_marks<R>(&self, f: impl FnOnce(&[Element], &mut [u64]) -> R) -> R {
+        IMAGE_MARKS.with(|cell| {
+            let mut words = cell.borrow_mut();
+            let need = self
+                .map
+                .iter()
+                .map(|&x| x as usize / 64 + 1)
+                .max()
+                .unwrap_or(0);
+            words.clear();
+            words.resize(need, 0);
+            f(&self.map, &mut words)
+        })
     }
 
-    /// Number of distinct image elements.
+    /// `true` when two distinct source elements share an image.
+    ///
+    /// Allocation-free: uses a persistent thread-local mark bitset and
+    /// stops at the first duplicate.
+    pub fn is_non_injective(&self) -> bool {
+        self.with_image_marks(|map, marks| {
+            for &x in map {
+                let (w, b) = (x as usize / 64, x % 64);
+                if (marks[w] >> b) & 1 == 1 {
+                    return true;
+                }
+                marks[w] |= 1 << b;
+            }
+            false
+        })
+    }
+
+    /// Number of distinct image elements (allocation-free: no clone/sort).
     pub fn image_size(&self) -> usize {
-        let mut v: Vec<Element> = self.map.clone();
-        v.sort_unstable();
-        v.dedup();
-        v.len()
+        self.with_image_marks(|map, marks| {
+            let mut count = 0;
+            for &x in map {
+                let (w, b) = (x as usize / 64, x % 64);
+                count += usize::from((marks[w] >> b) & 1 == 0);
+                marks[w] |= 1 << b;
+            }
+            count
+        })
     }
 
     /// `true` when every element of `target_universe` is hit.
@@ -100,12 +137,16 @@ pub struct HomSearchStats {
     pub nodes: u64,
     /// Number of backtracks.
     pub backtracks: u64,
-    /// Whether the search exhausted its node budget before finishing.
+    /// Whether the search exhausted its step budget before finishing.
     pub budget_exhausted: bool,
 }
 
-/// A homomorphism search problem `source → target` with optional
+/// A one-shot homomorphism search problem `source → target` with optional
 /// constraints.
+///
+/// This is sugar over [`HomSolver`]: each execution compiles the source
+/// and runs once. Prefer compiling a [`HomSolver`] directly when solving
+/// one source against many targets or variants.
 ///
 /// # Examples
 ///
@@ -125,7 +166,7 @@ pub struct HomProblem<'a> {
     pins: Vec<(Element, Element)>,
     excluded: Vec<Element>,
     injective: bool,
-    node_budget: Option<u64>,
+    budget: Option<SearchBudget>,
 }
 
 impl<'a> HomProblem<'a> {
@@ -146,7 +187,7 @@ impl<'a> HomProblem<'a> {
             pins: Vec::new(),
             excluded: Vec::new(),
             injective: false,
-            node_budget: None,
+            budget: None,
         }
     }
 
@@ -178,18 +219,38 @@ impl<'a> HomProblem<'a> {
 
     /// Caps the number of search nodes (for anytime / bounded uses).
     pub fn node_budget(mut self, budget: u64) -> Self {
-        self.node_budget = Some(budget);
+        self.budget = Some(SearchBudget::new(budget));
         self
+    }
+
+    /// Shares an existing step budget with this search (cooperative
+    /// cancellation across searches; see [`SearchBudget`]).
+    pub fn budget(mut self, budget: &SearchBudget) -> Self {
+        self.budget = Some(budget.clone());
+        self
+    }
+
+    fn configure<'s>(&self, solver: &'s HomSolver) -> HomRun<'s, 'a> {
+        let mut run = solver.run(self.target);
+        for &(s, t) in &self.pins {
+            run = run.pin(s, t);
+        }
+        for &e in &self.excluded {
+            run = run.exclude_target(e);
+        }
+        if self.injective {
+            run = run.injective();
+        }
+        if let Some(b) = &self.budget {
+            run = run.budget(b);
+        }
+        run
     }
 
     /// Finds one homomorphism, if any.
     pub fn find(&self) -> Option<Homomorphism> {
-        let mut result = None;
-        self.solve(|h| {
-            result = Some(h.clone());
-            ControlFlow::Break(())
-        });
-        result
+        let solver = HomSolver::compile(self.source);
+        self.configure(&solver).find()
     }
 
     /// `true` when a homomorphism exists.
@@ -200,481 +261,14 @@ impl<'a> HomProblem<'a> {
     /// Enumerates all homomorphisms, stopping early when the callback
     /// breaks. Returns the search statistics.
     pub fn for_each<F: FnMut(&Homomorphism) -> ControlFlow<()>>(&self, f: F) -> HomSearchStats {
-        self.solve(f)
+        let solver = HomSolver::compile(self.source);
+        self.configure(&solver).for_each(f)
     }
 
     /// Counts homomorphisms, up to an optional limit.
     pub fn count(&self, limit: Option<u64>) -> u64 {
-        let mut n = 0u64;
-        self.solve(|_| {
-            n += 1;
-            match limit {
-                Some(l) if n >= l => ControlFlow::Break(()),
-                _ => ControlFlow::Continue(()),
-            }
-        });
-        n
-    }
-
-    fn solve<F: FnMut(&Homomorphism) -> ControlFlow<()>>(&self, f: F) -> HomSearchStats {
-        let mut solver = Solver::new(self);
-        let mut stats = HomSearchStats::default();
-        if solver.feasible {
-            // Root-level arc consistency (never undone).
-            solver.trail.push(Vec::new());
-            if solver.propagate_all() {
-                let mut f = f;
-                let _ = solver.search(&mut f, &mut stats, self.node_budget);
-            }
-        }
-        stats
-    }
-}
-
-/// A dense bitset over target elements.
-#[derive(Clone)]
-struct BitSet {
-    words: Vec<u64>,
-}
-
-impl BitSet {
-    fn full(n: usize) -> Self {
-        let mut words = vec![!0u64; n.div_ceil(64)];
-        if !n.is_multiple_of(64) {
-            if let Some(last) = words.last_mut() {
-                *last = (1u64 << (n % 64)) - 1;
-            }
-        }
-        if n == 0 {
-            words.clear();
-        }
-        BitSet { words }
-    }
-
-    fn empty(n: usize) -> Self {
-        BitSet {
-            words: vec![0u64; n.div_ceil(64)],
-        }
-    }
-
-    #[inline]
-    fn contains(&self, i: Element) -> bool {
-        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
-    }
-
-    #[inline]
-    fn insert(&mut self, i: Element) {
-        self.words[(i / 64) as usize] |= 1 << (i % 64);
-    }
-
-    #[inline]
-    fn remove(&mut self, i: Element) {
-        self.words[(i / 64) as usize] &= !(1 << (i % 64));
-    }
-
-    fn intersect_with(&mut self, other: &BitSet) {
-        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
-            *w &= o;
-        }
-    }
-
-    fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
-    }
-
-    fn iter(&self) -> impl Iterator<Item = Element> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let b = w.trailing_zeros();
-                    w &= w - 1;
-                    Some(wi as Element * 64 + b)
-                }
-            })
-        })
-    }
-}
-
-/// Index of a target relation: tuples plus per-(position, value) inverted
-/// lists for fast consistency scans.
-struct TargetRelIndex {
-    tuples: Vec<Tuple>,
-    /// `by_pos_val[pos]` maps value → tuple indices with that value at `pos`.
-    by_pos_val: Vec<Vec<Vec<u32>>>,
-    tuple_set: HashSet<Tuple>,
-}
-
-impl TargetRelIndex {
-    fn new(target: &Structure, rel: RelId) -> Self {
-        let tuples: Vec<Tuple> = target.tuples(rel).to_vec();
-        let arity = target.vocabulary().arity(rel);
-        let n = target.universe_size();
-        let mut by_pos_val = vec![vec![Vec::new(); n]; arity];
-        for (ti, t) in tuples.iter().enumerate() {
-            for (p, &v) in t.iter().enumerate() {
-                by_pos_val[p][v as usize].push(ti as u32);
-            }
-        }
-        let tuple_set = tuples.iter().cloned().collect();
-        TargetRelIndex {
-            tuples,
-            by_pos_val,
-            tuple_set,
-        }
-    }
-}
-
-/// One source constraint: a tuple of a source relation.
-struct SourceConstraint {
-    rel: usize,
-    vars: Vec<Element>,
-}
-
-struct Solver<'a> {
-    problem: &'a HomProblem<'a>,
-    n_source: usize,
-    n_target: usize,
-    target_idx: Vec<TargetRelIndex>,
-    constraints: Vec<SourceConstraint>,
-    /// Constraints incident to each source variable.
-    incident: Vec<Vec<u32>>,
-    domains: Vec<BitSet>,
-    assignment: Vec<Option<Element>>,
-    /// Trail of (variable, saved domain) per decision level.
-    trail: Vec<Vec<(u32, BitSet)>>,
-    feasible: bool,
-}
-
-impl<'a> Solver<'a> {
-    fn new(problem: &'a HomProblem<'a>) -> Self {
-        let source = problem.source;
-        let target = problem.target;
-        let n_source = source.universe_size();
-        let n_target = target.universe_size();
-        let vocab = source.vocabulary();
-
-        let target_idx: Vec<TargetRelIndex> = vocab
-            .rel_ids()
-            .map(|rel| TargetRelIndex::new(target, rel))
-            .collect();
-
-        let mut constraints = Vec::new();
-        let mut incident = vec![Vec::new(); n_source];
-        for rel in vocab.rel_ids() {
-            for t in source.tuples(rel) {
-                let ci = constraints.len() as u32;
-                let vars: Vec<Element> = t.to_vec();
-                let mut seen = Vec::new();
-                for &v in &vars {
-                    if !seen.contains(&v) {
-                        incident[v as usize].push(ci);
-                        seen.push(v);
-                    }
-                }
-                constraints.push(SourceConstraint {
-                    rel: rel.index(),
-                    vars,
-                });
-            }
-        }
-
-        // Initial domains: unary (rel, pos) occurrence compatibility.
-        let mut domains = vec![BitSet::full(n_target); n_source];
-        let mut feasible = n_target > 0 || n_source == 0;
-        if feasible {
-            for c in &constraints {
-                let idx = &target_idx[c.rel];
-                for (p, &v) in c.vars.iter().enumerate() {
-                    // v must take a value occurring at position p of this rel.
-                    let mut allowed = BitSet::empty(n_target);
-                    for (val, tuples) in idx.by_pos_val[p].iter().enumerate() {
-                        if !tuples.is_empty() {
-                            allowed.insert(val as Element);
-                        }
-                    }
-                    domains[v as usize].intersect_with(&allowed);
-                }
-            }
-            for &e in &problem.excluded {
-                for d in domains.iter_mut() {
-                    d.remove(e);
-                }
-            }
-            for &(s, t) in &problem.pins {
-                assert!(
-                    (s as usize) < n_source,
-                    "pinned source element out of range"
-                );
-                assert!(
-                    (t as usize) < n_target,
-                    "pinned target element out of range"
-                );
-                let mut single = BitSet::empty(n_target);
-                single.insert(t);
-                domains[s as usize].intersect_with(&single);
-            }
-            if problem.injective && n_source > n_target {
-                feasible = false;
-            }
-            if domains.iter().any(|d| d.is_empty()) && n_source > 0 {
-                feasible = false;
-            }
-        }
-
-        Solver {
-            problem,
-            n_source,
-            n_target,
-            target_idx,
-            constraints,
-            incident,
-            domains,
-            assignment: vec![None; n_source],
-            trail: Vec::new(),
-            feasible,
-        }
-    }
-
-    /// Maintains generalized arc consistency from a seed worklist of
-    /// constraints, cascading through domain shrinks. Returns false on a
-    /// wipe-out.
-    fn propagate_worklist(&mut self, mut worklist: Vec<u32>) -> bool {
-        let mut queued: Vec<bool> = vec![false; self.constraints.len()];
-        for &ci in &worklist {
-            queued[ci as usize] = true;
-        }
-        while let Some(ci) = worklist.pop() {
-            queued[ci as usize] = false;
-            match self.revise_constraint(ci as usize) {
-                None => return false,
-                Some(shrunk) => {
-                    for v in shrunk {
-                        for &cj in &self.incident[v as usize] {
-                            if cj != ci && !queued[cj as usize] {
-                                queued[cj as usize] = true;
-                                worklist.push(cj);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    /// Prunes domains reachable from `var` (MAC).
-    fn propagate(&mut self, var: Element) -> bool {
-        let seed = self.incident[var as usize].clone();
-        self.propagate_worklist(seed)
-    }
-
-    /// Root-level propagation over every constraint.
-    fn propagate_all(&mut self) -> bool {
-        let seed: Vec<u32> = (0..self.constraints.len() as u32).collect();
-        self.propagate_worklist(seed)
-    }
-
-    /// Generalized arc consistency on one source tuple constraint, given the
-    /// current partial assignment: computes the supported values of every
-    /// unassigned variable of the constraint and intersects its domain.
-    /// Returns the variables whose domains shrank, or `None` on wipe-out.
-    fn revise_constraint(&mut self, ci: usize) -> Option<Vec<Element>> {
-        let (rel, vars) = {
-            let c = &self.constraints[ci];
-            (c.rel, c.vars.clone())
-        };
-        let idx = &self.target_idx[rel];
-
-        // Fully assigned: membership check.
-        if vars.iter().all(|&v| self.assignment[v as usize].is_some()) {
-            let mapped: Tuple = vars
-                .iter()
-                .map(|&v| self.assignment[v as usize].unwrap())
-                .collect();
-            return if idx.tuple_set.contains(&mapped) {
-                Some(Vec::new())
-            } else {
-                None
-            };
-        }
-
-        // Pick the assigned position with the shortest inverted list to seed
-        // the candidate scan; fall back to all tuples.
-        let mut best: Option<&Vec<u32>> = None;
-        for (p, &v) in vars.iter().enumerate() {
-            if let Some(val) = self.assignment[v as usize] {
-                let list = &idx.by_pos_val[p][val as usize];
-                if best.is_none_or(|b| list.len() < b.len()) {
-                    best = Some(list);
-                }
-            }
-        }
-
-        // Supported values per unassigned variable of this constraint.
-        let mut support: Vec<(Element, BitSet)> = Vec::new();
-        for &v in &vars {
-            if self.assignment[v as usize].is_none() && !support.iter().any(|(u, _)| *u == v) {
-                support.push((v, BitSet::empty(self.n_target)));
-            }
-        }
-
-        let consider = |ti: u32, support: &mut Vec<(Element, BitSet)>, solver: &Self| {
-            let t = &idx.tuples[ti as usize];
-            // Check consistency with assignment and with repeated variables,
-            // and that each unassigned position value is still in-domain.
-            for (p, &v) in vars.iter().enumerate() {
-                match solver.assignment[v as usize] {
-                    Some(val) => {
-                        if t[p] != val {
-                            return;
-                        }
-                    }
-                    None => {
-                        if !solver.domains[v as usize].contains(t[p]) {
-                            return;
-                        }
-                    }
-                }
-            }
-            // Repeated-variable consistency inside the tuple.
-            for (p, &v) in vars.iter().enumerate() {
-                for (q, &u) in vars.iter().enumerate().skip(p + 1) {
-                    if v == u && t[p] != t[q] {
-                        return;
-                    }
-                }
-            }
-            for (u, sup) in support.iter_mut() {
-                for (p, &v) in vars.iter().enumerate() {
-                    if v == *u {
-                        sup.insert(t[p]);
-                    }
-                }
-            }
-        };
-
-        match best {
-            Some(list) => {
-                for &ti in list {
-                    consider(ti, &mut support, self);
-                }
-            }
-            None => {
-                for ti in 0..idx.tuples.len() as u32 {
-                    consider(ti, &mut support, self);
-                }
-            }
-        }
-
-        let mut shrunk = Vec::new();
-        for (u, sup) in support {
-            let old_count = self.domains[u as usize].count();
-            let mut new_dom = self.domains[u as usize].clone();
-            new_dom.intersect_with(&sup);
-            if new_dom.count() < old_count {
-                self.trail
-                    .last_mut()
-                    .expect("propagation happens inside a decision level")
-                    .push((u, std::mem::replace(&mut self.domains[u as usize], new_dom)));
-                shrunk.push(u);
-            }
-            if self.domains[u as usize].is_empty() {
-                return None;
-            }
-        }
-        Some(shrunk)
-    }
-
-    fn select_var(&self) -> Option<Element> {
-        let mut best: Option<(usize, usize, Element)> = None; // (dom, -deg, var)
-        for v in 0..self.n_source {
-            if self.assignment[v].is_none() {
-                let dom = self.domains[v].count();
-                let deg = self.incident[v].len();
-                let key = (dom, usize::MAX - deg, v as Element);
-                if best.is_none_or(|b| key < b) {
-                    best = Some(key);
-                }
-            }
-        }
-        best.map(|(_, _, v)| v)
-    }
-
-    fn search<F: FnMut(&Homomorphism) -> ControlFlow<()>>(
-        &mut self,
-        f: &mut F,
-        stats: &mut HomSearchStats,
-        budget: Option<u64>,
-    ) -> ControlFlow<()> {
-        if let Some(b) = budget {
-            if stats.nodes >= b {
-                stats.budget_exhausted = true;
-                return ControlFlow::Break(());
-            }
-        }
-        let var = match self.select_var() {
-            Some(v) => v,
-            None => {
-                let map = self
-                    .assignment
-                    .iter()
-                    .map(|a| a.expect("complete assignment"))
-                    .collect();
-                let h = Homomorphism { map };
-                return f(&h);
-            }
-        };
-        let values: Vec<Element> = self.domains[var as usize].iter().collect();
-        for val in values {
-            stats.nodes += 1;
-            self.trail.push(Vec::new());
-            self.assignment[var as usize] = Some(val);
-            let mut ok = true;
-            if self.problem.injective {
-                // Remove val from every other unassigned domain.
-                for u in 0..self.n_source {
-                    if u != var as usize
-                        && self.assignment[u].is_none()
-                        && self.domains[u].contains(val)
-                    {
-                        let mut nd = self.domains[u].clone();
-                        nd.remove(val);
-                        self.trail
-                            .last_mut()
-                            .unwrap()
-                            .push((u as u32, std::mem::replace(&mut self.domains[u], nd)));
-                        if self.domains[u].is_empty() {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-            }
-            if ok {
-                ok = self.propagate(var);
-            }
-            if ok {
-                if let ControlFlow::Break(()) = self.search(f, stats, budget) {
-                    return ControlFlow::Break(());
-                }
-            } else {
-                stats.backtracks += 1;
-            }
-            // Undo.
-            self.assignment[var as usize] = None;
-            let level = self.trail.pop().expect("matching trail level");
-            for (u, dom) in level.into_iter().rev() {
-                self.domains[u as usize] = dom;
-            }
-        }
-        ControlFlow::Continue(())
+        let solver = HomSolver::compile(self.source);
+        self.configure(&solver).count(limit)
     }
 }
 
@@ -847,5 +441,65 @@ mod tests {
     fn stats_nodes_counted() {
         let stats = HomProblem::new(&cycle(4), &cycle(2)).for_each(|_| ControlFlow::Continue(()));
         assert!(stats.nodes > 0);
+    }
+
+    #[test]
+    fn image_methods_allocation_free_semantics() {
+        // Correctness of the scratch-based image scans across shapes and
+        // repeated calls (the scratch persists between them).
+        let inj = Homomorphism { map: vec![2, 0, 1] };
+        assert!(!inj.is_non_injective());
+        assert_eq!(inj.image_size(), 3);
+        assert!(inj.is_surjective_onto(3));
+
+        let collapse = Homomorphism {
+            map: vec![5, 5, 5, 5],
+        };
+        assert!(collapse.is_non_injective());
+        assert_eq!(collapse.image_size(), 1);
+
+        let empty = Homomorphism { map: vec![] };
+        assert!(!empty.is_non_injective());
+        assert_eq!(empty.image_size(), 0);
+
+        // Large, sparse images exercise bitset growth; then a small map
+        // reuses the (larger) scratch correctly.
+        let sparse = Homomorphism {
+            map: (0..1000).map(|i| i * 7 % 997).collect(),
+        };
+        assert_eq!(
+            sparse.image_size(),
+            sparse
+                .map
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+        let small = Homomorphism { map: vec![1, 1] };
+        assert!(small.is_non_injective());
+        assert_eq!(small.image_size(), 1);
+    }
+
+    #[test]
+    fn image_methods_agree_with_naive() {
+        // Differential check against the obvious sort-based computation.
+        for seed in 0..20u64 {
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let len = (seed % 9) as usize;
+            let map: Vec<Element> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % 11) as Element
+                })
+                .collect();
+            let mut sorted = map.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let h = Homomorphism { map: map.clone() };
+            assert_eq!(h.image_size(), sorted.len(), "map {map:?}");
+            assert_eq!(h.is_non_injective(), sorted.len() < map.len());
+        }
     }
 }

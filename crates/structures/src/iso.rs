@@ -1,10 +1,10 @@
 //! Isomorphism checks between structures, and cheap isomorphism-invariant
 //! signatures for hashing structures up to isomorphism.
 
+use crate::fxhash::FxHasher;
 use crate::hom::HomProblem;
 use crate::pointed::Pointed;
 use crate::structure::Structure;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// `true` when the two structures are isomorphic.
@@ -104,7 +104,10 @@ pub struct IsoSignature {
 }
 
 fn hash_of(h: &impl Hash) -> u64 {
-    let mut hasher = DefaultHasher::new();
+    // Deterministic and fast; signature values are compared only against
+    // other signatures computed by this same function, and collisions are
+    // harmless (signature equality is a bucket key, never a proof).
+    let mut hasher = FxHasher::default();
     h.hash(&mut hasher);
     hasher.finish()
 }

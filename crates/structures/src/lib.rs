@@ -14,9 +14,18 @@
 //!   vocabulary, with elements `0..n` and optional display names.
 //! * [`Pointed`] — a structure together with a tuple of distinguished
 //!   elements `(D, ā)`, the shape of a tableau of a non-Boolean query.
-//! * [`hom`] — a CSP-style homomorphism engine (MRV + forward checking)
-//!   supporting pinned elements, injectivity, excluded target elements and
-//!   all-solutions enumeration.
+//! * [`index`] — per-structure inverted indexes over tuples, built once
+//!   per [`Structure`] (lazily, shared by clones) and consumed by every
+//!   hom search against it.
+//! * [`solver`] — the propagation-based homomorphism engine:
+//!   [`HomSolver`] compiles a source once for reuse against many targets
+//!   and variants, maintains generalized arc consistency with an AC-3
+//!   worklist over table constraints, and honors shared [`SearchBudget`]
+//!   step counters for cooperative cancellation.
+//! * [`hom`] — the facade: [`Homomorphism`] witnesses and the one-shot
+//!   [`HomProblem`] builder (pinned elements, injectivity, excluded
+//!   target elements, all-solutions enumeration), all routed through the
+//!   solver.
 //! * [`core_ops`] — cores and retracts (`core(D)` — every structure has a
 //!   unique core up to isomorphism).
 //! * [`mod@quotient`] + [`partition`] — homomorphic images of a structure are
@@ -30,21 +39,26 @@
 
 pub mod core_ops;
 pub mod dot;
+pub mod fxhash;
 pub mod hom;
+pub mod index;
 pub mod iso;
 pub mod order;
 pub mod partition;
 pub mod pointed;
 pub mod quotient;
+pub mod solver;
 pub mod structure;
 pub mod vocabulary;
 
 pub use core_ops::{core_of, is_core, CoreResult};
 pub use hom::{HomProblem, HomSearchStats, Homomorphism};
+pub use index::{RelIndex, StructureIndex};
 pub use iso::{isomorphic, signature_pointed, IsoSignature};
 pub use order::{hom_equivalent, hom_exists, strictly_below};
 pub use partition::Partition;
 pub use pointed::Pointed;
 pub use quotient::quotient;
+pub use solver::{HomRun, HomSolver, SearchBudget};
 pub use structure::{Element, Structure, StructureBuilder, Tuple};
 pub use vocabulary::{RelId, Vocabulary};

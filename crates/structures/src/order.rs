@@ -8,6 +8,7 @@
 
 use crate::hom::HomProblem;
 use crate::pointed::Pointed;
+use crate::solver::HomSolver;
 
 /// `true` when a homomorphism `a → b` respecting distinguished tuples
 /// exists.
@@ -18,6 +19,37 @@ pub fn hom_exists(a: &Pointed, b: &Pointed) -> bool {
     HomProblem::new(&a.structure, &b.structure)
         .pin_tuple(a.distinguished(), b.distinguished())
         .exists()
+}
+
+/// Like [`hom_exists`], against a pre-compiled source solver (`solver`
+/// must be `HomSolver::compile(&a.structure)`).
+fn hom_exists_compiled(solver: &HomSolver, a: &Pointed, b: &Pointed) -> bool {
+    if a.distinguished().len() != b.distinguished().len() {
+        return false;
+    }
+    solver
+        .run(&b.structure)
+        .pin_tuple(a.distinguished(), b.distinguished())
+        .exists()
+}
+
+/// The full pairwise hom-existence matrix of a family:
+/// `below[i][j] = family[i] → family[j]` (diagonal left `false`).
+///
+/// Each member's solver is compiled once and each member's target index is
+/// built once, so the `n²` searches pay no per-pair setup.
+pub fn hom_matrix(family: &[Pointed]) -> Vec<Vec<bool>> {
+    let n = family.len();
+    let mut below = vec![vec![false; n]; n];
+    for (i, a) in family.iter().enumerate() {
+        let solver = HomSolver::compile(&a.structure);
+        for (j, b) in family.iter().enumerate() {
+            if i != j {
+                below[i][j] = hom_exists_compiled(&solver, a, b);
+            }
+        }
+    }
+    below
 }
 
 /// `true` when `a → b` and `b → a` (homomorphic equivalence; equal cores).
@@ -42,15 +74,7 @@ pub fn incomparable(a: &Pointed, b: &Pointed) -> bool {
 /// `H_C(Q)` under `→` are exactly the `C`-approximations.
 pub fn minimal_elements(family: &[Pointed]) -> Vec<usize> {
     let n = family.len();
-    // Cache pairwise hom-existence.
-    let mut below = vec![vec![false; n]; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                below[i][j] = hom_exists(&family[i], &family[j]);
-            }
-        }
-    }
+    let below = hom_matrix(family);
     (0..n)
         .filter(|&i| {
             // minimal iff no j with j -> i but i -/-> j
@@ -62,14 +86,7 @@ pub fn minimal_elements(family: &[Pointed]) -> Vec<usize> {
 /// Indices of →-maximal elements (nothing strictly above).
 pub fn maximal_elements(family: &[Pointed]) -> Vec<usize> {
     let n = family.len();
-    let mut below = vec![vec![false; n]; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                below[i][j] = hom_exists(&family[i], &family[j]);
-            }
-        }
-    }
+    let below = hom_matrix(family);
     (0..n)
         .filter(|&i| !(0..n).any(|j| j != i && below[i][j] && !below[j][i]))
         .collect()
@@ -78,10 +95,27 @@ pub fn maximal_elements(family: &[Pointed]) -> Vec<usize> {
 /// Deduplicates a family up to homomorphic equivalence, keeping the first
 /// representative of each class. Returns the kept indices.
 pub fn dedupe_hom_equivalent(family: &[Pointed]) -> Vec<usize> {
+    // Compile each candidate's solver lazily, once; equivalence checks
+    // between i and a kept k then reuse both compiled sides.
+    let mut solvers: Vec<Option<HomSolver>> = (0..family.len()).map(|_| None).collect();
     let mut kept: Vec<usize> = Vec::new();
     'outer: for i in 0..family.len() {
+        if solvers[i].is_none() {
+            solvers[i] = Some(HomSolver::compile(&family[i].structure));
+        }
         for &k in &kept {
-            if hom_equivalent(&family[i], &family[k]) {
+            let fwd = hom_exists_compiled(
+                solvers[i].as_ref().expect("compiled above"),
+                &family[i],
+                &family[k],
+            );
+            if fwd
+                && hom_exists_compiled(
+                    solvers[k].as_ref().expect("kept entries are compiled"),
+                    &family[k],
+                    &family[i],
+                )
+            {
                 continue 'outer;
             }
         }

@@ -1,9 +1,11 @@
 //! Finite relational structures (databases).
 
+use crate::index::{IndexCell, StructureIndex};
 use crate::vocabulary::{RelId, Vocabulary};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// An element of a structure's universe. Elements are dense indices
 /// `0..structure.universe_size()`.
@@ -43,6 +45,9 @@ pub struct Structure {
     relations: Vec<Vec<Tuple>>,
     /// Optional display names of elements (same length as the universe).
     names: Option<Vec<String>>,
+    /// Lazily-built inverted indexes (derived data: ignored by equality
+    /// and hashing, shared by clones; see [`crate::index`]).
+    index: IndexCell,
 }
 
 impl Structure {
@@ -54,6 +59,7 @@ impl Structure {
             universe_size,
             relations,
             names: None,
+            index: IndexCell::default(),
         }
     }
 
@@ -88,6 +94,16 @@ impl Structure {
     /// The tuples of a relation (sorted, deduplicated).
     pub fn tuples(&self, rel: RelId) -> &[Tuple] {
         &self.relations[rel.index()]
+    }
+
+    /// The inverted indexes of this structure's relations, built lazily on
+    /// first use and cached (clones share it). Relations are immutable
+    /// after construction, so the cache never goes stale; see
+    /// [`crate::index`] for the invalidation contract.
+    pub fn index(&self) -> &StructureIndex {
+        self.index
+            .0
+            .get_or_init(|| Arc::new(StructureIndex::build(self)))
     }
 
     /// Checks whether a tuple is a fact of the relation.
@@ -381,6 +397,7 @@ impl StructureBuilder {
             universe_size: self.universe_size,
             relations,
             names: None,
+            index: IndexCell::default(),
         }
     }
 }
