@@ -64,6 +64,20 @@ struct Group {
     atoms: Vec<usize>,
 }
 
+/// Disjoint `(&mut xs[a], &xs[b])` access for `a ≠ b`: the borrow split
+/// the full reducer needs to semijoin one tree node against another
+/// without cloning either relation.
+fn pair_mut<T>(xs: &mut [T], a: usize, b: usize) -> (&mut T, &T) {
+    debug_assert_ne!(a, b, "semijoin target and source must differ");
+    if a < b {
+        let (lo, hi) = xs.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
 impl AcyclicPlan {
     /// Compiles a plan; fails when the query hypergraph is cyclic.
     pub fn compile(query: &ConjunctiveQuery) -> Result<AcyclicPlan, NotAcyclic> {
@@ -149,8 +163,8 @@ impl AcyclicPlan {
         // Leaves → root.
         for &u in &order {
             if let Some(p) = self.join_tree.parent[u] {
-                let child = rels[u].clone();
-                rels[p as usize].semijoin(&child);
+                let (target, source) = pair_mut(rels, p as usize, u);
+                target.semijoin(source);
             }
             if rels[u].is_empty() {
                 return false;
@@ -159,9 +173,9 @@ impl AcyclicPlan {
         // Root → leaves.
         for &u in order.iter().rev() {
             if let Some(p) = self.join_tree.parent[u] {
-                let parent = rels[p as usize].clone();
-                rels[u].semijoin(&parent);
-                if rels[u].is_empty() {
+                let (target, source) = pair_mut(rels, u, p as usize);
+                target.semijoin(source);
+                if target.is_empty() {
                     return false;
                 }
             }
