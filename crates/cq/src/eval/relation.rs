@@ -2,6 +2,7 @@
 //! Yannakakis pipeline (materialized atoms, semijoins, projected joins).
 
 use crate::ast::VarId;
+use cqapx_structures::fxhash::{FxHashMap, FxHashSet};
 use cqapx_structures::Element;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -33,15 +34,20 @@ impl VarRelation {
         self.rows.is_empty()
     }
 
+    /// The var → schema-position map, built once per operation so that
+    /// every later lookup is O(1) instead of an O(schema) scan.
+    fn position_map(&self) -> FxHashMap<VarId, usize> {
+        self.schema
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect()
+    }
+
     /// Positions in the schema of the given variables (must be present).
-    fn positions(&self, vars: &[VarId]) -> Vec<usize> {
+    fn positions_in(map: &FxHashMap<VarId, usize>, vars: &[VarId]) -> Vec<usize> {
         vars.iter()
-            .map(|v| {
-                self.schema
-                    .iter()
-                    .position(|s| s == v)
-                    .expect("variable must be in schema")
-            })
+            .map(|v| *map.get(v).expect("variable must be in schema"))
             .collect()
     }
 
@@ -53,11 +59,12 @@ impl VarRelation {
     /// Semijoin `self ⋉ other` on their shared variables: keeps the rows of
     /// `self` that agree with some row of `other`.
     pub fn semijoin(&mut self, other: &VarRelation) {
+        let their_map = other.position_map();
         let shared: Vec<VarId> = self
             .schema
             .iter()
             .copied()
-            .filter(|v| other.schema.contains(v))
+            .filter(|v| their_map.contains_key(v))
             .collect();
         if shared.is_empty() {
             if other.is_empty() {
@@ -65,8 +72,8 @@ impl VarRelation {
             }
             return;
         }
-        let my_pos = self.positions(&shared);
-        let their_pos = other.positions(&shared);
+        let my_pos = Self::positions_in(&self.position_map(), &shared);
+        let their_pos = Self::positions_in(&their_map, &shared);
         let keys: HashSet<Vec<Element>> = other
             .rows
             .iter()
@@ -77,24 +84,26 @@ impl VarRelation {
 
     /// Natural join `self ⋈ other`.
     pub fn join(&self, other: &VarRelation) -> VarRelation {
+        let my_map = self.position_map();
+        let their_map = other.position_map();
         let shared: Vec<VarId> = self
             .schema
             .iter()
             .copied()
-            .filter(|v| other.schema.contains(v))
+            .filter(|v| their_map.contains_key(v))
             .collect();
         let extra: Vec<VarId> = other
             .schema
             .iter()
             .copied()
-            .filter(|v| !self.schema.contains(v))
+            .filter(|v| !my_map.contains_key(v))
             .collect();
         let mut schema = self.schema.clone();
         schema.extend_from_slice(&extra);
 
-        let their_shared_pos = other.positions(&shared);
-        let their_extra_pos = other.positions(&extra);
-        let my_shared_pos = self.positions(&shared);
+        let their_shared_pos = Self::positions_in(&their_map, &shared);
+        let their_extra_pos = Self::positions_in(&their_map, &extra);
+        let my_shared_pos = Self::positions_in(&my_map, &shared);
 
         // Hash the smaller relation, probe with the larger: the index is
         // the memory-resident side, so build it on whichever input has
@@ -143,15 +152,15 @@ impl VarRelation {
     }
 
     /// Projection onto a sub-schema (variables must be present; duplicates
-    /// in `vars` are allowed and produce repeated columns).
+    /// in `vars` are allowed but collapse to their first occurrence — use
+    /// [`VarRelation::rows_in_head_order`] for repeated output columns).
     pub fn project(&self, vars: &[VarId]) -> VarRelation {
-        let positions = self.positions(vars);
-        let mut seen = Vec::new();
+        let positions = Self::positions_in(&self.position_map(), vars);
+        let mut seen: FxHashSet<VarId> = FxHashSet::default();
         let mut schema = Vec::new();
         let mut keep_positions = Vec::new();
         for (&v, &p) in vars.iter().zip(positions.iter()) {
-            if !seen.contains(&v) {
-                seen.push(v);
+            if seen.insert(v) {
                 schema.push(v);
                 keep_positions.push(p);
             }
@@ -167,7 +176,7 @@ impl VarRelation {
     /// Reads the rows out in the order of an explicit head (duplicated
     /// head variables allowed).
     pub fn rows_in_head_order(&self, head: &[VarId]) -> BTreeSet<Vec<Element>> {
-        let positions = self.positions(head);
+        let positions = Self::positions_in(&self.position_map(), head);
         self.rows.iter().map(|r| Self::key(r, &positions)).collect()
     }
 }
