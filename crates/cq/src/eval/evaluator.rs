@@ -4,6 +4,7 @@
 //! sites.
 
 use crate::ast::ConjunctiveQuery;
+use crate::eval::flat::{MatCacheStats, MaterializationCache};
 use crate::eval::naive::NaivePlan;
 use crate::eval::yannakakis::AcyclicPlan;
 use cqapx_structures::{Element, Structure};
@@ -24,6 +25,19 @@ pub trait Evaluator {
     /// Decides `Q(D) ≠ ∅`.
     fn eval_boolean(&self, d: &Structure) -> bool {
         !self.eval(d).is_empty()
+    }
+
+    /// Evaluates `Q(D)` through a per-database [`MaterializationCache`],
+    /// reporting the cache outcome. Strategies that materialize
+    /// hyperedge relations (Yannakakis) override this to share scans
+    /// across queries; the default ignores the cache.
+    fn eval_with_cache(
+        &self,
+        d: &Structure,
+        cache: &MaterializationCache,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        let _ = cache;
+        (self.eval(d), MatCacheStats::default())
     }
 
     /// A short display name for plans/stats, e.g. `"naive"`.
@@ -76,6 +90,14 @@ impl Evaluator for AcyclicPlan {
 
     fn eval_boolean(&self, d: &Structure) -> bool {
         AcyclicPlan::eval_boolean(self, d)
+    }
+
+    fn eval_with_cache(
+        &self,
+        d: &Structure,
+        cache: &MaterializationCache,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        AcyclicPlan::eval_cached(self, d, Some(cache))
     }
 
     fn strategy_name(&self) -> &'static str {

@@ -1,0 +1,785 @@
+//! The columnar join kernel: flat row-buffer relations and the
+//! compile-once machinery ([`AtomBinder`], [`MatKey`],
+//! [`MaterializationCache`]) the Yannakakis pipeline runs on.
+//!
+//! The seed pipeline kept relations as `HashSet<Vec<Element>>`: every
+//! semijoin/join/projection allocated a fresh key `Vec` per row and paid
+//! a SipHash pass over it. A [`FlatRelation`] instead stores all rows in
+//! **one contiguous buffer** (`rows × arity` elements, row-major) and
+//! keys rows by hashing the relevant columns in place with the FxHash
+//! mixer; duplicate elimination is a lexicographic sort + dedup over row
+//! indices rather than per-row set insertion, and semijoins compact the
+//! surviving rows in place instead of rebuilding the set. The only
+//! allocations on the hot path are the (reused, chain-linked) key index
+//! and the output buffers of joins/projections.
+//!
+//! Layout of a relation over schema `(x, y)` with rows `(1,2)`, `(3,4)`:
+//!
+//! ```text
+//! schema:  x  y            data: [1, 2, 3, 4]
+//! row 0 →  1  2                   ^--^  row 0 (offset 0·arity)
+//! row 1 →  3  4                         ^--^  row 1 (offset 1·arity)
+//! ```
+
+use crate::ast::{Atom, VarId};
+use cqapx_structures::fxhash::{FxHashMap, FxHasher};
+use cqapx_structures::{Element, RelId, Structure};
+use std::collections::BTreeSet;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A relation over distinct variables, stored columnar-flat: one
+/// contiguous row-major buffer instead of a hash set of row vectors.
+///
+/// Invariants: `data.len() == rows * schema.len()`; the schema lists
+/// distinct variables. Operations that can produce duplicate rows
+/// ([`FlatRelation::push_row`], [`FlatRelation::project`]) are paired
+/// with [`FlatRelation::sort_dedup`]; the plan-level operations
+/// (materialization, semijoin, join) keep relations duplicate-free.
+#[derive(Debug, Clone)]
+pub struct FlatRelation {
+    /// Distinct variables labelling the columns.
+    schema: Vec<VarId>,
+    /// Number of rows (tracked explicitly so 0-ary relations — Boolean
+    /// intermediates — still distinguish "no row" from "one empty row").
+    rows: usize,
+    /// Row-major buffer of `rows * schema.len()` elements.
+    data: Vec<Element>,
+}
+
+impl FlatRelation {
+    /// An empty relation over a schema of distinct variables.
+    pub fn empty(schema: Vec<VarId>) -> Self {
+        FlatRelation {
+            schema,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// The column labels.
+    pub fn schema(&self) -> &[VarId] {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Drops all rows.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        self.data.clear();
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[Element] {
+        let a = self.schema.len();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// Iterates the rows (empty slices for 0-ary relations).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Element]> {
+        let a = self.schema.len();
+        (0..self.rows).map(move |i| &self.data[i * a..(i + 1) * a])
+    }
+
+    /// Appends a row (must match the arity). May introduce duplicates;
+    /// call [`FlatRelation::sort_dedup`] to normalize.
+    pub fn push_row(&mut self, row: &[Element]) {
+        debug_assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// The same rows under different column labels (`schema` must have
+    /// the original arity). This is how cached materializations —
+    /// stored under canonical labels — are adopted into a plan's
+    /// variable space: one buffer memcpy, no re-scan.
+    pub fn relabel(&self, schema: Vec<VarId>) -> FlatRelation {
+        assert_eq!(schema.len(), self.schema.len(), "relabel arity mismatch");
+        FlatRelation {
+            schema,
+            rows: self.rows,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Sorts rows lexicographically and removes duplicates, leaving the
+    /// canonical form all set-level comparisons rely on.
+    pub fn sort_dedup(&mut self) {
+        let a = self.schema.len();
+        if a == 0 {
+            self.rows = self.rows.min(1);
+            return;
+        }
+        let data = &self.data;
+        let mut idx: Vec<u32> = (0..self.rows as u32).collect();
+        idx.sort_unstable_by(|&x, &y| {
+            let (x, y) = (x as usize * a, y as usize * a);
+            data[x..x + a].cmp(&data[y..y + a])
+        });
+        idx.dedup_by(|&mut x, &mut y| {
+            let (x, y) = (x as usize * a, y as usize * a);
+            data[x..x + a] == data[y..y + a]
+        });
+        let mut out = Vec::with_capacity(idx.len() * a);
+        for &i in &idx {
+            out.extend_from_slice(&data[i as usize * a..][..a]);
+        }
+        self.rows = idx.len();
+        self.data = out;
+    }
+
+    /// Intersection with a same-schema relation; both sides must be in
+    /// sorted-dedup form (a single merge walk, no hashing).
+    pub fn intersect_sorted(&mut self, other: &FlatRelation) {
+        debug_assert_eq!(self.schema, other.schema, "intersect schema mismatch");
+        let a = self.schema.len();
+        if a == 0 {
+            self.rows = self.rows.min(other.rows);
+            return;
+        }
+        let mut w = 0usize; // write row
+        let mut j = 0usize; // read row in other
+        for i in 0..self.rows {
+            let mine = i * a;
+            while j < other.rows && other.data[j * a..j * a + a] < self.data[mine..mine + a] {
+                j += 1;
+            }
+            if j < other.rows && other.data[j * a..j * a + a] == self.data[mine..mine + a] {
+                self.data.copy_within(mine..mine + a, w * a);
+                w += 1;
+            }
+        }
+        self.rows = w;
+        self.data.truncate(w * a);
+    }
+
+    /// FxHash of the key columns of one row, hashed in place (no key
+    /// vector is ever materialized).
+    #[inline]
+    fn hash_key(row: &[Element], pos: &[usize]) -> u64 {
+        let mut h = FxHasher::default();
+        for &p in pos {
+            h.write_u32(row[p]);
+        }
+        h.finish()
+    }
+
+    #[inline]
+    fn keys_eq(a: &[Element], a_pos: &[usize], b: &[Element], b_pos: &[usize]) -> bool {
+        a_pos.iter().zip(b_pos.iter()).all(|(&i, &j)| a[i] == b[j])
+    }
+
+    /// Semijoin `self ⋉ other` on aligned key columns: keeps the rows of
+    /// `self` whose `my_pos` columns match some row of `other` on its
+    /// `their_pos` columns. Survivors are compacted **in place** — no
+    /// row set is rebuilt and no per-row key is allocated. With empty
+    /// key positions this is the cartesian-semantics degenerate case:
+    /// all rows survive iff `other` is nonempty.
+    pub fn semijoin_on(&mut self, my_pos: &[usize], other: &FlatRelation, their_pos: &[usize]) {
+        debug_assert_eq!(my_pos.len(), their_pos.len(), "key positions must align");
+        if my_pos.is_empty() {
+            if other.is_empty() {
+                self.clear();
+            }
+            return;
+        }
+        let index = KeyIndex::build(other, their_pos);
+        let a = self.schema.len();
+        let mut w = 0usize;
+        for i in 0..self.rows {
+            let row = &self.data[i * a..i * a + a];
+            let hit = index
+                .probe(Self::hash_key(row, my_pos))
+                .any(|r| Self::keys_eq(row, my_pos, other.row(r), their_pos));
+            if hit {
+                self.data.copy_within(i * a..i * a + a, w * a);
+                w += 1;
+            }
+        }
+        self.rows = w;
+        self.data.truncate(w * a);
+    }
+
+    /// Natural join `self ⋈ other`: output schema is `self`'s columns
+    /// followed by `other`'s extra columns. Hash join building the key
+    /// index on the smaller side; cartesian product when the schemas are
+    /// disjoint.
+    pub fn join(&self, other: &FlatRelation) -> FlatRelation {
+        let my_map: FxHashMap<VarId, usize> = self
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        let their_map: FxHashMap<VarId, usize> = other
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        let mut my_shared = Vec::new();
+        let mut their_shared = Vec::new();
+        for (i, v) in self.schema.iter().enumerate() {
+            if let Some(&j) = their_map.get(v) {
+                my_shared.push(i);
+                their_shared.push(j);
+            }
+        }
+        let mut their_extra = Vec::new();
+        let mut schema = self.schema.clone();
+        for (j, &v) in other.schema.iter().enumerate() {
+            if !my_map.contains_key(&v) {
+                their_extra.push(j);
+                schema.push(v);
+            }
+        }
+        let out_arity = schema.len();
+        let mut out = FlatRelation::empty(schema);
+
+        if my_shared.is_empty() {
+            // Disjoint schemas: cartesian product.
+            out.data.reserve(self.rows * other.rows * out_arity);
+            for i in 0..self.rows {
+                for j in 0..other.rows {
+                    out.data.extend_from_slice(self.row(i));
+                    let orow = other.row(j);
+                    for &p in &their_extra {
+                        out.data.push(orow[p]);
+                    }
+                }
+            }
+            out.rows = self.rows * other.rows;
+            return out;
+        }
+
+        // Build the index on the smaller side, probe with the larger.
+        if self.rows <= other.rows {
+            let index = KeyIndex::build(self, &my_shared);
+            for j in 0..other.rows {
+                let orow = other.row(j);
+                for m in index.probe(Self::hash_key(orow, &their_shared)) {
+                    let mrow = self.row(m);
+                    if Self::keys_eq(mrow, &my_shared, orow, &their_shared) {
+                        out.data.extend_from_slice(mrow);
+                        for &p in &their_extra {
+                            out.data.push(orow[p]);
+                        }
+                        out.rows += 1;
+                    }
+                }
+            }
+        } else {
+            let index = KeyIndex::build(other, &their_shared);
+            for i in 0..self.rows {
+                let mrow = self.row(i);
+                for m in index.probe(Self::hash_key(mrow, &my_shared)) {
+                    let orow = other.row(m);
+                    if Self::keys_eq(mrow, &my_shared, orow, &their_shared) {
+                        out.data.extend_from_slice(mrow);
+                        for &p in &their_extra {
+                            out.data.push(orow[p]);
+                        }
+                        out.rows += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Projection onto a sub-schema (variables must be present;
+    /// duplicates collapse to their first occurrence). The result is
+    /// sorted and deduplicated.
+    pub fn project(&self, vars: &[VarId]) -> FlatRelation {
+        let map: FxHashMap<VarId, usize> = self
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        let mut schema = Vec::new();
+        let mut keep = Vec::new();
+        for &v in vars {
+            if !schema.contains(&v) {
+                schema.push(v);
+                keep.push(*map.get(&v).expect("projected variable must be in schema"));
+            }
+        }
+        let mut out = FlatRelation::empty(schema);
+        out.rows = self.rows;
+        out.data.reserve(self.rows * keep.len());
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for &p in &keep {
+                out.data.push(row[p]);
+            }
+        }
+        out.sort_dedup();
+        out
+    }
+
+    /// Reads the rows out in the order of an explicit head (duplicated
+    /// head variables allowed).
+    pub fn rows_in_head_order(&self, head: &[VarId]) -> BTreeSet<Vec<Element>> {
+        let map: FxHashMap<VarId, usize> = self
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        let positions: Vec<usize> = head
+            .iter()
+            .map(|v| *map.get(v).expect("head variable must be in schema"))
+            .collect();
+        self.iter_rows()
+            .map(|r| positions.iter().map(|&p| r[p]).collect())
+            .collect()
+    }
+}
+
+/// A chained hash index over the key columns of a [`FlatRelation`]:
+/// `map` sends a key hash to the head of a row chain, `next` links rows
+/// with equal hashes. Two allocations total, no per-key buckets — the
+/// probe re-checks real column values, so hash collisions only cost a
+/// comparison.
+struct KeyIndex {
+    map: FxHashMap<u64, u32>,
+    next: Vec<u32>,
+}
+
+const CHAIN_END: u32 = u32::MAX;
+
+impl KeyIndex {
+    fn build(rel: &FlatRelation, pos: &[usize]) -> KeyIndex {
+        let mut map = FxHashMap::default();
+        map.reserve(rel.len());
+        let mut next = vec![CHAIN_END; rel.len()];
+        for (i, slot) in next.iter_mut().enumerate() {
+            let h = FlatRelation::hash_key(rel.row(i), pos);
+            let head = map.entry(h).or_insert(CHAIN_END);
+            *slot = *head;
+            *head = i as u32;
+        }
+        KeyIndex { map, next }
+    }
+
+    /// All row indices whose key hash equals `hash` (callers re-check
+    /// the actual columns).
+    fn probe(&self, hash: u64) -> ProbeIter<'_> {
+        ProbeIter {
+            next: &self.next,
+            cur: self.map.get(&hash).copied().unwrap_or(CHAIN_END),
+        }
+    }
+}
+
+struct ProbeIter<'a> {
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for ProbeIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == CHAIN_END {
+            return None;
+        }
+        let r = self.cur as usize;
+        self.cur = self.next[r];
+        Some(r)
+    }
+}
+
+/// A compiled tuple→row mapping for one atom: which tuple positions must
+/// agree (repeated variables) and which tuple position feeds each output
+/// column. Compiling this once per plan removes the `var_count`-sized
+/// binding scratch the seed materializer allocated **per tuple**.
+#[derive(Debug, Clone)]
+pub struct AtomBinder {
+    rel: RelId,
+    /// `(i, j)` pairs of tuple positions that must hold equal values
+    /// (the atom repeats a variable at both).
+    eq_checks: Vec<(usize, usize)>,
+    /// For each output column (schema order), the tuple position that
+    /// supplies its value.
+    out_pos: Vec<usize>,
+}
+
+impl AtomBinder {
+    /// Compiles the binder of `atom` for an output schema (the sorted
+    /// distinct variables of the atom's hyperedge; every schema variable
+    /// must occur in the atom).
+    pub fn compile(atom: &Atom, schema: &[VarId]) -> AtomBinder {
+        let mut eq_checks = Vec::new();
+        let mut first: FxHashMap<VarId, usize> = FxHashMap::default();
+        for (j, &v) in atom.args.iter().enumerate() {
+            match first.get(&v) {
+                Some(&i) => eq_checks.push((i, j)),
+                None => {
+                    first.insert(v, j);
+                }
+            }
+        }
+        let out_pos = schema
+            .iter()
+            .map(|v| *first.get(v).expect("schema variable must occur in atom"))
+            .collect();
+        AtomBinder {
+            rel: atom.rel,
+            eq_checks,
+            out_pos,
+        }
+    }
+
+    /// Scans the atom's relation in `d` and appends one row per
+    /// consistent tuple to `out` (arity must match the compiled schema).
+    /// Rows are appended unnormalized; callers finish with
+    /// [`FlatRelation::sort_dedup`].
+    pub fn materialize_into(&self, d: &Structure, out: &mut FlatRelation) {
+        debug_assert_eq!(out.arity(), self.out_pos.len(), "binder arity mismatch");
+        'tuples: for t in d.tuples(self.rel) {
+            for &(i, j) in &self.eq_checks {
+                if t[i] != t[j] {
+                    continue 'tuples;
+                }
+            }
+            for &p in &self.out_pos {
+                out.data.push(t[p]);
+            }
+            out.rows += 1;
+        }
+    }
+}
+
+/// The canonical identity of a materialized hyperedge relation,
+/// independent of variable names and query identity: each atom of the
+/// hyperedge reduced to its relation plus the **column index** (position
+/// in the sorted distinct variable list) of every argument, the whole
+/// list sorted. Two hyperedges with equal keys materialize to identical
+/// row sets over any database — which is what lets a
+/// [`MaterializationCache`] share work across prepared queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatKey {
+    atoms: Vec<(RelId, Vec<u32>)>,
+}
+
+impl MatKey {
+    /// The key of a hyperedge: `vars` are the sorted distinct variables,
+    /// `atoms` every atom whose variable set equals `vars`.
+    pub fn of_group(atoms: &[&Atom], vars: &[VarId]) -> MatKey {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        let col =
+            |v: VarId| -> u32 { vars.binary_search(&v).expect("atom var must be in vars") as u32 };
+        let mut keyed: Vec<(RelId, Vec<u32>)> = atoms
+            .iter()
+            .map(|a| (a.rel, a.args.iter().map(|&v| col(v)).collect()))
+            .collect();
+        keyed.sort();
+        keyed.dedup();
+        MatKey { atoms: keyed }
+    }
+
+    /// The key of a single atom taken as its own hyperedge (used by the
+    /// planner to look up real cardinalities of cached materializations).
+    pub fn of_atom(atom: &Atom) -> MatKey {
+        let mut vars: Vec<VarId> = atom.args.clone();
+        vars.sort_unstable();
+        vars.dedup();
+        MatKey::of_group(&[atom], &vars)
+    }
+}
+
+/// Per-call cache outcome of an evaluation that consulted a
+/// [`MaterializationCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatCacheStats {
+    /// Hyperedges served from the cache.
+    pub hits: u32,
+    /// Hyperedges materialized (and inserted) on this call.
+    pub misses: u32,
+}
+
+impl MatCacheStats {
+    /// Accumulates another outcome into this one.
+    pub fn add(&mut self, other: MatCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A per-database cache of materialized hyperedge relations, keyed by
+/// [`MatKey`] and shared across prepared queries and concurrent batch
+/// requests. Entries are stored under the materializing plan's own
+/// column labels and adopted elsewhere via [`FlatRelation::relabel`]
+/// (label-independent by construction of the key).
+///
+/// Invalidation: the cache is owned by one immutable database snapshot
+/// (structures are immutable post-builder), so entries never go stale;
+/// re-registering a database creates a fresh snapshot with a fresh,
+/// empty cache.
+///
+/// Retention: entries are kept for the snapshot's lifetime, like the
+/// compiled plans of prepared queries — the population is bounded by
+/// the distinct hyperedge shapes of the queries actually served, and
+/// each entry is at most one relation's worth of elements. Dropping the
+/// snapshot (or re-registering its name and dropping the old handle)
+/// releases everything.
+#[derive(Debug, Default)]
+pub struct MaterializationCache {
+    /// `RwLock`, not `Mutex`: at serving-time hit rates nearly every
+    /// access is a read (hits, planner peeks), and parallel batch
+    /// workers must not serialize on the warm path.
+    map: RwLock<FxHashMap<MatKey, Arc<FlatRelation>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MaterializationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MaterializationCache::default()
+    }
+
+    /// The cached relation for `key`, or the result of `materialize`
+    /// (inserted for later calls). Returns the relation and whether it
+    /// was a hit. The lock is not held while materializing; concurrent
+    /// misses on the same key race benignly (first insert wins).
+    pub fn get_or_materialize(
+        &self,
+        key: &MatKey,
+        materialize: impl FnOnce() -> FlatRelation,
+    ) -> (Arc<FlatRelation>, bool) {
+        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        let fresh = Arc::new(materialize());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.write().expect("cache lock poisoned");
+        let entry = map.entry(key.clone()).or_insert_with(|| Arc::clone(&fresh));
+        (Arc::clone(entry), false)
+    }
+
+    /// The cardinality of a cached materialization, if present. Does not
+    /// count as a hit or miss — this is the planner's peek at real
+    /// cardinalities.
+    pub fn peek_cardinality(&self, key: &MatKey) -> Option<usize> {
+        self.map
+            .read()
+            .expect("cache lock poisoned")
+            .get(key)
+            .map(|r| r.len())
+    }
+
+    /// The cardinalities of several cached materializations under one
+    /// read-lock acquisition (the planner resolves every atom of a query
+    /// in one critical section). `None` per key not yet materialized.
+    pub fn peek_cardinalities<'k>(
+        &self,
+        keys: impl IntoIterator<Item = &'k MatKey>,
+    ) -> Vec<Option<usize>> {
+        let map = self.map.read().expect("cache lock poisoned");
+        keys.into_iter()
+            .map(|k| map.get(k).map(|r| r.len()))
+            .collect()
+    }
+
+    /// Total cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total cache misses (materializations run) since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached hyperedge relations.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock poisoned").len()
+    }
+
+    /// `true` when nothing has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[VarId], rows: &[&[Element]]) -> FlatRelation {
+        let mut r = FlatRelation::empty(schema.to_vec());
+        for row in rows {
+            r.push_row(row);
+        }
+        r.sort_dedup();
+        r
+    }
+
+    #[test]
+    fn sort_dedup_canonicalizes() {
+        let mut r = FlatRelation::empty(vec![0, 1]);
+        r.push_row(&[3, 4]);
+        r.push_row(&[1, 2]);
+        r.push_row(&[3, 4]);
+        r.sort_dedup();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), &[1, 2]);
+        assert_eq!(r.row(1), &[3, 4]);
+    }
+
+    #[test]
+    fn nullary_rows_cap_at_one() {
+        let mut r = FlatRelation::empty(vec![]);
+        r.push_row(&[]);
+        r.push_row(&[]);
+        r.sort_dedup();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), &[] as &[Element]);
+    }
+
+    #[test]
+    fn semijoin_filters_and_compacts() {
+        let mut a = rel(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6]]);
+        let b = rel(&[1, 2], &[&[2, 9], &[6, 9]]);
+        // shared var 1: position 1 in a, position 0 in b.
+        a.semijoin_on(&[1], &b, &[0]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.row(0), &[1, 2]);
+        assert_eq!(a.row(1), &[5, 6]);
+    }
+
+    #[test]
+    fn semijoin_disjoint_schemas() {
+        let mut a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[1], &[&[7]]);
+        a.semijoin_on(&[], &b, &[]);
+        assert_eq!(a.len(), 2); // nonempty other: keep all
+        let empty = FlatRelation::empty(vec![1]);
+        a.semijoin_on(&[], &empty, &[]);
+        assert!(a.is_empty()); // empty other: cartesian semantics drop all
+    }
+
+    #[test]
+    fn join_matches_row_pipeline() {
+        let a = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let b = rel(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
+        let j = a.join(&b);
+        assert_eq!(j.schema(), &[0, 1, 2]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(
+            j.rows_in_head_order(&[0, 1, 2]),
+            [vec![1, 2, 5], vec![1, 2, 6]].into_iter().collect()
+        );
+        // Build-side choice must not change the answer.
+        let j2 = b.join(&a);
+        assert_eq!(
+            j.rows_in_head_order(&[0, 1, 2]),
+            j2.rows_in_head_order(&[0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn join_cartesian_when_disjoint() {
+        let a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[1], &[&[7], &[8]]);
+        assert_eq!(a.join(&b).len(), 4);
+        // With a 0-ary operand (Boolean intermediate).
+        let mut t = FlatRelation::empty(vec![]);
+        t.push_row(&[]);
+        assert_eq!(a.join(&t).len(), 2);
+        assert_eq!(t.join(&a).len(), 2);
+        let f = FlatRelation::empty(vec![]);
+        assert_eq!(a.join(&f).len(), 0);
+    }
+
+    #[test]
+    fn project_collapses_duplicates_and_dedups() {
+        let a = rel(&[0, 1], &[&[1, 2], &[3, 2]]);
+        let p = a.project(&[1, 1]);
+        assert_eq!(p.schema(), &[1]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.row(0), &[2]);
+    }
+
+    #[test]
+    fn intersect_sorted_walks() {
+        let mut a = rel(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6]]);
+        let b = rel(&[0, 1], &[&[3, 4], &[5, 6], &[7, 8]]);
+        a.intersect_sorted(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.row(0), &[3, 4]);
+        assert_eq!(a.row(1), &[5, 6]);
+    }
+
+    #[test]
+    fn binder_rejects_inconsistent_repetitions() {
+        use crate::parser::parse_cq;
+        let q = parse_cq("Q(x) :- E(x, x)").unwrap();
+        let binder = AtomBinder::compile(&q.atoms()[0], &[0]);
+        let d = Structure::digraph(3, &[(0, 0), (0, 1), (2, 2)]);
+        let mut out = FlatRelation::empty(vec![0]);
+        binder.materialize_into(&d, &mut out);
+        out.sort_dedup();
+        assert_eq!(out.len(), 2); // loops at 0 and 2 only
+        assert_eq!(out.row(0), &[0]);
+        assert_eq!(out.row(1), &[2]);
+    }
+
+    #[test]
+    fn mat_key_is_name_independent() {
+        use crate::parser::parse_cq;
+        let q1 = parse_cq("Q() :- E(x, y)").unwrap();
+        let q2 = parse_cq("Q() :- E(a, b)").unwrap();
+        assert_eq!(
+            MatKey::of_atom(&q1.atoms()[0]),
+            MatKey::of_atom(&q2.atoms()[0])
+        );
+        // Within one query, E(x,y) and E(y,x) differ: the second atom's
+        // arguments hit the sorted variable list in reverse order.
+        let q3 = parse_cq("Q() :- E(x, y), E(y, x)").unwrap();
+        assert_ne!(
+            MatKey::of_atom(&q3.atoms()[0]),
+            MatKey::of_atom(&q3.atoms()[1])
+        );
+        // And E(y,z) is the same single-atom hyperedge shape as E(x,y).
+        let q4 = parse_cq("Q() :- E(x, y), E(y, z)").unwrap();
+        assert_eq!(
+            MatKey::of_atom(&q4.atoms()[0]),
+            MatKey::of_atom(&q4.atoms()[1])
+        );
+    }
+
+    #[test]
+    fn cache_hits_and_counts() {
+        let cache = MaterializationCache::new();
+        let q = crate::parser::parse_cq("Q() :- E(x, y)").unwrap();
+        let key = MatKey::of_atom(&q.atoms()[0]);
+        let make = || rel(&[0, 1], &[&[1, 2]]);
+        let (r1, hit1) = cache.get_or_materialize(&key, make);
+        let (r2, hit2) = cache.get_or_materialize(&key, || unreachable!("must hit"));
+        assert!(!hit1 && hit2);
+        assert_eq!(r1.len(), r2.len());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.peek_cardinality(&key), Some(1));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,10 +1,12 @@
-//! Query evaluation: naive backtracking and Yannakakis for acyclic CQs.
+//! Query evaluation: naive backtracking and Yannakakis for acyclic CQs,
+//! both running on the columnar join kernel of [`flat`].
 
 pub mod evaluator;
+pub mod flat;
 pub mod naive;
-pub mod relation;
 pub mod yannakakis;
 
 pub use evaluator::{Evaluator, NaiveEvaluator};
+pub use flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
 pub use naive::{eval_boolean_naive, eval_naive, NaivePlan};
 pub use yannakakis::{AcyclicPlan, NotAcyclic};

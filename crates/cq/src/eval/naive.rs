@@ -10,6 +10,7 @@
 //! cache. The free functions are one-shot sugar over it.
 
 use crate::ast::ConjunctiveQuery;
+use crate::eval::flat::FlatRelation;
 use crate::tableau::tableau_of;
 use cqapx_structures::{Element, HomSearchStats, HomSolver, Pointed, SearchBudget, Structure};
 use std::collections::BTreeSet;
@@ -79,14 +80,26 @@ impl NaivePlan {
         })
     }
 
-    /// Evaluates `Q(D)`: the set of answer tuples.
+    /// Evaluates `Q(D)`: the set of answer tuples. Answers accumulate in
+    /// a flat row buffer (contiguous, deduplicated by sorting) instead
+    /// of a per-answer `Vec` insert into a tree. The search emits one
+    /// tuple per homomorphism — possibly far more than there are
+    /// distinct answers — so the buffer re-dedups whenever it doubles,
+    /// keeping peak memory proportional to the answer set.
     pub fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
-        let mut answers = BTreeSet::new();
+        let arity = self.query.arity();
+        let mut flat = FlatRelation::empty((0..arity as u32).collect());
+        let mut dedup_at = 1024usize;
         self.for_each_answer(d, None, |a| {
-            answers.insert(a.to_vec());
+            flat.push_row(a);
+            if flat.len() >= dedup_at {
+                flat.sort_dedup();
+                dedup_at = (flat.len() * 2).max(1024);
+            }
             ControlFlow::Continue(())
         });
-        answers
+        flat.sort_dedup();
+        flat.iter_rows().map(|r| r.to_vec()).collect()
     }
 
     /// Decides `Q(D) ≠ ∅`.

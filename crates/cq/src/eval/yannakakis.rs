@@ -1,25 +1,35 @@
-//! Yannakakis' algorithm for acyclic conjunctive queries.
+//! Yannakakis' algorithm for acyclic conjunctive queries, on the
+//! columnar join kernel.
 //!
 //! For acyclic `Q`, `ā ∈ Q(D)` is decidable in time `O(|D| · |Q|)`
 //! (Yannakakis, VLDB'81) — the tractable class the paper's acyclic
 //! approximations target. The pipeline:
 //!
-//! 1. group atoms by variable set and **materialize** one relation per
-//!    distinct hyperedge of `H(Q)` (intersecting the atoms that share a
-//!    variable set, honoring repeated variables like `R(x, x, y)`);
+//! 1. group atoms by variable set and **materialize** one
+//!    [`FlatRelation`] per distinct hyperedge of `H(Q)` (intersecting
+//!    the atoms that share a variable set, honoring repeated variables
+//!    like `R(x, x, y)`) — or adopt it from a per-database
+//!    [`MaterializationCache`] and skip the scan entirely;
 //! 2. build a **join tree** via GYO reduction;
-//! 3. run the **full reducer**: semijoins leaves→root, then root→leaves;
+//! 3. run the **full reducer**: in-place semijoins leaves→root, then
+//!    root→leaves, over column positions precomputed at compile time;
 //! 4. Boolean queries finish here (nonempty after reduction ⇔ true);
 //!    queries with free variables run bottom-up **joins with projection**
 //!    onto (free ∪ connector) variables, so intermediate results stay
 //!    output-bounded.
+//!
+//! Everything shape-dependent — atom binders, hyperedge cache keys, the
+//! traversal order, the shared-column positions of every tree edge — is
+//! computed once in [`AcyclicPlan::compile`]; evaluation only touches
+//! flat row buffers.
 
-use crate::ast::{ConjunctiveQuery, VarId};
-use crate::eval::relation::VarRelation;
+use crate::ast::{Atom, ConjunctiveQuery, VarId};
+use crate::eval::flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
 use cqapx_hypergraphs::{gyo, Hypergraph, JoinTree};
 use cqapx_structures::{Element, Structure};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error: the query is not acyclic, so no join tree exists.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,17 +61,35 @@ impl std::error::Error for NotAcyclic {}
 #[derive(Debug, Clone)]
 pub struct AcyclicPlan {
     query: ConjunctiveQuery,
-    /// Distinct variable sets (hyperedges), each with the atoms using it.
+    /// Distinct variable sets (hyperedges) with their compiled binders.
     groups: Vec<Group>,
     join_tree: JoinTree,
+    /// Bottom-up traversal order (children before parents), precomputed.
+    order: Vec<usize>,
+    /// Children lists of the join tree, precomputed.
+    children: Vec<Vec<usize>>,
+    /// For each non-root node `u`: the column positions of the variables
+    /// shared with its parent, in `u`'s schema and the parent's schema.
+    edges: Vec<Option<EdgeSpec>>,
 }
 
 #[derive(Debug, Clone)]
 struct Group {
     /// Sorted distinct variables of the hyperedge.
     vars: Vec<VarId>,
-    /// Indices of the query atoms whose variable set equals `vars`.
-    atoms: Vec<usize>,
+    /// Compiled binders, one per query atom with this variable set.
+    binders: Vec<AtomBinder>,
+    /// The hyperedge's identity in a [`MaterializationCache`].
+    mat_key: MatKey,
+}
+
+/// Shared-variable column positions of one join-tree edge.
+#[derive(Debug, Clone)]
+struct EdgeSpec {
+    /// Positions of the shared variables in the child's schema.
+    child_pos: Vec<usize>,
+    /// Positions of the shared variables in the parent's schema.
+    parent_pos: Vec<usize>,
 }
 
 /// Disjoint `(&mut xs[a], &xs[b])` access for `a ≠ b`: the borrow split
@@ -84,27 +112,72 @@ impl AcyclicPlan {
         // Group atoms by variable set, preserving first-occurrence order so
         // that group indices equal hyperedge indices of `Hypergraph` (which
         // deduplicates in insertion order too).
-        let mut groups: Vec<Group> = Vec::new();
+        let mut grouped: Vec<(Vec<VarId>, Vec<usize>)> = Vec::new();
         for (ai, atom) in query.atoms().iter().enumerate() {
             let mut vars: Vec<VarId> = atom.args.clone();
             vars.sort_unstable();
             vars.dedup();
-            match groups.iter_mut().find(|g| g.vars == vars) {
-                Some(g) => g.atoms.push(ai),
-                None => groups.push(Group {
-                    vars,
-                    atoms: vec![ai],
-                }),
+            match grouped.iter_mut().find(|(v, _)| *v == vars) {
+                Some((_, atoms)) => atoms.push(ai),
+                None => grouped.push((vars, vec![ai])),
             }
         }
         let mut h = Hypergraph::new(query.var_count());
-        for g in &groups {
-            h.add_edge(&g.vars);
+        for (vars, _) in &grouped {
+            h.add_edge(vars);
         }
-        debug_assert_eq!(h.edge_count(), groups.len());
+        debug_assert_eq!(h.edge_count(), grouped.len());
         let join_tree = gyo::gyo_reduce(&h).join_tree.ok_or(NotAcyclic)?;
+
+        let groups: Vec<Group> = grouped
+            .into_iter()
+            .map(|(vars, atoms)| {
+                let atom_refs: Vec<&Atom> = atoms.iter().map(|&ai| &query.atoms()[ai]).collect();
+                Group {
+                    mat_key: MatKey::of_group(&atom_refs, &vars),
+                    binders: atom_refs
+                        .iter()
+                        .map(|a| AtomBinder::compile(a, &vars))
+                        .collect(),
+                    vars,
+                }
+            })
+            .collect();
+
+        // Precompute the shared-column positions of every tree edge: both
+        // endpoint schemas are sorted, so one merge walk finds the shared
+        // variables and their positions on each side.
+        let edges: Vec<Option<EdgeSpec>> = (0..groups.len())
+            .map(|u| {
+                join_tree.parent[u].map(|p| {
+                    let (cv, pv) = (&groups[u].vars, &groups[p as usize].vars);
+                    let mut spec = EdgeSpec {
+                        child_pos: Vec::new(),
+                        parent_pos: Vec::new(),
+                    };
+                    let (mut i, mut j) = (0, 0);
+                    while i < cv.len() && j < pv.len() {
+                        match cv[i].cmp(&pv[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                spec.child_pos.push(i);
+                                spec.parent_pos.push(j);
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                    spec
+                })
+            })
+            .collect();
+
         Ok(AcyclicPlan {
             query: query.clone(),
+            order: join_tree.bottom_up_order(),
+            children: join_tree.children(),
+            edges,
             groups,
             join_tree,
         })
@@ -116,39 +189,18 @@ impl AcyclicPlan {
     }
 
     /// Materializes the relation of one hyperedge against a database.
-    fn materialize(&self, gi: usize, d: &Structure) -> VarRelation {
+    fn materialize(&self, gi: usize, d: &Structure) -> FlatRelation {
         let g = &self.groups[gi];
-        let mut rel: Option<VarRelation> = None;
-        for &ai in &g.atoms {
-            let atom = &self.query.atoms()[ai];
-            let mut rows = std::collections::HashSet::new();
-            'tuples: for t in d.tuples(atom.rel) {
-                // Bind variables left to right; reject inconsistent
-                // repetitions (e.g. R(x, x, y) against (1, 2, 3)).
-                let mut binding: Vec<Option<Element>> = vec![None; self.query.var_count()];
-                for (&v, &val) in atom.args.iter().zip(t.iter()) {
-                    match binding[v as usize] {
-                        None => binding[v as usize] = Some(val),
-                        Some(prev) if prev == val => {}
-                        Some(_) => continue 'tuples,
-                    }
-                }
-                let row: Vec<Element> = g
-                    .vars
-                    .iter()
-                    .map(|&v| binding[v as usize].expect("group var bound"))
-                    .collect();
-                rows.insert(row);
-            }
-            let atom_rel = VarRelation {
-                schema: g.vars.clone(),
-                rows,
-            };
+        let mut rel: Option<FlatRelation> = None;
+        for binder in &g.binders {
+            let mut atom_rel = FlatRelation::empty(g.vars.clone());
+            binder.materialize_into(d, &mut atom_rel);
+            atom_rel.sort_dedup();
             rel = Some(match rel {
                 None => atom_rel,
                 Some(mut acc) => {
-                    // Same schema: plain intersection.
-                    acc.rows.retain(|r| atom_rel.rows.contains(r));
+                    // Same schema: sorted-merge intersection.
+                    acc.intersect_sorted(&atom_rel);
                     acc
                 }
             });
@@ -156,25 +208,53 @@ impl AcyclicPlan {
         rel.expect("groups are nonempty")
     }
 
+    /// Materializes every hyperedge, going through `cache` when given:
+    /// hits adopt the cached buffer (one memcpy, no scan), misses
+    /// materialize and insert under the hyperedge's canonical key.
+    fn materialize_all(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+    ) -> (Vec<FlatRelation>, MatCacheStats) {
+        let mut stats = MatCacheStats::default();
+        let rels = (0..self.groups.len())
+            .map(|gi| match cache {
+                None => self.materialize(gi, d),
+                Some(cache) => {
+                    let (rel, hit) = cache
+                        .get_or_materialize(&self.groups[gi].mat_key, || self.materialize(gi, d));
+                    if hit {
+                        stats.hits += 1;
+                    } else {
+                        stats.misses += 1;
+                    }
+                    adopt(&rel, &self.groups[gi].vars)
+                }
+            })
+            .collect();
+        (rels, stats)
+    }
+
     /// Runs the semijoin full reducer in place. Returns `false` when some
     /// relation became empty (the query answer is empty).
-    fn full_reduce(&self, rels: &mut [VarRelation]) -> bool {
-        let order = self.join_tree.bottom_up_order();
+    fn full_reduce(&self, rels: &mut [FlatRelation]) -> bool {
         // Leaves → root.
-        for &u in &order {
+        for &u in &self.order {
             if let Some(p) = self.join_tree.parent[u] {
+                let spec = self.edges[u].as_ref().expect("non-root has an edge spec");
                 let (target, source) = pair_mut(rels, p as usize, u);
-                target.semijoin(source);
+                target.semijoin_on(&spec.parent_pos, source, &spec.child_pos);
             }
             if rels[u].is_empty() {
                 return false;
             }
         }
         // Root → leaves.
-        for &u in order.iter().rev() {
+        for &u in self.order.iter().rev() {
             if let Some(p) = self.join_tree.parent[u] {
+                let spec = self.edges[u].as_ref().expect("non-root has an edge spec");
                 let (target, source) = pair_mut(rels, u, p as usize);
-                target.semijoin(source);
+                target.semijoin_on(&spec.child_pos, source, &spec.parent_pos);
                 if target.is_empty() {
                     return false;
                 }
@@ -185,53 +265,67 @@ impl AcyclicPlan {
 
     /// Boolean evaluation: `Q(D) ≠ ∅`.
     pub fn eval_boolean(&self, d: &Structure) -> bool {
-        let mut rels: Vec<VarRelation> = (0..self.groups.len())
-            .map(|gi| self.materialize(gi, d))
-            .collect();
-        self.full_reduce(&mut rels)
+        self.eval_boolean_cached(d, None).0
+    }
+
+    /// Boolean evaluation through an optional per-database
+    /// materialization cache; also reports the cache outcome.
+    pub fn eval_boolean_cached(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+    ) -> (bool, MatCacheStats) {
+        let (mut rels, stats) = self.materialize_all(d, cache);
+        (self.full_reduce(&mut rels), stats)
     }
 
     /// Full evaluation: the set of answer tuples in head order.
     pub fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
-        let mut rels: Vec<VarRelation> = (0..self.groups.len())
-            .map(|gi| self.materialize(gi, d))
-            .collect();
+        self.eval_cached(d, None).0
+    }
+
+    /// Full evaluation through an optional per-database materialization
+    /// cache; also reports the cache outcome.
+    pub fn eval_cached(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        let (mut rels, stats) = self.materialize_all(d, cache);
         if !self.full_reduce(&mut rels) {
-            return BTreeSet::new();
+            return (BTreeSet::new(), stats);
         }
         if self.query.is_boolean() {
             // Nonempty after full reduction: the single empty tuple.
             let mut out = BTreeSet::new();
             out.insert(Vec::new());
-            return out;
+            return (out, stats);
         }
         let free: BTreeSet<VarId> = self.query.free_vars().iter().copied().collect();
         // Bottom-up joins with projection onto (free ∪ connector) vars.
-        let children = self.join_tree.children();
-        let order = self.join_tree.bottom_up_order();
-        let mut partial: Vec<Option<VarRelation>> = vec![None; self.groups.len()];
-        for &u in &order {
+        let mut partial: Vec<Option<FlatRelation>> = vec![None; self.groups.len()];
+        for &u in &self.order {
             let mut acc = rels[u].clone();
-            for &c in &children[u] {
+            for &c in &self.children[u] {
                 let child = partial[c].take().expect("children processed first");
                 acc = acc.join(&child);
             }
             // Keep free variables plus variables shared with the parent.
             let keep: Vec<VarId> = acc
-                .schema
+                .schema()
                 .iter()
                 .copied()
                 .filter(|v| {
                     free.contains(v)
                         || self.join_tree.parent[u]
-                            .map(|p| self.groups[p as usize].vars.contains(v))
+                            .map(|p| self.groups[p as usize].vars.binary_search(v).is_ok())
                             .unwrap_or(false)
                 })
                 .collect();
             partial[u] = Some(acc.project(&keep));
         }
         // Combine the roots (cartesian product across components).
-        let mut result: Option<VarRelation> = None;
+        let mut result: Option<FlatRelation> = None;
         for r in self.join_tree.roots() {
             let rel = partial[r].take().expect("root processed");
             result = Some(match result {
@@ -240,8 +334,14 @@ impl AcyclicPlan {
             });
         }
         let result = result.expect("at least one root");
-        result.rows_in_head_order(self.query.free_vars())
+        (result.rows_in_head_order(self.query.free_vars()), stats)
     }
+}
+
+/// Adopts a cached materialization into a plan's variable space: same
+/// buffer content, this plan's column labels.
+fn adopt(cached: &Arc<FlatRelation>, vars: &[VarId]) -> FlatRelation {
+    cached.relabel(vars.to_vec())
 }
 
 #[cfg(test)]
@@ -259,6 +359,17 @@ mod tests {
             "Yannakakis must agree with naive on {q}"
         );
         assert_eq!(plan.eval_boolean(d), eval_boolean_naive(&q, d));
+        // And through a fresh cache, twice (cold then warm).
+        let cache = MaterializationCache::new();
+        let (cold, s1) = plan.eval_cached(d, Some(&cache));
+        let (warm, s2) = plan.eval_cached(d, Some(&cache));
+        assert_eq!(cold, eval_naive(&q, d), "cold cache run on {q}");
+        assert_eq!(warm, cold, "warm cache run on {q}");
+        // The cold run materializes at least once (same-key hyperedges
+        // within one query may already hit); the warm run only hits.
+        assert!(s1.misses > 0);
+        assert_eq!(s2.misses, 0);
+        assert_eq!(s2.hits, s1.hits + s1.misses);
     }
 
     #[test]
@@ -335,5 +446,23 @@ mod tests {
         // A long "comb" with dead ends.
         let d = Structure::digraph(7, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (1, 6)]);
         assert_eq!(plan.eval(&d), eval_naive(&q, &d));
+    }
+
+    #[test]
+    fn cache_shared_across_plans() {
+        // Two different prepared queries over the same hyperedge shape
+        // share the materialization.
+        let d = Structure::digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p1 = AcyclicPlan::compile(&parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap()).unwrap();
+        let p2 = AcyclicPlan::compile(&parse_cq("Q(a) :- E(a, b)").unwrap()).unwrap();
+        let cache = MaterializationCache::new();
+        let (a1, s1) = p1.eval_cached(&d, Some(&cache));
+        let (a2, s2) = p2.eval_cached(&d, Some(&cache));
+        assert_eq!(a1.len(), 3);
+        assert_eq!(a2.len(), 4);
+        assert_eq!(s1.misses, 1); // E(x,y) and E(y,z) are one hyperedge key
+        assert_eq!(s1.hits, 1);
+        assert_eq!(s2.hits, 1); // p2's only hyperedge reuses p1's entry
+        assert_eq!(s2.misses, 0);
     }
 }

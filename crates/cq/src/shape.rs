@@ -1,14 +1,15 @@
 //! Plan-relevant query metadata, computed once per prepared query.
 //!
 //! A [`QueryShape`] gathers everything a cost-based planner wants to know
-//! about a CQ *before* seeing any database: size measures, per-relation
-//! atom counts, and membership in the cheap-to-evaluate classes. The class
+//! about a CQ *before* seeing any database: size measures, per-atom
+//! materialization keys, and membership in the cheap-to-evaluate classes. The class
 //! checks are the expensive part (treewidth is exponential in the width),
 //! so the shape is meant to be computed at prepare time and cached
 //! alongside the query.
 
 use crate::ast::ConjunctiveQuery;
 use crate::classes::{is_acyclic_query, treewidth_of_query};
+use crate::eval::flat::MatKey;
 use cqapx_structures::RelId;
 
 /// Static, database-independent facts about a query that drive planning.
@@ -30,10 +31,12 @@ pub struct QueryShape {
     /// Treewidth of `G(Q)`; small width keeps even the naive join cheap
     /// (`|D|^(tw+1)`-flavored instead of `|D|^|Q|`).
     pub treewidth: usize,
-    /// Relations mentioned in the body, with their atom multiplicity,
-    /// sorted by `RelId`. Joined against per-database relation statistics
-    /// at plan time.
-    pub rel_uses: Vec<(RelId, usize)>,
+    /// Per body atom: its relation and its materialization-cache key
+    /// (the atom taken as its own hyperedge). Lets the planner read
+    /// **real** cached cardinalities — repeated-variable filtering
+    /// included — where a materialization exists, instead of raw
+    /// relation statistics.
+    pub atom_keys: Vec<(RelId, MatKey)>,
 }
 
 impl QueryShape {
@@ -41,16 +44,12 @@ impl QueryShape {
     /// treewidth computation on `G(Q)` — intended for prepare time, not
     /// per request.
     pub fn of(q: &ConjunctiveQuery) -> QueryShape {
-        let mut rel_uses: Vec<(RelId, usize)> = Vec::new();
-        let mut max_atom_arity = 0;
-        for a in q.atoms() {
-            max_atom_arity = max_atom_arity.max(a.args.len());
-            match rel_uses.iter_mut().find(|(r, _)| *r == a.rel) {
-                Some((_, n)) => *n += 1,
-                None => rel_uses.push((a.rel, 1)),
-            }
-        }
-        rel_uses.sort_by_key(|&(r, _)| r.index());
+        let max_atom_arity = q.atoms().iter().map(|a| a.args.len()).max().unwrap_or(0);
+        let atom_keys = q
+            .atoms()
+            .iter()
+            .map(|a| (a.rel, MatKey::of_atom(a)))
+            .collect();
         QueryShape {
             var_count: q.var_count(),
             atom_count: q.atom_count(),
@@ -59,7 +58,7 @@ impl QueryShape {
             max_atom_arity,
             acyclic: is_acyclic_query(q),
             treewidth: treewidth_of_query(q),
-            rel_uses,
+            atom_keys,
         }
     }
 
@@ -86,8 +85,8 @@ mod tests {
         assert_eq!(s.max_atom_arity, 2);
         assert!(!s.acyclic);
         assert_eq!(s.treewidth, 2);
-        assert_eq!(s.rel_uses.len(), 1);
-        assert_eq!(s.rel_uses[0].1, 3);
+        assert_eq!(s.atom_keys.len(), 3);
+        assert!(s.atom_keys.iter().all(|(r, _)| *r == s.atom_keys[0].0));
     }
 
     #[test]

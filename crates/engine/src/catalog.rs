@@ -7,7 +7,7 @@
 //! Yannakakis plan compiled. Execution then only reads `Arc`-shared
 //! entries.
 
-use cqapx_cq::eval::{AcyclicPlan, NaivePlan};
+use cqapx_cq::eval::{AcyclicPlan, MaterializationCache, NaivePlan};
 use cqapx_cq::{ConjunctiveQuery, QueryShape};
 use cqapx_structures::{Pointed, RelId, Structure};
 use std::collections::{HashMap, HashSet};
@@ -44,6 +44,12 @@ pub struct DatabaseEntry {
     pub stats: Vec<RelationStats>,
     /// Active-domain size.
     pub adom_size: usize,
+    /// Materialized hyperedge relations of this database, shared by
+    /// every prepared query and batch request that evaluates against it
+    /// (see [`MaterializationCache`]). The cache lives and dies with
+    /// this entry: re-registering a database name creates a fresh entry
+    /// with an empty cache, so entries can never serve a stale snapshot.
+    pub materialized: MaterializationCache,
 }
 
 impl DatabaseEntry {
@@ -134,6 +140,7 @@ impl Catalog {
             adom_size: s.active_domain().len(),
             stats: compute_stats(&s),
             structure: Arc::new(s),
+            materialized: MaterializationCache::new(),
         }));
         self.db_names.insert(name, id);
         id

@@ -5,7 +5,7 @@ use crate::catalog::{Catalog, DatabaseEntry, DbId, PreparedQuery, QueryId};
 use crate::par::{default_threads, parallel_map};
 use crate::planner::{choose_plan, PlanDecision, PlanKind};
 use cqapx_core::{Acyclic, ApproxOptions, HtwK, QueryClass, TwK};
-use cqapx_cq::eval::NaivePlan;
+use cqapx_cq::eval::{MatCacheStats, NaivePlan};
 use cqapx_structures::{Element, SearchBudget, Structure};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -140,6 +140,10 @@ pub struct Response {
     pub plan: PlanKind,
     /// For sandwich plans: whether the approximation came from the cache.
     pub cache_hit: Option<bool>,
+    /// Relation-materialization cache outcome of this request: how many
+    /// hyperedge scans were skipped (hits) vs run (misses). All-zero for
+    /// plans that never materialize (naive backtracking).
+    pub mat_cache: MatCacheStats,
     /// Wall time of this request.
     pub wall: Duration,
     /// The planner's rationale.
@@ -169,6 +173,12 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Approximation-cache misses (searches actually run).
     pub cache_misses: u64,
+    /// Relation-materialization cache hits: hyperedge scans skipped
+    /// because the per-database cache already held the relation.
+    pub mat_hits: u64,
+    /// Relation-materialization cache misses: hyperedge relations
+    /// actually scanned (and inserted for later requests).
+    pub mat_misses: u64,
     /// Total answer tuples returned.
     pub answers: u64,
     /// Summed per-request wall time (across workers; exceeds elapsed
@@ -184,6 +194,17 @@ impl EngineStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Materialization-cache hit rate in `[0, 1]` (0 when no request
+    /// materialized a hyperedge relation yet).
+    pub fn mat_hit_rate(&self) -> f64 {
+        let total = self.mat_hits + self.mat_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.mat_hits as f64 / total as f64
         }
     }
 }
@@ -207,6 +228,13 @@ impl fmt::Display for EngineStats {
             self.cache_hits,
             self.cache_misses,
             100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "mat cache       hits {} · misses {} (hit rate {:.1}%)",
+            self.mat_hits,
+            self.mat_misses,
+            100.0 * self.mat_hit_rate()
         )?;
         writeln!(f, "answers         {}", self.answers)?;
         write!(f, "busy time       {:?}", self.busy)
@@ -266,6 +294,15 @@ impl Engine {
             .write()
             .expect("catalog lock poisoned")
             .prepare_query(name, q)
+    }
+
+    /// The catalog entry behind a database id: the immutable snapshot,
+    /// its statistics, and its materialization cache.
+    pub fn database(&self, id: DbId) -> Option<Arc<DatabaseEntry>> {
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .database(id)
     }
 
     /// Looks up a registered database by name.
@@ -376,6 +413,8 @@ impl Engine {
             Some(false) => s.cache_misses += 1,
             None => {}
         }
+        s.mat_hits += r.mat_cache.hits as u64;
+        s.mat_misses += r.mat_cache.misses as u64;
         s.answers += r.answers.len() as u64;
         s.busy += r.wall;
     }
@@ -401,13 +440,16 @@ impl Engine {
         });
         let decision: PlanDecision = choose_plan(&q.shape, d, self.config.naive_cost_budget);
         let mut plan_reason = decision.reason.clone();
+        let mut mat_cache = MatCacheStats::default();
         let (answers, status, cache_hit) = match decision.kind {
             PlanKind::Yannakakis => {
                 let plan = q
                     .yannakakis
                     .as_ref()
                     .expect("acyclic prepared queries carry a Yannakakis plan");
-                (plan.eval(&d.structure), ResponseStatus::Complete, None)
+                let (answers, mstats) = plan.eval_cached(&d.structure, Some(&d.materialized));
+                mat_cache.add(mstats);
+                (answers, ResponseStatus::Complete, None)
             }
             PlanKind::Naive => {
                 let (answers, timed_out) =
@@ -424,7 +466,8 @@ impl Engine {
                     // Certain answers: the union over all →-maximal
                     // in-class approximations, each a sound
                     // under-approximation.
-                    let (certain, hit) = self.certain_answers(req.query, q, d);
+                    let (certain, hit, mstats) = self.certain_answers(req.query, q, d);
+                    mat_cache.add(mstats);
                     (certain, ResponseStatus::CertainOnly, Some(hit))
                 }
                 EvalMode::Exact => {
@@ -458,7 +501,10 @@ impl Engine {
                             Some(cached) => {
                                 let mut answers = exact;
                                 for e in &cached.evaluators {
-                                    answers.extend(e.eval(&d.structure));
+                                    let (certain, mstats) =
+                                        e.eval_with_cache(&d.structure, &d.materialized);
+                                    answers.extend(certain);
+                                    mat_cache.add(mstats);
                                 }
                                 (answers, ResponseStatus::TimedOut, Some(true))
                             }
@@ -475,6 +521,7 @@ impl Engine {
             status,
             plan: decision.kind,
             cache_hit,
+            mat_cache,
             wall: start.elapsed(),
             plan_reason,
         }
@@ -509,20 +556,24 @@ impl Engine {
     }
 
     /// The certain answers of the cached approximation: the union of
-    /// `Q'(D)` over every →-maximal in-class approximation `Q' ⊆ Q`.
-    /// Returns the cache-hit flag of the lookup.
+    /// `Q'(D)` over every →-maximal in-class approximation `Q' ⊆ Q`,
+    /// evaluated through the database's materialization cache. Returns
+    /// the cache-hit flag of the lookup and the materialization outcome.
     fn certain_answers(
         &self,
         qid: QueryId,
         q: &PreparedQuery,
         d: &DatabaseEntry,
-    ) -> (BTreeSet<Vec<Element>>, bool) {
+    ) -> (BTreeSet<Vec<Element>>, bool, MatCacheStats) {
         let (cached, hit) = self.approximation_of(qid, q);
         let mut answers: BTreeSet<Vec<Element>> = BTreeSet::new();
+        let mut mat = MatCacheStats::default();
         for e in &cached.evaluators {
-            answers.extend(e.eval(&d.structure));
+            let (certain, mstats) = e.eval_with_cache(&d.structure, &d.materialized);
+            answers.extend(certain);
+            mat.add(mstats);
         }
-        (answers, hit)
+        (answers, hit, mat)
     }
 
     /// Naive evaluation under a deadline: answers stream out of the

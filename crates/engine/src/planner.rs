@@ -51,15 +51,25 @@ pub struct PlanDecision {
 
 /// An order-of-magnitude upper estimate of backtracking-join work: the
 /// minimum of the variable-assignment bound `adom^|vars|` and the
-/// atom-by-atom bound `∏ |R_atom|` (each atom's relation cardinality,
-/// with multiplicity). Saturates at `f64::INFINITY`.
+/// atom-by-atom bound `∏ |R_atom|`. Each atom's factor prefers the
+/// **real cardinality of its cached materialization** (repeated-variable
+/// filtering included) over the raw relation statistic, so estimates
+/// tighten as the database's [`MaterializationCache`] warms up.
+/// Saturates at `f64::INFINITY`.
+///
+/// [`MaterializationCache`]: cqapx_cq::eval::MaterializationCache
 pub fn estimate_naive_cost(shape: &QueryShape, db: &DatabaseEntry) -> f64 {
     let adom = db.adom_size.max(1) as f64;
     let assignment_bound = adom.powi(shape.var_count.min(1_000) as i32);
     let mut atom_bound = 1.0_f64;
-    for &(rel, uses) in &shape.rel_uses {
-        let card = db.rel_stats(rel).cardinality.max(1) as f64;
-        atom_bound *= card.powi(uses.min(1_000) as i32);
+    let cached = db
+        .materialized
+        .peek_cardinalities(shape.atom_keys.iter().map(|(_, k)| k));
+    for ((rel, _), peeked) in shape.atom_keys.iter().zip(cached) {
+        let card = peeked
+            .unwrap_or_else(|| db.rel_stats(*rel).cardinality)
+            .max(1) as f64;
+        atom_bound *= card;
         if !atom_bound.is_finite() {
             break;
         }
