@@ -1,0 +1,126 @@
+//! Engine-level tests of the per-database relation-materialization
+//! cache: identical answers before/after a cache hit, correct behavior
+//! across database re-registration (a fresh snapshot gets a fresh
+//! cache), sharing across prepared queries, and hit-rate reporting in
+//! `EngineStats`.
+
+use cqapx_cq::parse_cq;
+use cqapx_engine::{Engine, EngineConfig, PlanKind, Request};
+use cqapx_structures::Structure;
+
+fn path_db(n: u32) -> Structure {
+    let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    Structure::digraph(n as usize, &edges)
+}
+
+#[test]
+fn repeated_requests_hit_and_answers_match() {
+    let e = Engine::new(EngineConfig::default());
+    let db = e.register_database("p", path_db(6));
+    let q = e.prepare_query("two_hop", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+    let req = Request::new(q, db);
+    let r1 = e.execute(&req);
+    let r2 = e.execute(&req);
+    assert_eq!(r1.plan, PlanKind::Yannakakis);
+    assert_eq!(r1.answers, r2.answers, "cache hit must not change answers");
+    assert_eq!(r1.answers.len(), 4);
+    // Cold run materialized; warm run only hit.
+    assert!(r1.mat_cache.misses > 0);
+    assert_eq!(r2.mat_cache.misses, 0);
+    assert!(r2.mat_cache.hits > 0);
+    let stats = e.stats();
+    assert!(stats.mat_hits > 0, "EngineStats must report mat-cache hits");
+    assert!(stats.mat_hit_rate() > 0.0);
+    assert!(stats.to_string().contains("mat cache"));
+}
+
+#[test]
+fn cache_is_shared_across_prepared_queries() {
+    let e = Engine::new(EngineConfig::default());
+    let db = e.register_database("p", path_db(6));
+    let q1 = e.prepare_query("two_hop", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+    let q2 = e.prepare_query("edges", parse_cq("Q(a, b) :- E(a, b)").unwrap());
+    let r1 = e.execute(&Request::new(q1, db));
+    // q2's single hyperedge has the same canonical key as q1's, so its
+    // very first request is served from q1's materialization.
+    let r2 = e.execute(&Request::new(q2, db));
+    assert!(r1.mat_cache.misses > 0);
+    assert_eq!(r2.mat_cache.misses, 0);
+    assert!(r2.mat_cache.hits > 0);
+    assert_eq!(r2.answers.len(), 5);
+}
+
+#[test]
+fn reregistration_invalidates_and_recomputes() {
+    let e = Engine::new(EngineConfig::default());
+    let q = e.prepare_query("two_hop", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+
+    let db1 = e.register_database("g", path_db(4));
+    let r1a = e.execute(&Request::new(q, db1));
+    let r1b = e.execute(&Request::new(q, db1));
+    assert_eq!(r1a.answers, r1b.answers);
+    assert_eq!(r1a.answers.len(), 2);
+
+    // Re-register the same name with different data: new id, fresh
+    // cache — answers must reflect the new snapshot, not a stale entry.
+    let db2 = e.register_database("g", path_db(6));
+    assert_ne!(db1, db2);
+    let r2a = e.execute(&Request::new(q, db2));
+    assert!(
+        r2a.mat_cache.misses > 0,
+        "fresh snapshot must re-materialize, not serve db1's entries"
+    );
+    assert_eq!(r2a.answers.len(), 4);
+    let r2b = e.execute(&Request::new(q, db2));
+    assert_eq!(r2a.answers, r2b.answers);
+    assert_eq!(r2b.mat_cache.misses, 0);
+
+    // The superseded snapshot still serves (append-only ids) and still
+    // answers from its own data.
+    let r1c = e.execute(&Request::new(q, db1));
+    assert_eq!(r1c.answers, r1a.answers);
+}
+
+#[test]
+fn batch_requests_share_the_cache() {
+    let e = Engine::new(EngineConfig::default());
+    let db = e.register_database("p", path_db(8));
+    let q = e.prepare_query("two_hop", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+    let reqs: Vec<Request> = (0..16).map(|_| Request::new(q, db)).collect();
+    let rs = e.execute_batch(&reqs);
+    let first = &rs[0].answers;
+    for r in &rs {
+        assert_eq!(&r.answers, first, "all batch responses must agree");
+    }
+    let stats = e.stats();
+    // 16 requests over one hyperedge key: exactly one materialization
+    // wins; every other lookup hits (concurrent misses may race, but
+    // hits must dominate).
+    assert!(stats.mat_hits > 0);
+    assert!(stats.mat_hit_rate() > 0.5, "rate {}", stats.mat_hit_rate());
+}
+
+#[test]
+fn planner_reads_cached_cardinalities() {
+    use cqapx_engine::{choose_plan, estimate_naive_cost};
+    // A query whose only atom is the loop E(x, x): the raw relation
+    // statistic counts every edge, the materialized hyperedge only the
+    // loops — so a warm cache must tighten the estimate.
+    let e = Engine::new(EngineConfig::default());
+    let mut edges: Vec<(u32, u32)> = (0..20u32).map(|i| (i, (i + 1) % 20)).collect();
+    edges.push((0, 0)); // a single loop
+    let db = e.register_database("g", Structure::digraph(20, &edges));
+    let q = e.prepare_query("loops_path", parse_cq("Q(x) :- E(x, x), E(x, y)").unwrap());
+    let shape = cqapx_cq::QueryShape::of(&parse_cq("Q(x) :- E(x, x), E(x, y)").unwrap());
+    let entry = e.database(db).expect("registered");
+    let cold = estimate_naive_cost(&shape, &entry);
+    // Warm the cache through a served request.
+    e.execute(&Request::new(q, db));
+    let warm = estimate_naive_cost(&shape, &entry);
+    assert!(
+        warm < cold,
+        "warm estimate {warm} should beat cold estimate {cold}"
+    );
+    let decision = choose_plan(&shape, &entry, 1e6);
+    assert_eq!(decision.est_naive_cost, warm);
+}
