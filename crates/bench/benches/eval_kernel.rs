@@ -1,0 +1,63 @@
+//! Evaluation-kernel microbenchmarks: the columnar `FlatRelation`
+//! pipeline vs the frozen row-based evaluator on the workloads of
+//! `exp_eval` (see `BENCH_eval.json` for the tracked numbers), plus the
+//! engine-level materialization cache warm/cold split.
+
+use cqapx_bench::{baseline, workloads};
+use cqapx_cq::eval::{AcyclicPlan, MaterializationCache};
+use cqapx_cq::parse_cq;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_full_reducer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_kernel");
+    group.sample_size(10);
+    let q = parse_cq("Q() :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x5), E(x5,x6)").unwrap();
+    let db = workloads::layered_dag(7, 24, 0.35, 11);
+    let frozen = baseline::BaselineAcyclicPlan::compile(&q).expect("acyclic");
+    let plan = AcyclicPlan::compile(&q).expect("acyclic");
+    group.bench_function("row_based/bool_path", |b| {
+        b.iter(|| frozen.eval_boolean(&db))
+    });
+    group.bench_function("columnar/bool_path", |b| b.iter(|| plan.eval_boolean(&db)));
+    group.finish();
+}
+
+fn bench_join_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_kernel");
+    group.sample_size(10);
+    let q = parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4)").unwrap();
+    let db = workloads::random_db(400, 3.5, 13);
+    let frozen = baseline::BaselineAcyclicPlan::compile(&q).expect("acyclic");
+    let plan = AcyclicPlan::compile(&q).expect("acyclic");
+    group.bench_function("row_based/hop3", |b| b.iter(|| frozen.eval(&db).len()));
+    group.bench_function("columnar/hop3", |b| b.iter(|| plan.eval(&db).len()));
+    group.finish();
+}
+
+fn bench_mat_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mat_cache");
+    group.sample_size(10);
+    let q = parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap();
+    let db = workloads::layered_dag(7, 24, 0.35, 11);
+    let plan = AcyclicPlan::compile(&q).expect("acyclic");
+    group.bench_function("cold_miss_every_time", |b| {
+        b.iter(|| {
+            let cache = MaterializationCache::new();
+            plan.eval_cached(&db, Some(&cache)).0.len()
+        })
+    });
+    let warm = MaterializationCache::new();
+    plan.eval_cached(&db, Some(&warm));
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| plan.eval_cached(&db, Some(&warm)).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_reducer,
+    bench_join_heavy,
+    bench_mat_cache
+);
+criterion_main!(benches);

@@ -9,12 +9,13 @@
 //! ```
 //!
 //! Experiment ids: fig1 fig2 prop44 trichotomy speedup tight nonboolean
-//! twk strong hyper dp ablation engine hom
+//! twk strong hyper dp ablation engine hom eval
 //!
 //! The `engine` experiment additionally writes `BENCH_engine.json`
 //! (queries/sec, cache hit rate) and the `hom` experiment writes
 //! `BENCH_hom.json` (new vs pre-refactor hom engine) for machine-readable
-//! perf tracking.
+//! perf tracking; `eval` writes `BENCH_eval.json` (columnar join kernel
+//! vs the frozen row-based evaluator, materialization-cache hit rate).
 
 use cqapx_bench as bench;
 
@@ -35,6 +36,7 @@ fn main() {
         "ablation",
         "engine",
         "hom",
+        "eval",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -57,6 +59,7 @@ fn main() {
             "ablation" => bench::exp_ablation(),
             "engine" => bench::exp_engine(),
             "hom" => bench::exp_hom(),
+            "eval" => bench::exp_eval(),
             other => {
                 eprintln!("unknown experiment id {other}; known: {all:?}");
                 std::process::exit(2);
