@@ -1,0 +1,64 @@
+//! Bounded-treewidth tier microbenchmarks: `DecomposedPlan`
+//! (Yannakakis over tree-decomposition bags on the shared plan IR)
+//! against the compiled naive backtracking join on the cyclic
+//! workloads of `exp_eval` (see `BENCH_eval.json` for the tracked
+//! numbers), plus the warm/cold bag-materialization cache split.
+
+use cqapx_bench::workloads;
+use cqapx_cq::eval::{DecomposedPlan, MaterializationCache, NaivePlan};
+use cqapx_cq::parse_cq;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_c4_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposed_eval");
+    group.sample_size(10);
+    let q = parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1)").unwrap();
+    let db = workloads::random_db(200, 5.0, 19);
+    let naive = NaivePlan::compile(q.clone());
+    let plan = DecomposedPlan::compile(&q, 2).expect("C4 has treewidth 2");
+    assert_eq!(naive.eval(&db), plan.eval(&db));
+    group.bench_function("naive/c4_free", |b| b.iter(|| naive.eval(&db).len()));
+    group.bench_function("decomposed/c4_free", |b| b.iter(|| plan.eval(&db).len()));
+    group.finish();
+}
+
+fn bench_c6_connector_bags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposed_eval");
+    group.sample_size(10);
+    let q = parse_cq("Q(a, d) :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,a)").unwrap();
+    let db = workloads::random_db(150, 5.0, 29);
+    let naive = NaivePlan::compile(q.clone());
+    let plan = DecomposedPlan::compile(&q, 2).expect("C6 has treewidth 2");
+    assert_eq!(naive.eval(&db), plan.eval(&db));
+    group.bench_function("naive/c6_free", |b| b.iter(|| naive.eval(&db).len()));
+    group.bench_function("decomposed/c6_free", |b| b.iter(|| plan.eval(&db).len()));
+    group.finish();
+}
+
+fn bench_bag_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposed_bag_cache");
+    group.sample_size(10);
+    let q = parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1)").unwrap();
+    let db = workloads::random_db(200, 5.0, 19);
+    let plan = DecomposedPlan::compile(&q, 2).expect("acyclic");
+    group.bench_function("cold_miss_every_time", |b| {
+        b.iter(|| {
+            let cache = MaterializationCache::new();
+            plan.eval_cached(&db, Some(&cache)).0.len()
+        })
+    });
+    let warm = MaterializationCache::new();
+    plan.eval_cached(&db, Some(&warm));
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| plan.eval_cached(&db, Some(&warm)).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_c4_free,
+    bench_c6_connector_bags,
+    bench_bag_cache
+);
+criterion_main!(benches);

@@ -51,6 +51,16 @@ pub trait QueryClass {
     ) -> Option<bool> {
         None
     }
+
+    /// The treewidth bound under which every member of the class can be
+    /// evaluated by a decomposition-based (Yannakakis-over-bags) plan,
+    /// when one exists. Engines use it to compile a `DecomposedPlan`
+    /// for in-class queries that are not acyclic; `None` means the
+    /// class gives no width guarantee (the acyclic tier or the naive
+    /// join must serve instead).
+    fn decomposition_width(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The Gaifman graph of a structure: elements as nodes, co-occurrence
@@ -137,6 +147,9 @@ impl QueryClass for TwK {
             }
         }
         Some(self.graph_in_class(&g))
+    }
+    fn decomposition_width(&self) -> Option<usize> {
+        Some(self.0)
     }
 }
 

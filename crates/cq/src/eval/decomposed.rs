@@ -1,0 +1,394 @@
+//! Bounded-treewidth evaluation: Yannakakis over the bags of a tree
+//! decomposition, compiled to the shared plan IR.
+//!
+//! The paper's `TW(k)` classes promise *tractable* evaluation for every
+//! query whose graph `G(Q)` has treewidth at most `k` — including the
+//! cyclic queries the acyclic tier must reject. The classic recipe:
+//!
+//! 1. compute a width-`≤ k` [`TreeDecomposition`] of `G(Q)`
+//!    (deterministic, exact — `graphs::treewidth::treewidth_at_most`);
+//! 2. assign every atom to **every bag containing its variables** (an
+//!    atom's variables form a clique of `G(Q)`, so at least one bag
+//!    covers it) and **materialize each bag** as the join of its atom
+//!    groups — at most `adom^(k+1)` rows, the tractability bound. Bag
+//!    materializations are [`MatKey`]-cached exactly like hyperedges
+//!    and shared across plans (see [`MatSource`]);
+//! 3. run the acyclic pipeline over the rooted bag tree: full-reducer
+//!    semijoin sweeps as a prefilter, then bottom-up joins projected
+//!    onto (free ∪ parent-bag) variables.
+//!
+//! Bags may contain *connector* variables none of their own atoms
+//! constrain (a width-2 decomposition of the 6-cycle has them), so the
+//! bag schemas can violate the running-intersection property that makes
+//! the reducer complete on true join trees. The compiled program
+//! therefore treats the sweeps as a sound prefilter only and lets the
+//! join phase — whose projection keep-sets come from the *bags*, which
+//! do satisfy running intersection — decide answers, Boolean ones
+//! included. Intermediate relations stay inside `bag ∪ free` variables,
+//! keeping evaluation polynomial for fixed `k`.
+//!
+//! [`TreeDecomposition`]: cqapx_graphs::treewidth::TreeDecomposition
+
+use crate::ast::{Atom, ConjunctiveQuery, VarId};
+use crate::classes::query_graph;
+use crate::eval::flat::{MatCacheStats, MatKey, MaterializationCache};
+use crate::eval::ir::{compile_tree, MatSource, NodeSpec, PlanIr};
+use cqapx_graphs::treewidth::treewidth_at_most;
+use cqapx_structures::{Element, RelId, Structure};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error: the query graph has treewidth above the requested bound, so
+/// no decomposition-based plan exists at that width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotDecomposable {
+    /// The width bound that was requested.
+    pub width_limit: usize,
+}
+
+impl fmt::Display for NotDecomposable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query graph has treewidth above {}: no width-bounded decomposition exists",
+            self.width_limit
+        )
+    }
+}
+
+impl std::error::Error for NotDecomposable {}
+
+/// Cost-model inputs of one bag, exposed for the planner: the bag size
+/// and the parts (sub-hyperedges) joined inside it.
+#[derive(Debug, Clone)]
+pub struct BagSummary {
+    /// Number of variables in the bag (label, not just covered schema).
+    pub label_size: usize,
+    /// Per part: the relation of its first atom (for raw statistics)
+    /// and its cache key (for real materialized cardinalities).
+    pub parts: Vec<(RelId, MatKey)>,
+}
+
+/// A compiled bounded-treewidth evaluation plan for a (typically
+/// cyclic) CQ.
+///
+/// # Examples
+///
+/// ```
+/// use cqapx_cq::{eval::DecomposedPlan, parse_cq};
+/// use cqapx_structures::Structure;
+///
+/// let q = parse_cq("Q(x) :- E(x,y), E(y,z), E(z,x)").unwrap();
+/// let plan = DecomposedPlan::compile(&q, 2).unwrap();
+/// assert_eq!(plan.width(), 2);
+/// let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(plan.eval(&d).len(), 3); // x ∈ {0, 1, 2}
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecomposedPlan {
+    query: ConjunctiveQuery,
+    ir: PlanIr,
+    width: usize,
+    bags: Vec<BagSummary>,
+}
+
+impl DecomposedPlan {
+    /// Compiles a plan from a width-`≤ k` tree decomposition of `G(Q)`;
+    /// fails when the treewidth exceeds `k`.
+    pub fn compile(query: &ConjunctiveQuery, k: usize) -> Result<DecomposedPlan, NotDecomposable> {
+        let g = query_graph(query);
+        let td = treewidth_at_most(&g, k).ok_or(NotDecomposable { width_limit: k })?;
+        let width = td.width();
+        let rooted = td.rooted();
+
+        // Assign each atom to every bag covering its variable set, then
+        // group the atoms of a bag by variable set (one MatPart each).
+        let atom_vars: Vec<Vec<VarId>> = query
+            .atoms()
+            .iter()
+            .map(|a| {
+                let mut vars = a.args.clone();
+                vars.sort_unstable();
+                vars.dedup();
+                vars
+            })
+            .collect();
+        let mut covered = vec![false; query.atoms().len()];
+        let mut nodes: Vec<NodeSpec> = Vec::with_capacity(td.bags.len());
+        let mut bags: Vec<BagSummary> = Vec::with_capacity(td.bags.len());
+        for bag in &td.bags {
+            let mut groups: Vec<(Vec<VarId>, Vec<&Atom>)> = Vec::new();
+            for (ai, atom) in query.atoms().iter().enumerate() {
+                let vars = &atom_vars[ai];
+                if vars.iter().all(|v| bag.binary_search(v).is_ok()) {
+                    covered[ai] = true;
+                    match groups.iter_mut().find(|(v, _)| v == vars) {
+                        Some((_, atoms)) => atoms.push(atom),
+                        None => groups.push((vars.clone(), vec![atom])),
+                    }
+                }
+            }
+            let group_refs: Vec<Vec<&Atom>> = groups.iter().map(|(_, a)| a.clone()).collect();
+            let source = if group_refs.is_empty() {
+                // A connector bag covering no atom: the "true" relation.
+                MatSource {
+                    schema: Vec::new(),
+                    key: MatKey::of_group(&[], &[]),
+                    parts: Vec::new(),
+                }
+            } else {
+                MatSource::from_groups(&group_refs)
+            };
+            bags.push(BagSummary {
+                label_size: bag.len(),
+                parts: source
+                    .parts
+                    .iter()
+                    .zip(&group_refs)
+                    .map(|(p, g)| (g[0].rel, p.key.clone()))
+                    .collect(),
+            });
+            nodes.push(NodeSpec {
+                source,
+                label: bag.clone(),
+            });
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "every atom's variable clique must lie in some bag"
+        );
+
+        let ir = compile_tree(&nodes, &rooted.parent, &rooted.order, query.free_vars());
+        Ok(DecomposedPlan {
+            query: query.clone(),
+            ir,
+            width,
+            bags,
+        })
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The width of the decomposition the plan evaluates over.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The compiled IR program.
+    pub fn ir(&self) -> &PlanIr {
+        &self.ir
+    }
+
+    /// Per-bag cost-model inputs (label sizes, part relations and cache
+    /// keys), in bag order.
+    pub fn bag_summaries(&self) -> &[BagSummary] {
+        &self.bags
+    }
+
+    /// Boolean evaluation: `Q(D) ≠ ∅`.
+    pub fn eval_boolean(&self, d: &Structure) -> bool {
+        self.eval_boolean_cached(d, None).0
+    }
+
+    /// Boolean evaluation through an optional per-database
+    /// materialization cache; also reports the cache outcome.
+    pub fn eval_boolean_cached(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+    ) -> (bool, MatCacheStats) {
+        self.ir.run_boolean(d, cache)
+    }
+
+    /// Full evaluation: the set of answer tuples in head order.
+    pub fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
+        self.eval_cached(d, None).0
+    }
+
+    /// Full evaluation through an optional per-database materialization
+    /// cache; also reports the cache outcome.
+    pub fn eval_cached(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        if self.query.is_boolean() {
+            let (nonempty, stats) = self.ir.run_boolean(d, cache);
+            let mut out = BTreeSet::new();
+            if nonempty {
+                out.insert(Vec::new());
+            }
+            return (out, stats);
+        }
+        let (result, stats) = self.ir.run(d, cache);
+        match result {
+            None => (BTreeSet::new(), stats),
+            Some(rel) => (rel.rows_in_head_order(self.query.free_vars()), stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive::{eval_boolean_naive, eval_naive};
+    use crate::parser::parse_cq;
+
+    fn check_agrees(q: &str, k: usize, d: &Structure) {
+        let q = parse_cq(q).unwrap();
+        let plan = DecomposedPlan::compile(&q, k).unwrap();
+        assert_eq!(
+            plan.eval(d),
+            eval_naive(&q, d),
+            "decomposed must agree with naive on {q}"
+        );
+        assert_eq!(
+            plan.eval_boolean(d),
+            eval_boolean_naive(&q, d),
+            "boolean disagrees on {q}"
+        );
+        // Through a fresh cache, cold then warm: identical answers, and
+        // the warm run adopts every bag.
+        let cache = MaterializationCache::new();
+        let (cold, s1) = plan.eval_cached(d, Some(&cache));
+        let (warm, s2) = plan.eval_cached(d, Some(&cache));
+        assert_eq!(cold, eval_naive(&q, d), "cold cache run on {q}");
+        assert_eq!(warm, cold, "warm cache run on {q}");
+        assert!(s1.misses > 0, "cold run must materialize on {q}");
+        assert_eq!(s2.misses, 0, "warm run must not re-materialize on {q}");
+    }
+
+    #[test]
+    fn too_wide_rejected() {
+        // K4 has treewidth 3.
+        let q = parse_cq("Q() :- E(a,b), E(a,c), E(a,d), E(b,c), E(b,d), E(c,d)").unwrap();
+        assert!(DecomposedPlan::compile(&q, 2).is_err());
+        let plan = DecomposedPlan::compile(&q, 3).unwrap();
+        assert_eq!(plan.width(), 3);
+    }
+
+    #[test]
+    fn triangle_single_bag() {
+        let d = Structure::digraph(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 4)]);
+        check_agrees("Q() :- E(x,y), E(y,z), E(z,x)", 2, &d);
+        check_agrees("Q(x) :- E(x,y), E(y,z), E(z,x)", 2, &d);
+        check_agrees("Q(x, y) :- E(x,y), E(y,z), E(z,x)", 2, &d);
+    }
+
+    #[test]
+    fn six_cycle_connector_bags() {
+        // The width-2 decomposition of C6 has bags whose schemas lose a
+        // connector variable — the case where the semijoin sweeps alone
+        // are incomplete and the join phase must decide.
+        let q = "Q() :- E(a,p), E(p,b), E(b,q), E(q,c), E(c,r), E(r,a)";
+        let with_c6 =
+            Structure::digraph(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 6)]);
+        check_agrees(q, 2, &with_c6);
+        // A digraph with 6-paths but no directed 6-cycle: every bag
+        // relation is nonempty yet the answer is empty — the sweeps
+        // alone would say "true".
+        let no_c6 =
+            Structure::digraph(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        check_agrees(q, 2, &no_c6);
+        let plan = DecomposedPlan::compile(&parse_cq(q).unwrap(), 2).unwrap();
+        assert!(
+            !plan.ir().reduction_decides(),
+            "C6 bags must defer Boolean answers to the join phase"
+        );
+    }
+
+    #[test]
+    fn free_variable_cycles() {
+        let d = Structure::digraph(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 2), (5, 5)]);
+        check_agrees("Q(a, c) :- E(a,b), E(b,c), E(c,d), E(d,a)", 2, &d);
+        check_agrees("Q(a) :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)", 2, &d);
+    }
+
+    #[test]
+    fn wheel_width_three() {
+        // Hub + 4-rim wheel: treewidth 3.
+        let q = "Q(h) :- E(h,a), E(h,b), E(h,c), E(h,d), E(a,b), E(b,c), E(c,d), E(d,a)";
+        let mut edges = vec![(0u32, 1), (0, 2), (0, 3), (0, 4)];
+        edges.extend([(1, 2), (2, 3), (3, 4), (4, 1)]);
+        edges.extend([(2, 5), (5, 3)]);
+        let d = Structure::digraph(6, &edges);
+        assert!(DecomposedPlan::compile(&parse_cq(q).unwrap(), 2).is_err());
+        check_agrees(q, 3, &d);
+    }
+
+    #[test]
+    fn repeated_vars_and_loops() {
+        let d = Structure::digraph(4, &[(0, 0), (0, 1), (1, 2), (2, 0), (3, 3)]);
+        check_agrees("Q(x) :- E(x,x), E(x,y), E(y,z), E(z,x)", 2, &d);
+        check_agrees("Q() :- E(x,y), E(y,x), E(y,z), E(z,x)", 2, &d);
+    }
+
+    #[test]
+    fn disconnected_cyclic_components() {
+        // Two triangles over disjoint variables: the decomposition tree
+        // is glued across components with empty overlaps.
+        let d = Structure::digraph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        check_agrees(
+            "Q() :- E(x,y), E(y,z), E(z,x), E(u,v), E(v,w), E(w,u)",
+            2,
+            &d,
+        );
+        check_agrees(
+            "Q(x, u) :- E(x,y), E(y,z), E(z,x), E(u,v), E(v,w), E(w,u)",
+            2,
+            &d,
+        );
+    }
+
+    #[test]
+    fn acyclic_queries_also_work() {
+        // The tier is not restricted to cyclic queries: a path query has
+        // treewidth 1 and the decomposition is a path of edge bags.
+        let d = Structure::digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        check_agrees("Q(x, z) :- E(x, y), E(y, z)", 1, &d);
+        check_agrees("Q() :- E(x, y), E(y, z)", 1, &d);
+    }
+
+    #[test]
+    fn bag_cache_shared_with_acyclic_plans() {
+        use crate::eval::yannakakis::AcyclicPlan;
+        // The triangle's single bag joins three edge-shaped parts; a
+        // part's key is the plain hyperedge key, so an acyclic plan over
+        // E(x, y) shares the part materialization.
+        let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let cache = MaterializationCache::new();
+        let tri = DecomposedPlan::compile(&parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap(), 2)
+            .unwrap();
+        let (_, s1) = tri.eval_cached(&d, Some(&cache));
+        // Cold: the triangle bag (and its parts) materialize; the two
+        // forward-edge-shaped parts share one key.
+        assert!(s1.misses > 0);
+        assert!(s1.hits > 0, "same-shape parts within the plan must share");
+        let edge = AcyclicPlan::compile(&parse_cq("Q(a, b) :- E(a, b)").unwrap()).unwrap();
+        let (ans, s2) = edge.eval_cached(&d, Some(&cache));
+        assert_eq!(ans.len(), 4);
+        assert_eq!(
+            (s2.hits, s2.misses),
+            (1, 0),
+            "hyperedge adopts the part entry"
+        );
+    }
+
+    #[test]
+    fn summaries_expose_bag_shape() {
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let plan = DecomposedPlan::compile(&q, 2).unwrap();
+        // Some bag holds the whole triangle: label size 3, all three
+        // edge parts joined inside it.
+        let full = plan
+            .bag_summaries()
+            .iter()
+            .find(|b| b.label_size == 3)
+            .expect("a bag must contain the triangle clique");
+        assert_eq!(full.parts.len(), 3);
+        assert!(!plan.bag_summaries().is_empty());
+    }
+}

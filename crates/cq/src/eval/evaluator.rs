@@ -4,6 +4,7 @@
 //! sites.
 
 use crate::ast::ConjunctiveQuery;
+use crate::eval::decomposed::DecomposedPlan;
 use crate::eval::flat::{MatCacheStats, MaterializationCache};
 use crate::eval::naive::NaivePlan;
 use crate::eval::yannakakis::AcyclicPlan;
@@ -105,6 +106,32 @@ impl Evaluator for AcyclicPlan {
     }
 }
 
+impl Evaluator for DecomposedPlan {
+    fn query(&self) -> &ConjunctiveQuery {
+        DecomposedPlan::query(self)
+    }
+
+    fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
+        DecomposedPlan::eval(self, d)
+    }
+
+    fn eval_boolean(&self, d: &Structure) -> bool {
+        DecomposedPlan::eval_boolean(self, d)
+    }
+
+    fn eval_with_cache(
+        &self,
+        d: &Structure,
+        cache: &MaterializationCache,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        DecomposedPlan::eval_cached(self, d, Some(cache))
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "decomposed"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +144,7 @@ mod tests {
         let evals: Vec<Box<dyn Evaluator>> = vec![
             Box::new(NaiveEvaluator::new(q.clone())),
             Box::new(AcyclicPlan::compile(&q).unwrap()),
+            Box::new(DecomposedPlan::compile(&q, 1).unwrap()),
         ];
         let expected = evals[0].eval(&d);
         assert!(!expected.is_empty());

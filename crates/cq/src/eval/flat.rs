@@ -58,6 +58,17 @@ impl FlatRelation {
         }
     }
 
+    /// The 0-ary relation holding the single empty row — the join
+    /// identity ("true"). Joining against it is a no-op; semijoining
+    /// against it keeps every row.
+    pub fn unit() -> Self {
+        FlatRelation {
+            schema: Vec::new(),
+            rows: 1,
+            data: Vec::new(),
+        }
+    }
+
     /// The column labels.
     pub fn schema(&self) -> &[VarId] {
         &self.schema
@@ -115,6 +126,45 @@ impl FlatRelation {
             rows: self.rows,
             data: self.data.clone(),
         }
+    }
+
+    /// Appends every row of `other` (whose schema must cover the same
+    /// variable set, in any column order), remapping columns by name.
+    /// May introduce duplicates; callers finish with
+    /// [`FlatRelation::sort_dedup`] — this is the buffer-level half of a
+    /// set union.
+    pub fn union_rows(&mut self, other: &FlatRelation) {
+        assert_eq!(
+            {
+                let mut a = self.schema.clone();
+                a.sort_unstable();
+                a
+            },
+            {
+                let mut b = other.schema.clone();
+                b.sort_unstable();
+                b
+            },
+            "union operands must range over the same variables"
+        );
+        if self.schema == other.schema {
+            self.data.extend_from_slice(&other.data);
+            self.rows += other.rows;
+            return;
+        }
+        // Column remap: for each of my columns, its position in `other`.
+        let from: Vec<usize> = self
+            .schema
+            .iter()
+            .map(|v| other.schema.iter().position(|w| w == v).expect("same vars"))
+            .collect();
+        self.data.reserve(other.rows * self.schema.len());
+        for row in other.iter_rows() {
+            for &p in &from {
+                self.data.push(row[p]);
+            }
+        }
+        self.rows += other.rows;
     }
 
     /// Sorts rows lexicographically and removes duplicates, leaving the
@@ -654,6 +704,29 @@ mod tests {
         r.sort_dedup();
         assert_eq!(r.len(), 1);
         assert_eq!(r.row(0), &[] as &[Element]);
+    }
+
+    #[test]
+    fn unit_is_join_identity() {
+        let t = FlatRelation::unit();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.arity(), 0);
+        let a = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        assert_eq!(
+            a.join(&t).rows_in_head_order(&[0, 1]),
+            a.rows_in_head_order(&[0, 1])
+        );
+    }
+
+    #[test]
+    fn union_rows_remaps_columns() {
+        let mut a = rel(&[0, 1], &[&[1, 2]]);
+        let b = rel(&[1, 0], &[&[2, 1], &[9, 8]]);
+        a.union_rows(&b);
+        a.sort_dedup();
+        assert_eq!(a.len(), 2); // (1,2) deduplicated, (8,9) added
+        assert_eq!(a.row(0), &[1, 2]);
+        assert_eq!(a.row(1), &[8, 9]);
     }
 
     #[test]

@@ -1,0 +1,729 @@
+//! The unified physical plan IR: one explicit operator set over
+//! [`FlatRelation`] buffers, shared by every compiled evaluation
+//! strategy.
+//!
+//! A [`PlanIr`] is a straight-line program over numbered relation
+//! *slots*. The operators are the classical physical algebra:
+//!
+//! | operator             | effect                                                |
+//! |----------------------|-------------------------------------------------------|
+//! | [`Op::Materialize`]  | scan/adopt a [`MatSource`] into a slot (cache-aware)  |
+//! | [`Op::Semijoin`]     | in-place `target ⋉ source` on aligned key columns     |
+//! | [`Op::AssertNonempty`] | abort with the empty answer when a slot ran dry     |
+//! | [`Op::Join`]         | natural hash join of two slots into a third           |
+//! | [`Op::Project`]      | projection (+ sort/dedup) onto a variable list        |
+//! | [`Op::Dedup`]        | in-place sort + duplicate elimination                 |
+//! | [`Op::Union`]        | append a same-variable slot (column-remapped)         |
+//!
+//! Both `AcyclicPlan` (Yannakakis over a GYO join tree) and
+//! `DecomposedPlan` (Yannakakis over the bags of a tree decomposition)
+//! compile to this IR through [`compile_tree`]; evaluation is a single
+//! interpreter loop, so cache adoption, statistics, and kernel
+//! improvements land in one place.
+//!
+//! [`compile_tree`] takes per-node [`NodeSpec`]s — a relation source
+//! plus a *connectivity label* — and a rooted tree. For join trees the
+//! label **is** the node's schema and the semijoin sweeps alone decide
+//! Boolean answers (classical Yannakakis). For tree decompositions the
+//! label is the bag, which may strictly contain the schema of the
+//! atoms materialized in it; the sweeps are then only a sound prefilter
+//! and the bottom-up join phase decides everything (the compiler
+//! detects which case it is in — see [`PlanIr::reduction_decides`]).
+
+use crate::ast::{Atom, VarId};
+use crate::eval::flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
+use cqapx_structures::Structure;
+use std::collections::BTreeSet;
+
+/// Index of a relation slot in a [`PlanIr`] program.
+pub type Slot = usize;
+
+/// One sub-hyperedge of a [`MatSource`]: the atoms sharing one variable
+/// set, compiled to binders, with its own cache identity.
+#[derive(Debug, Clone)]
+pub struct MatPart {
+    /// Sorted distinct variables of the sub-hyperedge.
+    pub schema: Vec<VarId>,
+    /// Cache identity of this sub-hyperedge alone.
+    pub key: MatKey,
+    /// Compiled binders, one per atom with this variable set.
+    pub binders: Vec<AtomBinder>,
+}
+
+/// The relation source of one plan node: a group of sub-hyperedges whose
+/// natural join (then canonicalized onto `schema`) is the node relation.
+///
+/// * join-tree nodes have exactly one part whose schema equals the
+///   source schema — the hyperedge itself;
+/// * tree-decomposition bags join every covering atom group — the bag
+///   materialization;
+/// * a node with **no** parts materializes to the 0-ary "true" relation
+///   (a connector bag none of whose atoms it covers).
+///
+/// Sources (and, on a miss, their individual parts) go through the
+/// per-database [`MaterializationCache`] keyed by [`MatKey`], so a bag
+/// is cached exactly like a hyperedge and either can adopt the other's
+/// entry when the keys coincide.
+#[derive(Debug, Clone)]
+pub struct MatSource {
+    /// Sorted distinct variables of the whole source (the union of the
+    /// part schemas).
+    pub schema: Vec<VarId>,
+    /// Cache identity of the joined source.
+    pub key: MatKey,
+    /// The sub-hyperedges joined to form the relation.
+    pub parts: Vec<MatPart>,
+}
+
+impl MatSource {
+    /// Compiles a source from atom groups (each group: the atoms sharing
+    /// one variable set) over the union of their variables.
+    pub fn from_groups(groups: &[Vec<&Atom>]) -> MatSource {
+        let mut schema: Vec<VarId> = groups
+            .iter()
+            .flat_map(|g| g.iter().flat_map(|a| a.args.iter().copied()))
+            .collect();
+        schema.sort_unstable();
+        schema.dedup();
+        let all: Vec<&Atom> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+        let parts = groups
+            .iter()
+            .map(|g| {
+                let mut vars: Vec<VarId> = g.iter().flat_map(|a| a.args.iter().copied()).collect();
+                vars.sort_unstable();
+                vars.dedup();
+                MatPart {
+                    key: MatKey::of_group(g, &vars),
+                    binders: g.iter().map(|a| AtomBinder::compile(a, &vars)).collect(),
+                    schema: vars,
+                }
+            })
+            .collect();
+        MatSource {
+            key: MatKey::of_group(&all, &schema),
+            schema,
+            parts,
+        }
+    }
+
+    /// Materializes the source against `d`, adopting from / inserting
+    /// into `cache` when given. Multi-part sources are cached at both
+    /// levels: the joined source under its own key and, on a source
+    /// miss, each part under its key (so single-atom parts are shared
+    /// with the plans that use them as whole hyperedges).
+    pub fn materialize(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        stats: &mut MatCacheStats,
+    ) -> FlatRelation {
+        if self.parts.is_empty() {
+            return FlatRelation::unit();
+        }
+        match cache {
+            None => self.materialize_fresh(d, None, stats),
+            Some(c) => {
+                let mut inner = MatCacheStats::default();
+                let (rel, hit) = c.get_or_materialize(&self.key, || {
+                    self.materialize_fresh(d, Some(c), &mut inner)
+                });
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                stats.add(inner);
+                rel.relabel(self.schema.clone())
+            }
+        }
+    }
+
+    /// Scans and joins the parts (no lookup of the source key itself).
+    fn materialize_fresh(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        stats: &mut MatCacheStats,
+    ) -> FlatRelation {
+        if self.parts.len() == 1 && self.parts[0].schema == self.schema {
+            // The source *is* its single part; its key equals the part
+            // key, so the caller's lookup already covered it.
+            return self.parts[0].materialize_fresh(d);
+        }
+        let mut acc: Option<FlatRelation> = None;
+        for part in &self.parts {
+            let rel = match cache {
+                None => part.materialize_fresh(d),
+                Some(c) => {
+                    let (rel, hit) = c.get_or_materialize(&part.key, || part.materialize_fresh(d));
+                    if hit {
+                        stats.hits += 1;
+                    } else {
+                        stats.misses += 1;
+                    }
+                    rel.relabel(part.schema.clone())
+                }
+            };
+            acc = Some(match acc {
+                None => rel,
+                Some(a) => a.join(&rel),
+            });
+        }
+        // Canonicalize onto the sorted source schema (column order and
+        // row order), so cache entries are label-independent.
+        acc.expect("nonempty parts").project(&self.schema)
+    }
+}
+
+impl MatPart {
+    /// Scans the part's atoms and intersects them (they share a schema).
+    fn materialize_fresh(&self, d: &Structure) -> FlatRelation {
+        let mut acc: Option<FlatRelation> = None;
+        for binder in &self.binders {
+            let mut rel = FlatRelation::empty(self.schema.clone());
+            binder.materialize_into(d, &mut rel);
+            rel.sort_dedup();
+            acc = Some(match acc {
+                None => rel,
+                Some(mut a) => {
+                    a.intersect_sorted(&rel);
+                    a
+                }
+            });
+        }
+        acc.expect("parts have at least one binder")
+    }
+}
+
+/// One instruction of a [`PlanIr`] program.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Materialize (or adopt from the cache) a source into `dst`.
+    Materialize {
+        /// Destination slot.
+        dst: Slot,
+        /// What to materialize.
+        source: MatSource,
+    },
+    /// In-place semijoin `target ⋉ source` on aligned key columns.
+    Semijoin {
+        /// Slot filtered in place.
+        target: Slot,
+        /// Slot probed for matches.
+        source: Slot,
+        /// Key column positions in the target's schema.
+        target_pos: Vec<usize>,
+        /// Key column positions in the source's schema.
+        source_pos: Vec<usize>,
+    },
+    /// Abort the program (empty answer) when the slot has no rows.
+    AssertNonempty {
+        /// Slot checked.
+        slot: Slot,
+    },
+    /// Natural join `left ⋈ right` into `dst` (operands are kept).
+    Join {
+        /// Destination slot.
+        dst: Slot,
+        /// Left operand slot.
+        left: Slot,
+        /// Right operand slot.
+        right: Slot,
+    },
+    /// Projection of `src` onto `vars` into `dst` (sorted, deduplicated).
+    Project {
+        /// Destination slot.
+        dst: Slot,
+        /// Source slot.
+        src: Slot,
+        /// Variables kept (must occur in the source schema).
+        vars: Vec<VarId>,
+    },
+    /// In-place sort + duplicate elimination of a slot.
+    Dedup {
+        /// Slot canonicalized.
+        slot: Slot,
+    },
+    /// Append the rows of `src` to `dst` (same variable set, columns
+    /// remapped by name). Follow with [`Op::Dedup`] to restore set
+    /// semantics.
+    Union {
+        /// Destination slot (grows).
+        dst: Slot,
+        /// Source slot (kept).
+        src: Slot,
+    },
+}
+
+/// A compiled physical plan: a straight-line operator program over
+/// relation slots, with a designated output slot.
+#[derive(Debug, Clone)]
+pub struct PlanIr {
+    /// Number of relation slots the program uses.
+    slots: usize,
+    /// The instructions, executed in order.
+    ops: Vec<Op>,
+    /// Length of the materialize-and-reduce prefix (see
+    /// [`PlanIr::reduction_decides`]).
+    bool_len: usize,
+    /// `true` when surviving the reduction prefix alone proves the
+    /// answer nonempty (labels equal schemas: a genuine join tree, where
+    /// the full reducer establishes global consistency). When `false`
+    /// (decomposition bags with connector-only variables), Boolean
+    /// evaluation must run the join phase too.
+    reduction_decides: bool,
+    /// Slot holding the final relation after a full run.
+    output: Slot,
+}
+
+/// Disjoint `(&mut xs[a], &xs[b])` access for `a ≠ b`: the borrow split
+/// in-place semijoins need to filter one slot against another without
+/// cloning either relation.
+fn pair_mut<T>(xs: &mut [T], a: usize, b: usize) -> (&mut T, &T) {
+    debug_assert_ne!(a, b, "semijoin target and source must differ");
+    if a < b {
+        let (lo, hi) = xs.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+impl PlanIr {
+    /// Number of operators in the program.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the reduction prefix alone decides Boolean answers.
+    pub fn reduction_decides(&self) -> bool {
+        self.reduction_decides
+    }
+
+    /// Executes `ops[..len]`. Returns `false` when an
+    /// [`Op::AssertNonempty`] fired (the answer is empty).
+    fn exec(
+        &self,
+        len: usize,
+        slots: &mut [Option<FlatRelation>],
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        stats: &mut MatCacheStats,
+    ) -> bool {
+        fn rel(s: &Option<FlatRelation>) -> &FlatRelation {
+            s.as_ref().expect("slot written before use")
+        }
+        for op in &self.ops[..len] {
+            match op {
+                Op::Materialize { dst, source } => {
+                    slots[*dst] = Some(source.materialize(d, cache, stats));
+                }
+                Op::Semijoin {
+                    target,
+                    source,
+                    target_pos,
+                    source_pos,
+                } => {
+                    let (t, s) = pair_mut(slots, *target, *source);
+                    t.as_mut().expect("slot written before use").semijoin_on(
+                        target_pos,
+                        rel(s),
+                        source_pos,
+                    );
+                }
+                Op::AssertNonempty { slot } => {
+                    if rel(&slots[*slot]).is_empty() {
+                        return false;
+                    }
+                }
+                Op::Join { dst, left, right } => {
+                    let out = rel(&slots[*left]).join(rel(&slots[*right]));
+                    slots[*dst] = Some(out);
+                }
+                Op::Project { dst, src, vars } => {
+                    let out = rel(&slots[*src]).project(vars);
+                    slots[*dst] = Some(out);
+                }
+                Op::Dedup { slot } => {
+                    slots[*slot]
+                        .as_mut()
+                        .expect("slot written before use")
+                        .sort_dedup();
+                }
+                Op::Union { dst, src } => {
+                    let (t, s) = pair_mut(slots, *dst, *src);
+                    t.as_mut()
+                        .expect("slot written before use")
+                        .union_rows(rel(s));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs the full program. `None` means the answer is empty (an
+    /// emptiness assertion fired); otherwise the output relation.
+    pub fn run(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+    ) -> (Option<FlatRelation>, MatCacheStats) {
+        let mut stats = MatCacheStats::default();
+        let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
+        if !self.exec(self.ops.len(), &mut slots, d, cache, &mut stats) {
+            return (None, stats);
+        }
+        (slots[self.output].take(), stats)
+    }
+
+    /// Decides whether the answer is nonempty, running only as much of
+    /// the program as the plan shape requires.
+    pub fn run_boolean(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+    ) -> (bool, MatCacheStats) {
+        if self.reduction_decides {
+            let mut stats = MatCacheStats::default();
+            let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
+            let alive = self.exec(self.bool_len, &mut slots, d, cache, &mut stats);
+            return (alive, stats);
+        }
+        let (out, stats) = self.run(d, cache);
+        (out.is_some_and(|r| !r.is_empty()), stats)
+    }
+}
+
+/// One node of the tree a plan is compiled from.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// The node's relation source.
+    pub source: MatSource,
+    /// Sorted connectivity label: the variable set guaranteed to satisfy
+    /// the running-intersection property over the tree. Equals
+    /// `source.schema` for join-tree nodes; the whole bag for
+    /// tree-decomposition nodes.
+    pub label: Vec<VarId>,
+}
+
+/// Compiles the Yannakakis pipeline over a rooted tree (or forest) of
+/// nodes into a [`PlanIr`] program:
+///
+/// 1. materialize every node source;
+/// 2. full reducer — semijoins leaves→root then root→leaves on the
+///    columns the adjacent *schemas* share, with emptiness assertions;
+/// 3. unless the query is Boolean and the reduction decides it:
+///    bottom-up joins, each node projected onto its free variables plus
+///    the variables its parent's *label* retains, roots combined by
+///    (cartesian) join.
+///
+/// `parent`/`order` describe the rooted tree (children before parents
+/// in `order`); `free` lists the query's free variables.
+pub fn compile_tree(
+    nodes: &[NodeSpec],
+    parent: &[Option<usize>],
+    order: &[usize],
+    free: &[VarId],
+) -> PlanIr {
+    let n = nodes.len();
+    assert_eq!(parent.len(), n);
+    assert_eq!(order.len(), n);
+    let reduction_decides = nodes.iter().all(|s| s.label == s.source.schema);
+    let free_set: BTreeSet<VarId> = free.iter().copied().collect();
+
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(u);
+        }
+    }
+
+    let mut ops: Vec<Op> = Vec::new();
+    let mut slots = n; // slots 0..n hold the node relations
+
+    for (u, spec) in nodes.iter().enumerate() {
+        ops.push(Op::Materialize {
+            dst: u,
+            source: spec.source.clone(),
+        });
+    }
+
+    // Shared *schema* column positions of the edge above `u`, for the
+    // semijoin sweeps (both schemas are sorted: one merge walk).
+    let edge_pos: Vec<Option<(Vec<usize>, Vec<usize>)>> = (0..n)
+        .map(|u| {
+            parent[u].map(|p| {
+                let (cs, ps) = (&nodes[u].source.schema, &nodes[p].source.schema);
+                let (mut child_pos, mut parent_pos) = (Vec::new(), Vec::new());
+                let (mut i, mut j) = (0, 0);
+                while i < cs.len() && j < ps.len() {
+                    match cs[i].cmp(&ps[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            child_pos.push(i);
+                            parent_pos.push(j);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                (child_pos, parent_pos)
+            })
+        })
+        .collect();
+
+    // Full reducer: leaves → root …
+    for &u in order {
+        if let Some(p) = parent[u] {
+            let (child_pos, parent_pos) = edge_pos[u].as_ref().expect("non-root has an edge");
+            ops.push(Op::Semijoin {
+                target: p,
+                source: u,
+                target_pos: parent_pos.clone(),
+                source_pos: child_pos.clone(),
+            });
+        }
+        ops.push(Op::AssertNonempty { slot: u });
+    }
+    // … then root → leaves.
+    for &u in order.iter().rev() {
+        if parent[u].is_some() {
+            let (child_pos, parent_pos) = edge_pos[u].as_ref().expect("non-root has an edge");
+            ops.push(Op::Semijoin {
+                target: u,
+                source: parent[u].unwrap(),
+                target_pos: child_pos.clone(),
+                source_pos: parent_pos.clone(),
+            });
+            ops.push(Op::AssertNonempty { slot: u });
+        }
+    }
+    let bool_len = ops.len();
+
+    if free.is_empty() && reduction_decides {
+        // Boolean join tree: the prefix is the whole program. The output
+        // slot is unused by Boolean callers; point it at the last node
+        // in `order` (the root of the last-compiled tree).
+        return PlanIr {
+            slots,
+            ops,
+            bool_len,
+            reduction_decides,
+            output: *order.last().expect("at least one node"),
+        };
+    }
+
+    // Bottom-up joins with projection. `partial[u]` is the slot holding
+    // the projected join of `u`'s subtree; its schema is tracked
+    // statically so projections list exact variables.
+    let mut partial: Vec<Option<(Slot, Vec<VarId>)>> = vec![None; n];
+    for &u in order {
+        let mut cur: Slot = u;
+        let mut schema: Vec<VarId> = nodes[u].source.schema.clone();
+        for &c in &children[u] {
+            let (cslot, cschema) = partial[c].take().expect("children processed first");
+            let dst = slots;
+            slots += 1;
+            ops.push(Op::Join {
+                dst,
+                left: cur,
+                right: cslot,
+            });
+            for v in cschema {
+                if !schema.contains(&v) {
+                    schema.push(v);
+                }
+            }
+            cur = dst;
+        }
+        // Keep free variables plus variables the parent's label retains.
+        let keep: Vec<VarId> = schema
+            .iter()
+            .copied()
+            .filter(|v| {
+                free_set.contains(v)
+                    || parent[u]
+                        .map(|p| nodes[p].label.binary_search(v).is_ok())
+                        .unwrap_or(false)
+            })
+            .collect();
+        let dst = slots;
+        slots += 1;
+        ops.push(Op::Project {
+            dst,
+            src: cur,
+            vars: keep.clone(),
+        });
+        partial[u] = Some((dst, keep));
+    }
+
+    // Combine the roots (cartesian join across components).
+    let roots: Vec<usize> = (0..n).filter(|&u| parent[u].is_none()).collect();
+    let mut out: Option<Slot> = None;
+    for r in roots {
+        let (rslot, _) = partial[r].take().expect("root processed");
+        out = Some(match out {
+            None => rslot,
+            Some(acc) => {
+                let dst = slots;
+                slots += 1;
+                ops.push(Op::Join {
+                    dst,
+                    left: acc,
+                    right: rslot,
+                });
+                dst
+            }
+        });
+    }
+
+    PlanIr {
+        slots,
+        ops,
+        bool_len,
+        reduction_decides,
+        output: out.expect("at least one root"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    fn source_of(q: &str) -> MatSource {
+        let q = parse_cq(q).unwrap();
+        let groups: Vec<Vec<&Atom>> = q.atoms().iter().map(|a| vec![a]).collect();
+        MatSource::from_groups(&groups)
+    }
+
+    #[test]
+    fn source_from_groups_unions_schemas() {
+        let s = source_of("Q() :- E(x, y), E(y, z)");
+        assert_eq!(s.schema, vec![0, 1, 2]);
+        assert_eq!(s.parts.len(), 2);
+        assert_eq!(s.parts[0].schema, vec![0, 1]);
+        assert_eq!(s.parts[1].schema, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_source_materializes_true() {
+        let src = MatSource {
+            schema: vec![],
+            key: MatKey::of_group(&[], &[]),
+            parts: vec![],
+        };
+        let d = Structure::digraph(2, &[]);
+        let mut stats = MatCacheStats::default();
+        let r = src.materialize(&d, None, &mut stats);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.arity(), 0);
+        assert_eq!(stats, MatCacheStats::default());
+    }
+
+    #[test]
+    fn multipart_source_joins_and_caches_both_levels() {
+        let src = source_of("Q() :- E(x, y), E(y, z)");
+        let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cache = MaterializationCache::new();
+        let mut stats = MatCacheStats::default();
+        let r = src.materialize(&d, Some(&cache), &mut stats);
+        assert_eq!(r.schema(), &[0, 1, 2]);
+        assert_eq!(r.len(), 2); // 0-1-2 and 1-2-3
+                                // Cold: source miss + two part misses, all inserted.
+        assert_eq!((stats.hits, stats.misses), (1, 2)); // parts share the E(x,y)-shape key!
+        assert_eq!(cache.len(), 2); // the part shape + the joined source
+                                    // Warm: a single source-level hit.
+        let mut warm = MatCacheStats::default();
+        let r2 = src.materialize(&d, Some(&cache), &mut warm);
+        assert_eq!((warm.hits, warm.misses), (1, 0));
+        assert_eq!(
+            r.rows_in_head_order(&[0, 1, 2]),
+            r2.rows_in_head_order(&[0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn ops_union_dedup_project_roundtrip() {
+        // A hand-built program: materialize E forwards and reversed
+        // (over the same two variables), union them, dedup, project to
+        // column 0.
+        let q = parse_cq("Q() :- E(x, y), E(y, x)").unwrap();
+        let fwd = MatSource::from_groups(&[vec![&q.atoms()[0]]]);
+        let rev = MatSource::from_groups(&[vec![&q.atoms()[1]]]);
+        let ir = PlanIr {
+            slots: 3,
+            ops: vec![
+                Op::Materialize {
+                    dst: 0,
+                    source: fwd,
+                },
+                Op::Materialize {
+                    dst: 1,
+                    source: rev,
+                },
+                Op::Union { dst: 0, src: 1 },
+                Op::Dedup { slot: 0 },
+                Op::AssertNonempty { slot: 0 },
+                Op::Project {
+                    dst: 2,
+                    src: 0,
+                    vars: vec![0],
+                },
+            ],
+            bool_len: 5,
+            reduction_decides: true,
+            output: 2,
+        };
+        let d = Structure::digraph(3, &[(0, 1), (1, 0), (1, 2)]);
+        let (out, _) = ir.run(&d, None);
+        let out = out.unwrap();
+        // Union of E and E-reversed, projected to the first column:
+        // sources {0, 1} ∪ targets {1, 0, 2} = {0, 1, 2}.
+        assert_eq!(out.len(), 3);
+        let (b, _) = ir.run_boolean(&d, None);
+        assert!(b);
+        // Empty database: the assertion aborts both runs.
+        let empty = Structure::digraph(3, &[]);
+        assert!(ir.run(&empty, None).0.is_none());
+        assert!(!ir.run_boolean(&empty, None).0);
+    }
+
+    #[test]
+    fn join_and_semijoin_ops() {
+        let q = parse_cq("Q() :- E(x, y), E(y, z)").unwrap();
+        let e = MatSource::from_groups(&[vec![&q.atoms()[0]]]);
+        let e2 = MatSource::from_groups(&[vec![&q.atoms()[1]]]);
+        let ir = PlanIr {
+            slots: 3,
+            ops: vec![
+                Op::Materialize { dst: 0, source: e },
+                Op::Materialize { dst: 1, source: e2 },
+                // Keep only edges with an outgoing continuation …
+                Op::Semijoin {
+                    target: 0,
+                    source: 1,
+                    target_pos: vec![1],
+                    source_pos: vec![0],
+                },
+                // … then build the 2-hop join.
+                Op::Join {
+                    dst: 2,
+                    left: 0,
+                    right: 1,
+                },
+            ],
+            bool_len: 4,
+            reduction_decides: true,
+            output: 2,
+        };
+        let d = Structure::digraph(4, &[(0, 1), (1, 2), (3, 3)]);
+        let (out, _) = ir.run(&d, None);
+        let out = out.unwrap();
+        assert_eq!(out.schema(), &[0, 1, 2]);
+        // Paths: 0→1→2 and 3→3→3.
+        assert_eq!(out.len(), 2);
+    }
+}

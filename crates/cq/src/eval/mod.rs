@@ -1,12 +1,18 @@
-//! Query evaluation: naive backtracking and Yannakakis for acyclic CQs,
-//! both running on the columnar join kernel of [`flat`].
+//! Query evaluation: naive backtracking, Yannakakis for acyclic CQs,
+//! and the bounded-treewidth decomposition tier — the latter two
+//! compiled to the shared physical plan IR of [`ir`], executing on the
+//! columnar join kernel of [`flat`].
 
+pub mod decomposed;
 pub mod evaluator;
 pub mod flat;
+pub mod ir;
 pub mod naive;
 pub mod yannakakis;
 
+pub use decomposed::{DecomposedPlan, NotDecomposable};
 pub use evaluator::{Evaluator, NaiveEvaluator};
 pub use flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
+pub use ir::{MatPart, MatSource, NodeSpec, Op, PlanIr, Slot};
 pub use naive::{eval_boolean_naive, eval_naive, NaivePlan};
 pub use yannakakis::{AcyclicPlan, NotAcyclic};

@@ -1,35 +1,34 @@
-//! Yannakakis' algorithm for acyclic conjunctive queries, on the
-//! columnar join kernel.
+//! Yannakakis' algorithm for acyclic conjunctive queries, compiled to
+//! the shared plan IR over the columnar join kernel.
 //!
 //! For acyclic `Q`, `ā ∈ Q(D)` is decidable in time `O(|D| · |Q|)`
 //! (Yannakakis, VLDB'81) — the tractable class the paper's acyclic
-//! approximations target. The pipeline:
+//! approximations target. Compilation:
 //!
-//! 1. group atoms by variable set and **materialize** one
-//!    [`FlatRelation`] per distinct hyperedge of `H(Q)` (intersecting
-//!    the atoms that share a variable set, honoring repeated variables
-//!    like `R(x, x, y)`) — or adopt it from a per-database
-//!    [`MaterializationCache`] and skip the scan entirely;
+//! 1. group atoms by variable set — one hyperedge of `H(Q)` per group,
+//!    each a single-part [`MatSource`] with its cache key;
 //! 2. build a **join tree** via GYO reduction;
-//! 3. run the **full reducer**: in-place semijoins leaves→root, then
-//!    root→leaves, over column positions precomputed at compile time;
-//! 4. Boolean queries finish here (nonempty after reduction ⇔ true);
-//!    queries with free variables run bottom-up **joins with projection**
-//!    onto (free ∪ connector) variables, so intermediate results stay
-//!    output-bounded.
+//! 3. hand the tree to [`compile_tree`], which emits the IR program:
+//!    materializations, the full-reducer semijoin sweeps (leaves→root→
+//!    leaves, with emptiness assertions), and — for queries with free
+//!    variables — the bottom-up joins projected onto (free ∪ connector)
+//!    variables.
 //!
-//! Everything shape-dependent — atom binders, hyperedge cache keys, the
-//! traversal order, the shared-column positions of every tree edge — is
-//! computed once in [`AcyclicPlan::compile`]; evaluation only touches
-//! flat row buffers.
+//! Everything shape-dependent is computed once in
+//! [`AcyclicPlan::compile`]; evaluation is one interpreter pass of
+//! [`PlanIr`] over flat row buffers. Because the join tree's node
+//! labels *are* the hyperedge schemas, surviving the reducer prefix
+//! alone decides Boolean queries (`PlanIr::reduction_decides`).
+//!
+//! [`compile_tree`]: crate::eval::ir::compile_tree
 
 use crate::ast::{Atom, ConjunctiveQuery, VarId};
-use crate::eval::flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
-use cqapx_hypergraphs::{gyo, Hypergraph, JoinTree};
+use crate::eval::flat::{MatCacheStats, MaterializationCache};
+use crate::eval::ir::{compile_tree, MatSource, NodeSpec, PlanIr};
+use cqapx_hypergraphs::{gyo, Hypergraph};
 use cqapx_structures::{Element, Structure};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
 
 /// Error: the query is not acyclic, so no join tree exists.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,49 +60,7 @@ impl std::error::Error for NotAcyclic {}
 #[derive(Debug, Clone)]
 pub struct AcyclicPlan {
     query: ConjunctiveQuery,
-    /// Distinct variable sets (hyperedges) with their compiled binders.
-    groups: Vec<Group>,
-    join_tree: JoinTree,
-    /// Bottom-up traversal order (children before parents), precomputed.
-    order: Vec<usize>,
-    /// Children lists of the join tree, precomputed.
-    children: Vec<Vec<usize>>,
-    /// For each non-root node `u`: the column positions of the variables
-    /// shared with its parent, in `u`'s schema and the parent's schema.
-    edges: Vec<Option<EdgeSpec>>,
-}
-
-#[derive(Debug, Clone)]
-struct Group {
-    /// Sorted distinct variables of the hyperedge.
-    vars: Vec<VarId>,
-    /// Compiled binders, one per query atom with this variable set.
-    binders: Vec<AtomBinder>,
-    /// The hyperedge's identity in a [`MaterializationCache`].
-    mat_key: MatKey,
-}
-
-/// Shared-variable column positions of one join-tree edge.
-#[derive(Debug, Clone)]
-struct EdgeSpec {
-    /// Positions of the shared variables in the child's schema.
-    child_pos: Vec<usize>,
-    /// Positions of the shared variables in the parent's schema.
-    parent_pos: Vec<usize>,
-}
-
-/// Disjoint `(&mut xs[a], &xs[b])` access for `a ≠ b`: the borrow split
-/// the full reducer needs to semijoin one tree node against another
-/// without cloning either relation.
-fn pair_mut<T>(xs: &mut [T], a: usize, b: usize) -> (&mut T, &T) {
-    debug_assert_ne!(a, b, "semijoin target and source must differ");
-    if a < b {
-        let (lo, hi) = xs.split_at_mut(b);
-        (&mut lo[a], &hi[0])
-    } else {
-        let (lo, hi) = xs.split_at_mut(a);
-        (&mut hi[0], &lo[b])
-    }
+    ir: PlanIr,
 }
 
 impl AcyclicPlan {
@@ -129,57 +86,27 @@ impl AcyclicPlan {
         debug_assert_eq!(h.edge_count(), grouped.len());
         let join_tree = gyo::gyo_reduce(&h).join_tree.ok_or(NotAcyclic)?;
 
-        let groups: Vec<Group> = grouped
+        let nodes: Vec<NodeSpec> = grouped
             .into_iter()
-            .map(|(vars, atoms)| {
+            .map(|(_, atoms)| {
                 let atom_refs: Vec<&Atom> = atoms.iter().map(|&ai| &query.atoms()[ai]).collect();
-                Group {
-                    mat_key: MatKey::of_group(&atom_refs, &vars),
-                    binders: atom_refs
-                        .iter()
-                        .map(|a| AtomBinder::compile(a, &vars))
-                        .collect(),
-                    vars,
+                let source = MatSource::from_groups(&[atom_refs]);
+                NodeSpec {
+                    label: source.schema.clone(),
+                    source,
                 }
             })
             .collect();
 
-        // Precompute the shared-column positions of every tree edge: both
-        // endpoint schemas are sorted, so one merge walk finds the shared
-        // variables and their positions on each side.
-        let edges: Vec<Option<EdgeSpec>> = (0..groups.len())
-            .map(|u| {
-                join_tree.parent[u].map(|p| {
-                    let (cv, pv) = (&groups[u].vars, &groups[p as usize].vars);
-                    let mut spec = EdgeSpec {
-                        child_pos: Vec::new(),
-                        parent_pos: Vec::new(),
-                    };
-                    let (mut i, mut j) = (0, 0);
-                    while i < cv.len() && j < pv.len() {
-                        match cv[i].cmp(&pv[j]) {
-                            std::cmp::Ordering::Less => i += 1,
-                            std::cmp::Ordering::Greater => j += 1,
-                            std::cmp::Ordering::Equal => {
-                                spec.child_pos.push(i);
-                                spec.parent_pos.push(j);
-                                i += 1;
-                                j += 1;
-                            }
-                        }
-                    }
-                    spec
-                })
-            })
-            .collect();
-
+        let ir = compile_tree(
+            &nodes,
+            &join_tree.parent_indices(),
+            &join_tree.bottom_up_order(),
+            query.free_vars(),
+        );
         Ok(AcyclicPlan {
             query: query.clone(),
-            order: join_tree.bottom_up_order(),
-            children: join_tree.children(),
-            edges,
-            groups,
-            join_tree,
+            ir,
         })
     }
 
@@ -188,79 +115,9 @@ impl AcyclicPlan {
         &self.query
     }
 
-    /// Materializes the relation of one hyperedge against a database.
-    fn materialize(&self, gi: usize, d: &Structure) -> FlatRelation {
-        let g = &self.groups[gi];
-        let mut rel: Option<FlatRelation> = None;
-        for binder in &g.binders {
-            let mut atom_rel = FlatRelation::empty(g.vars.clone());
-            binder.materialize_into(d, &mut atom_rel);
-            atom_rel.sort_dedup();
-            rel = Some(match rel {
-                None => atom_rel,
-                Some(mut acc) => {
-                    // Same schema: sorted-merge intersection.
-                    acc.intersect_sorted(&atom_rel);
-                    acc
-                }
-            });
-        }
-        rel.expect("groups are nonempty")
-    }
-
-    /// Materializes every hyperedge, going through `cache` when given:
-    /// hits adopt the cached buffer (one memcpy, no scan), misses
-    /// materialize and insert under the hyperedge's canonical key.
-    fn materialize_all(
-        &self,
-        d: &Structure,
-        cache: Option<&MaterializationCache>,
-    ) -> (Vec<FlatRelation>, MatCacheStats) {
-        let mut stats = MatCacheStats::default();
-        let rels = (0..self.groups.len())
-            .map(|gi| match cache {
-                None => self.materialize(gi, d),
-                Some(cache) => {
-                    let (rel, hit) = cache
-                        .get_or_materialize(&self.groups[gi].mat_key, || self.materialize(gi, d));
-                    if hit {
-                        stats.hits += 1;
-                    } else {
-                        stats.misses += 1;
-                    }
-                    adopt(&rel, &self.groups[gi].vars)
-                }
-            })
-            .collect();
-        (rels, stats)
-    }
-
-    /// Runs the semijoin full reducer in place. Returns `false` when some
-    /// relation became empty (the query answer is empty).
-    fn full_reduce(&self, rels: &mut [FlatRelation]) -> bool {
-        // Leaves → root.
-        for &u in &self.order {
-            if let Some(p) = self.join_tree.parent[u] {
-                let spec = self.edges[u].as_ref().expect("non-root has an edge spec");
-                let (target, source) = pair_mut(rels, p as usize, u);
-                target.semijoin_on(&spec.parent_pos, source, &spec.child_pos);
-            }
-            if rels[u].is_empty() {
-                return false;
-            }
-        }
-        // Root → leaves.
-        for &u in self.order.iter().rev() {
-            if let Some(p) = self.join_tree.parent[u] {
-                let spec = self.edges[u].as_ref().expect("non-root has an edge spec");
-                let (target, source) = pair_mut(rels, u, p as usize);
-                target.semijoin_on(&spec.child_pos, source, &spec.parent_pos);
-                if target.is_empty() {
-                    return false;
-                }
-            }
-        }
-        true
+    /// The compiled IR program.
+    pub fn ir(&self) -> &PlanIr {
+        &self.ir
     }
 
     /// Boolean evaluation: `Q(D) ≠ ∅`.
@@ -275,8 +132,7 @@ impl AcyclicPlan {
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (bool, MatCacheStats) {
-        let (mut rels, stats) = self.materialize_all(d, cache);
-        (self.full_reduce(&mut rels), stats)
+        self.ir.run_boolean(d, cache)
     }
 
     /// Full evaluation: the set of answer tuples in head order.
@@ -291,57 +147,21 @@ impl AcyclicPlan {
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
-        let (mut rels, stats) = self.materialize_all(d, cache);
-        if !self.full_reduce(&mut rels) {
-            return (BTreeSet::new(), stats);
-        }
         if self.query.is_boolean() {
-            // Nonempty after full reduction: the single empty tuple.
+            let (nonempty, stats) = self.ir.run_boolean(d, cache);
             let mut out = BTreeSet::new();
-            out.insert(Vec::new());
+            if nonempty {
+                // Nonempty after full reduction: the single empty tuple.
+                out.insert(Vec::new());
+            }
             return (out, stats);
         }
-        let free: BTreeSet<VarId> = self.query.free_vars().iter().copied().collect();
-        // Bottom-up joins with projection onto (free ∪ connector) vars.
-        let mut partial: Vec<Option<FlatRelation>> = vec![None; self.groups.len()];
-        for &u in &self.order {
-            let mut acc = rels[u].clone();
-            for &c in &self.children[u] {
-                let child = partial[c].take().expect("children processed first");
-                acc = acc.join(&child);
-            }
-            // Keep free variables plus variables shared with the parent.
-            let keep: Vec<VarId> = acc
-                .schema()
-                .iter()
-                .copied()
-                .filter(|v| {
-                    free.contains(v)
-                        || self.join_tree.parent[u]
-                            .map(|p| self.groups[p as usize].vars.binary_search(v).is_ok())
-                            .unwrap_or(false)
-                })
-                .collect();
-            partial[u] = Some(acc.project(&keep));
+        let (result, stats) = self.ir.run(d, cache);
+        match result {
+            None => (BTreeSet::new(), stats),
+            Some(rel) => (rel.rows_in_head_order(self.query.free_vars()), stats),
         }
-        // Combine the roots (cartesian product across components).
-        let mut result: Option<FlatRelation> = None;
-        for r in self.join_tree.roots() {
-            let rel = partial[r].take().expect("root processed");
-            result = Some(match result {
-                None => rel,
-                Some(acc) => acc.join(&rel),
-            });
-        }
-        let result = result.expect("at least one root");
-        (result.rows_in_head_order(self.query.free_vars()), stats)
     }
-}
-
-/// Adopts a cached materialization into a plan's variable space: same
-/// buffer content, this plan's column labels.
-fn adopt(cached: &Arc<FlatRelation>, vars: &[VarId]) -> FlatRelation {
-    cached.relabel(vars.to_vec())
 }
 
 #[cfg(test)]
@@ -376,6 +196,13 @@ mod tests {
     fn cyclic_query_rejected() {
         let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
         assert!(AcyclicPlan::compile(&q).is_err());
+    }
+
+    #[test]
+    fn join_tree_ir_decides_boolean_by_reduction() {
+        let q = parse_cq("Q() :- E(x, y), E(y, z)").unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        assert!(plan.ir().reduction_decides());
     }
 
     #[test]

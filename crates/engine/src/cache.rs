@@ -16,7 +16,7 @@
 use cqapx_core::{
     all_approximations_tableaux, ApproxCacheKey, ApproxOptions, ApproxReport, QueryClass,
 };
-use cqapx_cq::eval::{AcyclicPlan, Evaluator, NaiveEvaluator};
+use cqapx_cq::eval::{AcyclicPlan, DecomposedPlan, Evaluator, NaiveEvaluator};
 use cqapx_cq::query_from_tableau;
 use cqapx_structures::iso::isomorphic_pointed;
 use cqapx_structures::Pointed;
@@ -27,8 +27,10 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A cached approximation result: the report plus one ready evaluator per
-/// approximation (Yannakakis when the approximation is acyclic, naive
-/// backtracking otherwise — still cheap, the approximation is in-class).
+/// approximation — Yannakakis when the approximation is acyclic, a
+/// bounded-treewidth `DecomposedPlan` when the class certifies a width
+/// (`QueryClass::decomposition_width`, e.g. `TW(k)`), naive backtracking
+/// as the last resort (still cheap, the approximation is in-class).
 pub struct CachedApproximation {
     /// The full approximation report (sound under-approximations of the
     /// represented query, →-maximal within the class).
@@ -91,9 +93,18 @@ impl ApproxCache {
         let approximations: Vec<_> = tableaux.iter().map(query_from_tableau).collect();
         let evaluators: Vec<Arc<dyn Evaluator + Send + Sync>> = approximations
             .iter()
-            .map(|q| match AcyclicPlan::compile(q) {
-                Ok(plan) => Arc::new(plan) as Arc<dyn Evaluator + Send + Sync>,
-                Err(_) => Arc::new(NaiveEvaluator::new(q.clone())),
+            .map(|q| {
+                if let Ok(plan) = AcyclicPlan::compile(q) {
+                    return Arc::new(plan) as Arc<dyn Evaluator + Send + Sync>;
+                }
+                // Cyclic in-class approximation: the class's width
+                // certificate makes the decomposed tier applicable.
+                if let Some(k) = class.decomposition_width() {
+                    if let Ok(plan) = DecomposedPlan::compile(q, k) {
+                        return Arc::new(plan) as Arc<dyn Evaluator + Send + Sync>;
+                    }
+                }
+                Arc::new(NaiveEvaluator::new(q.clone())) as Arc<dyn Evaluator + Send + Sync>
             })
             .collect();
         let value = Arc::new(CachedApproximation {

@@ -7,7 +7,7 @@
 //! Yannakakis plan compiled. Execution then only reads `Arc`-shared
 //! entries.
 
-use cqapx_cq::eval::{AcyclicPlan, MaterializationCache, NaivePlan};
+use cqapx_cq::eval::{AcyclicPlan, DecomposedPlan, MaterializationCache, NaivePlan};
 use cqapx_cq::{ConjunctiveQuery, QueryShape};
 use cqapx_structures::{Pointed, RelId, Structure};
 use std::collections::{HashMap, HashSet};
@@ -86,6 +86,14 @@ pub fn compute_stats(s: &Structure) -> Vec<RelationStats> {
         .collect()
 }
 
+/// Widest tree decomposition the catalog compiles a [`DecomposedPlan`]
+/// for at prepare time. Bag materializations cost up to
+/// `adom^(width+1)` rows, so the bound keeps prepared plans inside the
+/// regime where the decomposed tier is plausibly competitive; cyclic
+/// queries above it fall back to the naive join or the approximation
+/// sandwich.
+pub const MAX_DECOMPOSED_WIDTH: usize = 3;
+
 /// A query prepared for serving.
 #[derive(Debug)]
 pub struct PreparedQuery {
@@ -99,6 +107,9 @@ pub struct PreparedQuery {
     pub naive: NaivePlan,
     /// Compiled Yannakakis plan, when the query is acyclic.
     pub yannakakis: Option<Arc<AcyclicPlan>>,
+    /// Compiled bounded-treewidth plan, when the query is cyclic with
+    /// treewidth at most [`MAX_DECOMPOSED_WIDTH`].
+    pub decomposed: Option<Arc<DecomposedPlan>>,
 }
 
 impl PreparedQuery {
@@ -162,11 +173,21 @@ impl Catalog {
         } else {
             None
         };
+        // The shape carries the exact treewidth, so compilation at that
+        // width must succeed; fail loudly at prepare time if not.
+        let decomposed = if !shape.acyclic && shape.treewidth <= MAX_DECOMPOSED_WIDTH {
+            let plan = DecomposedPlan::compile(&q, shape.treewidth)
+                .expect("decomposition at the exact treewidth must exist");
+            Some(Arc::new(plan))
+        } else {
+            None
+        };
         self.queries.push(Arc::new(PreparedQuery {
             name: name.clone(),
             naive: NaivePlan::compile(q),
             shape,
             yannakakis,
+            decomposed,
         }));
         self.query_names.insert(name, id);
         id
@@ -223,9 +244,25 @@ mod tests {
         let path = c.prepare_query("path", parse_cq("Q(x) :- E(x,y), E(y,z)").unwrap());
         let tri = c.prepare_query("tri", parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap());
         assert!(c.query(path).unwrap().yannakakis.is_some());
+        assert!(c.query(path).unwrap().decomposed.is_none());
         assert!(c.query(tri).unwrap().yannakakis.is_none());
         assert!(c.query(tri).unwrap().shape.treewidth == 2);
         assert_eq!(c.query_by_name("path"), Some(path));
+    }
+
+    #[test]
+    fn prepare_compiles_decomposed_plans_up_to_width_limit() {
+        let mut c = Catalog::new();
+        let tri = c.prepare_query("tri", parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap());
+        let entry = c.query(tri).unwrap();
+        let plan = entry.decomposed.as_ref().expect("tw 2 ≤ limit");
+        assert_eq!(plan.width(), 2);
+        // K5 has treewidth 4 > MAX_DECOMPOSED_WIDTH: no plan.
+        let k5 =
+            "Q() :- E(a,b), E(a,c), E(a,d), E(a,e), E(b,c), E(b,d), E(b,e), E(c,d), E(c,e), E(d,e)";
+        let wide = c.prepare_query("k5", parse_cq(k5).unwrap());
+        assert_eq!(c.query(wide).unwrap().shape.treewidth, 4);
+        assert!(c.query(wide).unwrap().decomposed.is_none());
     }
 
     #[test]

@@ -138,6 +138,10 @@ pub struct Response {
     pub status: ResponseStatus,
     /// The plan the engine chose.
     pub plan: PlanKind,
+    /// Width of the query's compiled tree decomposition, when it has
+    /// one (set whether or not the decomposed tier was chosen —
+    /// observability parity with `mat_cache`).
+    pub decomposition_width: Option<usize>,
     /// For sandwich plans: whether the approximation came from the cache.
     pub cache_hit: Option<bool>,
     /// Relation-materialization cache outcome of this request: how many
@@ -163,6 +167,8 @@ pub struct EngineStats {
     pub timed_out: u64,
     /// Plan counts.
     pub plan_yannakakis: u64,
+    /// Plan counts.
+    pub plan_decomposed: u64,
     /// Plan counts.
     pub plan_naive: u64,
     /// Plan counts.
@@ -219,8 +225,8 @@ impl fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
-            "plans           yannakakis {} · naive {} · sandwich {}",
-            self.plan_yannakakis, self.plan_naive, self.plan_sandwich
+            "plans           yannakakis {} · decomposed {} · naive {} · sandwich {}",
+            self.plan_yannakakis, self.plan_decomposed, self.plan_naive, self.plan_sandwich
         )?;
         writeln!(
             f,
@@ -405,6 +411,7 @@ impl Engine {
         }
         match r.plan {
             PlanKind::Yannakakis => s.plan_yannakakis += 1,
+            PlanKind::Decomposed => s.plan_decomposed += 1,
             PlanKind::Naive => s.plan_naive += 1,
             PlanKind::Sandwich => s.plan_sandwich += 1,
         }
@@ -438,7 +445,12 @@ impl Engine {
                 .max(1) as u64;
             SearchBudget::new(remaining_ms.saturating_mul(self.config.nodes_per_ms))
         });
-        let decision: PlanDecision = choose_plan(&q.shape, d, self.config.naive_cost_budget);
+        let decision: PlanDecision = choose_plan(
+            &q.shape,
+            q.decomposed.as_deref(),
+            d,
+            self.config.naive_cost_budget,
+        );
         let mut plan_reason = decision.reason.clone();
         let mut mat_cache = MatCacheStats::default();
         let (answers, status, cache_hit) = match decision.kind {
@@ -447,6 +459,17 @@ impl Engine {
                     .yannakakis
                     .as_ref()
                     .expect("acyclic prepared queries carry a Yannakakis plan");
+                let (answers, mstats) = plan.eval_cached(&d.structure, Some(&d.materialized));
+                mat_cache.add(mstats);
+                (answers, ResponseStatus::Complete, None)
+            }
+            PlanKind::Decomposed => {
+                // Polynomial for the prepared width, like Yannakakis:
+                // runs unbudgeted under the deadline policy.
+                let plan = q
+                    .decomposed
+                    .as_ref()
+                    .expect("decomposed tier requires a compiled decomposition");
                 let (answers, mstats) = plan.eval_cached(&d.structure, Some(&d.materialized));
                 mat_cache.add(mstats);
                 (answers, ResponseStatus::Complete, None)
@@ -520,6 +543,7 @@ impl Engine {
             answers,
             status,
             plan: decision.kind,
+            decomposition_width: decision.decomposition_width,
             cache_hit,
             mat_cache,
             wall: start.elapsed(),
@@ -641,7 +665,7 @@ mod tests {
     }
 
     #[test]
-    fn cyclic_small_served_naive_exactly() {
+    fn cyclic_bounded_treewidth_served_decomposed_exactly() {
         let e = engine();
         let db = e.register_database(
             "tri",
@@ -652,9 +676,32 @@ mod tests {
             parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap(),
         );
         let r = e.execute(&Request::new(q, db));
-        assert_eq!(r.plan, PlanKind::Naive);
+        assert_eq!(r.plan, PlanKind::Decomposed);
+        assert_eq!(r.decomposition_width, Some(2));
         assert_eq!(r.status, ResponseStatus::Complete);
         assert_eq!(r.answers.len(), 1); // Boolean true: the empty tuple
+        assert_eq!(e.stats().plan_decomposed, 1);
+        // The bag materializations landed in the database's cache.
+        assert!(r.mat_cache.misses > 0);
+    }
+
+    #[test]
+    fn cyclic_above_width_limit_served_naive_exactly() {
+        let e = engine();
+        // K5 (treewidth 4) on its own clique digraph: cyclic, no
+        // decomposed plan at the prepare-time width limit, cheap here.
+        let edges: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|u| (0..5u32).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
+        let db = e.register_database("k5", Structure::digraph(5, &edges));
+        let k5 =
+            "Q() :- E(a,b), E(a,c), E(a,d), E(a,e), E(b,c), E(b,d), E(b,e), E(c,d), E(c,e), E(d,e)";
+        let q = e.prepare_query("k5", parse_cq(k5).unwrap());
+        let r = e.execute(&Request::new(q, db));
+        assert_eq!(r.plan, PlanKind::Naive);
+        assert_eq!(r.decomposition_width, None);
+        assert_eq!(r.status, ResponseStatus::Complete);
+        assert_eq!(r.answers.len(), 1);
     }
 
     #[test]
@@ -728,7 +775,7 @@ mod tests {
         let stats = e.stats();
         assert_eq!(stats.requests, 8);
         assert_eq!(stats.plan_yannakakis, 4);
-        assert_eq!(stats.plan_naive, 4);
+        assert_eq!(stats.plan_decomposed, 4); // the triangle has treewidth 2
     }
 
     #[test]
@@ -737,18 +784,23 @@ mod tests {
             nodes_per_ms: 1, // starve the search
             ..EngineConfig::default()
         });
-        // Dense-ish digraph so the triangle search has real work.
-        let edges: Vec<(u32, u32)> = (0..30u32)
+        // Dense-ish digraph so the search has real work. The query is a
+        // K5 clique: treewidth 4 exceeds the decomposed-tier width
+        // limit, so the planner sends it to the (starved) naive join.
+        let edges: Vec<(u32, u32)> = (0..15u32)
             .flat_map(|u| {
-                (0..30u32)
+                (0..15u32)
                     .filter(move |&v| v != u && (u + v) % 3 != 0)
                     .map(move |v| (u, v))
             })
             .collect();
-        let db = e.register_database("dense", Structure::digraph(30, &edges));
-        let query = parse_cq("Q(x) :- E(x,y), E(y,z), E(z,x)").unwrap();
-        let q = e.prepare_query("tri-x", query.clone());
-        let full = eval_naive(&query, &Structure::digraph(30, &edges));
+        let db = e.register_database("dense", Structure::digraph(15, &edges));
+        let query = parse_cq(
+            "Q(a) :- E(a,b), E(a,c), E(a,d), E(a,e), E(b,c), E(b,d), E(b,e), E(c,d), E(c,e), E(d,e)",
+        )
+        .unwrap();
+        let q = e.prepare_query("k5-a", query.clone());
+        let full = eval_naive(&query, &Structure::digraph(15, &edges));
         let req = Request {
             query: q,
             db,

@@ -55,4 +55,6 @@ pub use engine::{
     ApproxClassChoice, Engine, EngineConfig, EngineStats, EvalMode, Request, Response,
     ResponseStatus,
 };
-pub use planner::{choose_plan, estimate_naive_cost, PlanDecision, PlanKind};
+pub use planner::{
+    choose_plan, estimate_decomposed_cost, estimate_naive_cost, PlanDecision, PlanKind,
+};

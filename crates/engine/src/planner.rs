@@ -4,15 +4,20 @@
 //! Decision ladder (cheapest guarantee first):
 //!
 //! 1. **Yannakakis** — the query is acyclic: `O(|D|·|Q|)`, always best.
-//! 2. **Naive backtracking** — the estimated join cost against *this*
+//! 2. **Decomposed** — the query is cyclic but has a compiled
+//!    bounded-treewidth plan, and the estimated bag-materialization
+//!    cost fits the budget and undercuts the naive estimate:
+//!    polynomial Yannakakis-over-bags evaluation.
+//! 3. **Naive backtracking** — the estimated join cost against *this*
 //!    database's relation statistics fits the configured budget (small
 //!    tableau, small database, or selective relations).
-//! 3. **Approximation sandwich** — everything else: serve the certain
+//! 4. **Approximation sandwich** — everything else: serve the certain
 //!    answers `Q'(D)` of the cached `C`-approximation `Q' ⊆ Q`
 //!    (guaranteed-correct under-approximation, tractable to evaluate),
 //!    refining exactly only on demand.
 
 use crate::catalog::DatabaseEntry;
+use cqapx_cq::eval::DecomposedPlan;
 use cqapx_cq::QueryShape;
 use std::fmt;
 
@@ -21,6 +26,9 @@ use std::fmt;
 pub enum PlanKind {
     /// Semijoin full reducer + bottom-up joins on the join tree.
     Yannakakis,
+    /// Yannakakis over the bags of a tree decomposition (the
+    /// bounded-treewidth tier for cyclic queries).
+    Decomposed,
     /// Backtracking join (homomorphism search from the tableau).
     Naive,
     /// Certain answers from the cached in-class approximation.
@@ -31,6 +39,7 @@ impl fmt::Display for PlanKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             PlanKind::Yannakakis => "yannakakis",
+            PlanKind::Decomposed => "decomposed",
             PlanKind::Naive => "naive",
             PlanKind::Sandwich => "sandwich",
         })
@@ -43,8 +52,15 @@ pub struct PlanDecision {
     /// The chosen strategy.
     pub kind: PlanKind,
     /// Estimated cost of naive backtracking on this database (branch
-    /// nodes, order of magnitude); `f64::INFINITY` when saturated.
+    /// nodes, order of magnitude); `f64::INFINITY` when saturated, `0`
+    /// when some body relation is empty (the answer is provably empty).
     pub est_naive_cost: f64,
+    /// Estimated cost of the decomposed tier (total bag-materialization
+    /// rows); `None` when the query has no compiled decomposition.
+    pub est_decomposed_cost: Option<f64>,
+    /// Width of the decomposition behind the decomposed tier, whether
+    /// or not that tier was chosen; `None` without a compiled plan.
+    pub decomposition_width: Option<usize>,
     /// One-line human-readable rationale.
     pub reason: String,
 }
@@ -57,6 +73,12 @@ pub struct PlanDecision {
 /// tighten as the database's [`MaterializationCache`] warms up.
 /// Saturates at `f64::INFINITY`.
 ///
+/// **Empty-relation guard**: when any atom's relation (cached or raw)
+/// has no tuples, the answer is provably empty and the estimate is an
+/// exact `0` — the planner must then send the request to the naive tier
+/// (which terminates immediately) instead of letting a zero factor be
+/// clamped upward and skew the tier comparison.
+///
 /// [`MaterializationCache`]: cqapx_cq::eval::MaterializationCache
 pub fn estimate_naive_cost(shape: &QueryShape, db: &DatabaseEntry) -> f64 {
     let adom = db.adom_size.max(1) as f64;
@@ -66,10 +88,11 @@ pub fn estimate_naive_cost(shape: &QueryShape, db: &DatabaseEntry) -> f64 {
         .materialized
         .peek_cardinalities(shape.atom_keys.iter().map(|(_, k)| k));
     for ((rel, _), peeked) in shape.atom_keys.iter().zip(cached) {
-        let card = peeked
-            .unwrap_or_else(|| db.rel_stats(*rel).cardinality)
-            .max(1) as f64;
-        atom_bound *= card;
+        let card = peeked.unwrap_or_else(|| db.rel_stats(*rel).cardinality);
+        if card == 0 {
+            return 0.0;
+        }
+        atom_bound *= card as f64;
         if !atom_bound.is_finite() {
             break;
         }
@@ -77,31 +100,113 @@ pub fn estimate_naive_cost(shape: &QueryShape, db: &DatabaseEntry) -> f64 {
     assignment_bound.min(atom_bound)
 }
 
+/// Estimated evaluation cost of a compiled [`DecomposedPlan`] on this
+/// database: the summed per-bag materialization estimates, each the
+/// minimum of the product of its parts' cardinalities and the
+/// `adom^|bag|` assignment bound. Part cardinalities prefer the real
+/// cached materialization over raw relation statistics, so the estimate
+/// tightens as the cache warms. An empty part makes its bag free (the
+/// whole answer is provably empty).
+pub fn estimate_decomposed_cost(plan: &DecomposedPlan, db: &DatabaseEntry) -> f64 {
+    let adom = db.adom_size.max(1) as f64;
+    let keys: Vec<_> = plan
+        .bag_summaries()
+        .iter()
+        .flat_map(|b| b.parts.iter().map(|(_, k)| k))
+        .collect();
+    let cached = db.materialized.peek_cardinalities(keys.iter().copied());
+    let mut total = 0.0_f64;
+    let mut base = 0usize; // this bag's first entry in `cached`
+    for bag in plan.bag_summaries() {
+        let bound = adom.powi(bag.label_size.min(1_000) as i32);
+        let mut rows = 1.0_f64;
+        for (pi, (rel, _)) in bag.parts.iter().enumerate() {
+            let card = cached[base + pi].unwrap_or_else(|| db.rel_stats(*rel).cardinality);
+            rows *= card as f64;
+            if rows == 0.0 || !rows.is_finite() {
+                break;
+            }
+        }
+        base += bag.parts.len();
+        total += rows.min(bound);
+        if !total.is_finite() {
+            break;
+        }
+    }
+    total
+}
+
+/// Relative cost of one backtracking branch node against one streamed
+/// bag row, used when comparing the naive and decomposed estimates: a
+/// branch node re-checks constraints and trashes the cache, a bag row
+/// is a contiguous hash-join emit. Within this factor of each other,
+/// the decomposed tier (whose worst case is *certain*, not estimated)
+/// wins the tie.
+pub const NAIVE_NODE_COST_FACTOR: f64 = 8.0;
+
 /// Chooses the strategy for `shape` against `db`, with `naive_budget`
-/// bounding the estimated cost the naive join may incur.
-pub fn choose_plan(shape: &QueryShape, db: &DatabaseEntry, naive_budget: f64) -> PlanDecision {
+/// bounding the estimated cost either join tier may incur.
+/// `decomposed` is the prepared query's compiled bounded-treewidth
+/// plan, when it has one.
+pub fn choose_plan(
+    shape: &QueryShape,
+    decomposed: Option<&DecomposedPlan>,
+    db: &DatabaseEntry,
+    naive_budget: f64,
+) -> PlanDecision {
+    let width = decomposed.map(|p| p.width());
     if shape.acyclic {
         return PlanDecision {
             kind: PlanKind::Yannakakis,
             est_naive_cost: estimate_naive_cost(shape, db),
+            est_decomposed_cost: None,
+            decomposition_width: width,
             reason: "query is acyclic: Yannakakis is O(|D|·|Q|)".into(),
         };
     }
-    let est = estimate_naive_cost(shape, db);
-    if est <= naive_budget {
+    let est_naive = estimate_naive_cost(shape, db);
+    let est_dec = decomposed.map(|p| estimate_decomposed_cost(p, db));
+    if est_naive == 0.0 {
+        return PlanDecision {
+            kind: PlanKind::Naive,
+            est_naive_cost: 0.0,
+            est_decomposed_cost: est_dec,
+            decomposition_width: width,
+            reason: "a body relation is empty: the answer is provably empty".into(),
+        };
+    }
+    if let (Some(plan), Some(est)) = (decomposed, est_dec) {
+        if est <= naive_budget && est <= est_naive * NAIVE_NODE_COST_FACTOR {
+            return PlanDecision {
+                kind: PlanKind::Decomposed,
+                est_naive_cost: est_naive,
+                est_decomposed_cost: est_dec,
+                decomposition_width: width,
+                reason: format!(
+                    "cyclic with treewidth {}: est. {est:.1e} bag rows within {NAIVE_NODE_COST_FACTOR}× of est. {est_naive:.1e} naive branch nodes",
+                    plan.width()
+                ),
+            };
+        }
+    }
+    if est_naive <= naive_budget {
         PlanDecision {
             kind: PlanKind::Naive,
-            est_naive_cost: est,
+            est_naive_cost: est_naive,
+            est_decomposed_cost: est_dec,
+            decomposition_width: width,
             reason: format!(
-                "cyclic but cheap here: est. {est:.1e} branch nodes ≤ budget {naive_budget:.1e}"
+                "cyclic but cheap here: est. {est_naive:.1e} branch nodes ≤ budget {naive_budget:.1e}"
             ),
         }
     } else {
         PlanDecision {
             kind: PlanKind::Sandwich,
-            est_naive_cost: est,
+            est_naive_cost: est_naive,
+            est_decomposed_cost: est_dec,
+            decomposition_width: width,
             reason: format!(
-                "cyclic and expensive here (est. {est:.1e} > budget {naive_budget:.1e}): serving certain answers via the cached approximation"
+                "cyclic and expensive here (est. {est_naive:.1e} > budget {naive_budget:.1e}): serving certain answers via the cached approximation"
             ),
         }
     }
@@ -118,6 +223,12 @@ mod tests {
         QueryShape::of(&parse_cq(q).unwrap())
     }
 
+    fn dec(q: &str) -> DecomposedPlan {
+        let q = parse_cq(q).unwrap();
+        let k = cqapx_cq::treewidth_of_query(&q);
+        DecomposedPlan::compile(&q, k).unwrap()
+    }
+
     fn db(n: usize, edges: &[(u32, u32)]) -> std::sync::Arc<crate::catalog::DatabaseEntry> {
         let mut c = Catalog::new();
         let id = c.register_database("d", Structure::digraph(n, edges));
@@ -128,16 +239,29 @@ mod tests {
     fn acyclic_always_yannakakis() {
         let s = shape("Q(x) :- E(x,y), E(y,z)");
         let d = db(3, &[(0, 1), (1, 2)]);
-        assert_eq!(choose_plan(&s, &d, 1e6).kind, PlanKind::Yannakakis);
-        assert_eq!(choose_plan(&s, &d, 0.0).kind, PlanKind::Yannakakis);
+        assert_eq!(choose_plan(&s, None, &d, 1e6).kind, PlanKind::Yannakakis);
+        assert_eq!(choose_plan(&s, None, &d, 0.0).kind, PlanKind::Yannakakis);
     }
 
     #[test]
-    fn cyclic_small_db_goes_naive() {
+    fn cyclic_with_decomposition_goes_decomposed() {
+        let q = "Q() :- E(x,y), E(y,z), E(z,x)";
+        let s = shape(q);
+        let plan = dec(q);
+        let d = db(3, &[(0, 1), (1, 2), (2, 0)]);
+        let p = choose_plan(&s, Some(&plan), &d, 1e6);
+        assert_eq!(p.kind, PlanKind::Decomposed);
+        assert_eq!(p.decomposition_width, Some(2));
+        assert!(p.est_decomposed_cost.unwrap() <= p.est_naive_cost * NAIVE_NODE_COST_FACTOR);
+    }
+
+    #[test]
+    fn cyclic_without_decomposition_goes_naive() {
         let s = shape("Q() :- E(x,y), E(y,z), E(z,x)");
         let d = db(3, &[(0, 1), (1, 2), (2, 0)]);
-        let p = choose_plan(&s, &d, 1e6);
+        let p = choose_plan(&s, None, &d, 1e6);
         assert_eq!(p.kind, PlanKind::Naive);
+        assert_eq!(p.decomposition_width, None);
         assert!(p.est_naive_cost <= 27.0 + 1e-9);
     }
 
@@ -145,8 +269,14 @@ mod tests {
     fn cyclic_large_db_goes_sandwich() {
         let s = shape("Q() :- E(x,y), E(y,z), E(z,x)");
         let d = db(3, &[(0, 1), (1, 2), (2, 0)]);
-        let p = choose_plan(&s, &d, 10.0);
+        let p = choose_plan(&s, None, &d, 10.0);
         assert_eq!(p.kind, PlanKind::Sandwich);
+        // With a decomposition whose estimate also exceeds the budget,
+        // still sandwich.
+        let q = "Q() :- E(x,y), E(y,z), E(z,x)";
+        let p = choose_plan(&s, Some(&dec(q)), &d, 10.0);
+        assert_eq!(p.kind, PlanKind::Sandwich);
+        assert!(p.est_decomposed_cost.is_some());
     }
 
     #[test]
@@ -155,5 +285,69 @@ mod tests {
         let s = shape("Q() :- E(x,y), E(y,z), E(z,x)");
         let d = db(3, &[(0, 1), (1, 2)]);
         assert!(estimate_naive_cost(&s, &d) <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_short_circuits_to_naive() {
+        let q = "Q() :- E(x,y), E(y,z), E(z,x)";
+        let s = shape(q);
+        let d = db(3, &[]);
+        assert_eq!(estimate_naive_cost(&s, &d), 0.0);
+        // Even with a tiny budget and a decomposition on offer, the
+        // provably-empty answer goes to the (instant) naive tier.
+        let p = choose_plan(&s, Some(&dec(q)), &d, 0.0);
+        assert_eq!(p.kind, PlanKind::Naive);
+        assert!(p.reason.contains("provably empty"));
+    }
+
+    #[test]
+    fn decomposed_estimate_survives_empty_cached_part() {
+        // A loop atom inside a cycle: on a loop-free database the
+        // E(x,x)-shaped part materializes EMPTY, so the bag holding it
+        // short-circuits to zero rows mid-bag. The estimates of every
+        // *later* bag must still read their own cached cardinalities
+        // (regression: an early break used to desynchronize the shared
+        // peek list and pair later bags with leftover entries).
+        let q = parse_cq("Q() :- E(x,x), E(x,y), E(y,z), E(z,x)").unwrap();
+        let plan = DecomposedPlan::compile(&q, cqapx_cq::treewidth_of_query(&q)).unwrap();
+        let edges: Vec<(u32, u32)> = (0..20u32).map(|i| (i, (i + 1) % 20)).collect();
+        let d = db(20, &edges);
+        // Warm the cache (materializes every bag and part, including
+        // the empty loop part).
+        let (answers, stats) = plan.eval_cached(&d.structure, Some(&d.materialized));
+        assert!(answers.is_empty() && stats.misses > 0);
+        let est = estimate_decomposed_cost(&plan, &d);
+        // Independent recomputation from the same public inputs, one
+        // peek per part, strictly per bag.
+        let adom = d.adom_size as f64;
+        let mut expected = 0.0_f64;
+        for bag in plan.bag_summaries() {
+            let mut rows = 1.0_f64;
+            for (rel, key) in &bag.parts {
+                let card = d
+                    .materialized
+                    .peek_cardinality(key)
+                    .unwrap_or_else(|| d.rel_stats(*rel).cardinality);
+                rows *= card as f64;
+            }
+            expected += rows.min(adom.powi(bag.label_size as i32));
+        }
+        assert_eq!(est, expected);
+    }
+
+    #[test]
+    fn decomposed_estimate_caps_at_assignment_bound() {
+        let q = "Q() :- E(x,y), E(y,z), E(z,x)";
+        let plan = dec(q);
+        // Dense-ish db: the product of three edge relations would be
+        // m^3, but the bag bound is adom^3.
+        let edges: Vec<(u32, u32)> = (0..6u32)
+            .flat_map(|u| (0..6u32).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
+        let d = db(6, &edges);
+        let est = estimate_decomposed_cost(&plan, &d);
+        let bags = plan.bag_summaries().len() as f64;
+        assert!(est <= bags * 6f64.powi(3) + 1e-9, "est {est} too high");
+        assert!(est > 0.0);
     }
 }

@@ -121,6 +121,6 @@ fn planner_reads_cached_cardinalities() {
         warm < cold,
         "warm estimate {warm} should beat cold estimate {cold}"
     );
-    let decision = choose_plan(&shape, &entry, 1e6);
+    let decision = choose_plan(&shape, None, &entry, 1e6);
     assert_eq!(decision.est_naive_cost, warm);
 }

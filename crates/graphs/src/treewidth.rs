@@ -30,6 +30,117 @@ pub struct TreeDecomposition {
     pub tree_edges: Vec<(usize, usize)>,
 }
 
+/// Vertex positions shared by one parent↔child edge of a rooted
+/// decomposition: for every vertex of `bag(child) ∩ bag(parent)`, its
+/// index in the child's (sorted) bag and in the parent's (sorted) bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedBagPositions {
+    /// Positions of the shared vertices in the child's bag.
+    pub child_pos: Vec<usize>,
+    /// Positions of the shared vertices in the parent's bag.
+    pub parent_pos: Vec<usize>,
+}
+
+/// A [`TreeDecomposition`] oriented for plan compilation: a fixed root,
+/// parent links, a bottom-up traversal order, children lists, and the
+/// shared-vertex positions of every tree edge — everything a consumer
+/// (e.g. a bounded-treewidth query plan) would otherwise re-derive from
+/// the undirected edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedDecomposition {
+    /// The chosen root bag (always bag 0 — deterministic).
+    pub root: usize,
+    /// Parent bag of each bag (`None` exactly for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Bottom-up traversal order: children before parents, root last.
+    pub order: Vec<usize>,
+    /// Children lists, in ascending bag-index order.
+    pub children: Vec<Vec<usize>>,
+    /// For each non-root bag `u`: the positions of `bag(u) ∩ bag(parent)`
+    /// in both bags (`None` exactly for the root).
+    pub edge_shared: Vec<Option<SharedBagPositions>>,
+}
+
+impl TreeDecomposition {
+    /// Orients the decomposition tree at bag 0 and precomputes the
+    /// traversal structure plan compilation needs. Deterministic: the
+    /// same decomposition always yields the same rooted form.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the edge list is not a tree over all bags (which
+    /// [`treewidth_at_most`] guarantees, and `validate` checks).
+    pub fn rooted(&self) -> RootedDecomposition {
+        let n = self.bags.len();
+        assert!(n > 0, "cannot root an empty decomposition");
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.tree_edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        let root = 0;
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Iterative DFS from the root; `order` collects the post-order,
+        // which is exactly a bottom-up (children-before-parents) order.
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, bool)> = vec![(root, false)];
+        seen[root] = true;
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+                continue;
+            }
+            stack.push((v, true));
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    parent[w] = Some(v);
+                    children[v].push(w);
+                    stack.push((w, false));
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "decomposition tree must be connected");
+        let edge_shared: Vec<Option<SharedBagPositions>> = (0..n)
+            .map(|u| {
+                parent[u].map(|p| {
+                    let (cb, pb) = (&self.bags[u], &self.bags[p]);
+                    let mut shared = SharedBagPositions {
+                        child_pos: Vec::new(),
+                        parent_pos: Vec::new(),
+                    };
+                    let (mut i, mut j) = (0, 0);
+                    while i < cb.len() && j < pb.len() {
+                        match cb[i].cmp(&pb[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                shared.child_pos.push(i);
+                                shared.parent_pos.push(j);
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                    shared
+                })
+            })
+            .collect();
+        RootedDecomposition {
+            root,
+            parent,
+            order,
+            children,
+            edge_shared,
+        }
+    }
+}
+
 impl TreeDecomposition {
     /// The width: `max |bag| − 1` (−1 ≡ returns 0 for the empty graph).
     pub fn width(&self) -> usize {
@@ -296,6 +407,12 @@ fn decomposition_from_order(
 /// each component must have at most 64 vertices (query-sized inputs —
 /// approximation candidates never exceed the number of query variables).
 ///
+/// **Deterministic**: the same graph always yields the same decomposition
+/// — bags in the same order with the same tree edges. The search branches
+/// in a fixed order (candidates sorted by `(fill-degree, vertex)`), bags
+/// are emitted in elimination order, and no hash-iteration order ever
+/// reaches the output; plan compilers and caches may rely on this.
+///
 /// # Examples
 ///
 /// ```
@@ -481,5 +598,64 @@ mod tests {
         let k5 = UGraph::complete(5);
         assert!(treewidth_at_most(&k5, 3).is_none());
         assert!(treewidth_at_most(&k5, 4).is_some());
+    }
+
+    #[test]
+    fn decomposition_is_deterministic() {
+        // Same graph, rebuilt from scratch each time: identical bags in
+        // identical order with identical tree edges, at every width.
+        let build = || {
+            let mut edges = vec![(0u32, 1), (1, 2), (2, 3), (3, 0), (1, 3)];
+            edges.extend([(4, 5), (5, 6), (6, 4), (2, 4)]);
+            UGraph::from_edges(7, &edges)
+        };
+        for k in 2..=4 {
+            let a = treewidth_at_most(&build(), k).unwrap();
+            let b = treewidth_at_most(&build(), k).unwrap();
+            assert_eq!(a, b, "width {k}");
+            assert_eq!(a.rooted(), b.rooted(), "rooted width {k}");
+        }
+    }
+
+    #[test]
+    fn rooted_orients_and_orders() {
+        let c5: Vec<(Element, Element)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let g = UGraph::from_edges(5, &c5);
+        let td = treewidth_at_most(&g, 2).unwrap();
+        let r = td.rooted();
+        assert_eq!(r.root, 0);
+        assert!(r.parent[r.root].is_none());
+        assert!(r.edge_shared[r.root].is_none());
+        assert_eq!(r.order.len(), td.bags.len());
+        assert_eq!(*r.order.last().unwrap(), r.root);
+        // Children before parents, and parent/children agree.
+        let pos = |x: usize| r.order.iter().position(|&y| y == x).unwrap();
+        for u in 0..td.bags.len() {
+            if let Some(p) = r.parent[u] {
+                assert!(pos(u) < pos(p), "child {u} must precede parent {p}");
+                assert!(r.children[p].contains(&u));
+                // Shared positions really index the shared vertices.
+                let s = r.edge_shared[u].as_ref().unwrap();
+                assert_eq!(s.child_pos.len(), s.parent_pos.len());
+                for (&ci, &pi) in s.child_pos.iter().zip(&s.parent_pos) {
+                    assert_eq!(td.bags[u][ci], td.bags[p][pi]);
+                }
+                // And they are exhaustive: every common vertex is listed.
+                let common = td.bags[u].iter().filter(|v| td.bags[p].contains(v)).count();
+                assert_eq!(s.child_pos.len(), common);
+            } else {
+                assert_eq!(u, r.root);
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_on_single_bag() {
+        let g = UGraph::new(1);
+        let td = treewidth_at_most(&g, 1).unwrap();
+        assert_eq!(td.bags.len(), 1);
+        let r = td.rooted();
+        assert_eq!(r.order, vec![0]);
+        assert!(r.children[0].is_empty());
     }
 }

@@ -22,6 +22,12 @@ impl JoinTree {
             .collect()
     }
 
+    /// Parent links as node indices — the form rooted-tree plan
+    /// compilers (`cqapx-cq`'s `eval::ir::compile_tree`) consume.
+    pub fn parent_indices(&self) -> Vec<Option<usize>> {
+        self.parent.iter().map(|p| p.map(|p| p as usize)).collect()
+    }
+
     /// Children lists.
     pub fn children(&self) -> Vec<Vec<usize>> {
         let mut ch = vec![Vec::new(); self.n_edges];
