@@ -1,0 +1,74 @@
+//! Morsel-parallel evaluation benchmarks: the `exp_eval` parallel
+//! workloads (`join_heavy_free`, `cyclic_c6_free`) under explicit
+//! thread budgets {1, 2, 4}, plus engine batch throughput under the
+//! shared budget (see the `parallel` section of `BENCH_eval.json` for
+//! the tracked numbers).
+
+use cqapx_bench::workloads;
+use cqapx_cq::eval::{AcyclicPlan, DecomposedPlan};
+use cqapx_cq::parse_cq;
+use cqapx_engine::{Engine, EngineConfig, Request};
+use cqapx_par::ThreadBudget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_join_heavy_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+    let q = parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4)").unwrap();
+    let db = workloads::random_db(700, 4.0, 13);
+    let plan = AcyclicPlan::compile(&q).expect("acyclic");
+    for threads in [1usize, 2, 4] {
+        let budget = ThreadBudget::new(threads);
+        group.bench_function(BenchmarkId::new("join_heavy", threads), |b| {
+            b.iter(|| plan.eval_cached_budget(&db, None, &budget).0.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_c6_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+    let q = parse_cq("Q(a, d) :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,a)").unwrap();
+    let db = workloads::random_db(300, 6.0, 29);
+    let plan = DecomposedPlan::compile(&q, 2).expect("C6 has treewidth 2");
+    for threads in [1usize, 2, 4] {
+        let budget = ThreadBudget::new(threads);
+        group.bench_function(BenchmarkId::new("cyclic_c6", threads), |b| {
+            b.iter(|| plan.eval_cached_budget(&db, None, &budget).0.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_shared_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_batch");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let engine = Engine::new(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        });
+        let db = engine.register_database("dag", workloads::layered_dag(9, 40, 0.35, 11));
+        let hop3 = engine.prepare_query(
+            "hop3",
+            parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4)").unwrap(),
+        );
+        let hop2 = engine.prepare_query("hop2", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        let reqs: Vec<Request> = (0..16)
+            .map(|i| Request::new(if i % 2 == 0 { hop3 } else { hop2 }, db))
+            .collect();
+        group.bench_function(BenchmarkId::new("batch16", threads), |b| {
+            b.iter(|| engine.execute_batch(&reqs).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join_heavy_parallel,
+    bench_c6_parallel,
+    bench_batch_shared_budget
+);
+criterion_main!(benches);

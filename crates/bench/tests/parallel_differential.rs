@@ -1,0 +1,285 @@
+//! Differential property tests for the morsel-driven parallel
+//! execution layer: evaluation under thread budgets {1, 2, 8} must
+//! produce **identical** answer relations — and, thanks to
+//! single-flight materialization, identical cache accounting — as the
+//! sequential path, for `AcyclicPlan`, `DecomposedPlan`, and the
+//! `NaivePlan` ground truth, on random digraph queries, cold and warm
+//! cache, plus engine batches whose `EngineStats` must not depend on
+//! the thread count.
+
+use cqapx_cq::eval::{AcyclicPlan, DecomposedPlan, MaterializationCache, NaivePlan};
+use cqapx_cq::{parse_cq, treewidth_of_query, ConjunctiveQuery};
+use cqapx_engine::{Engine, EngineConfig, Request};
+use cqapx_par::ThreadBudget;
+use cqapx_structures::Structure;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Thread budgets every differential case runs under. 1 is the
+/// sequential compile target; 2 and 8 exercise under- and
+/// over-subscription of the actual machine.
+const BUDGETS: [usize; 3] = [1, 2, 8];
+
+/// A random **acyclic** conjunctive query (random forest + reversed
+/// twins, duplicates, loops, random head) — the same family the
+/// columnar-kernel differential tests use.
+fn acyclic_query(max_vars: usize) -> impl Strategy<Value = ConjunctiveQuery> {
+    let n = 2..=max_vars;
+    n.prop_flat_map(|n| {
+        let parents = proptest::collection::vec((0..n as u32, any::<bool>(), 0..4u8), n - 1);
+        let loops = proptest::collection::vec(0..n as u32, 0..=2);
+        let head = proptest::collection::vec(0..n as u32, 0..=3);
+        (parents, loops, head).prop_map(move |(parents, loops, head)| {
+            let mut atoms: Vec<String> = Vec::new();
+            let mut used = vec![false; n];
+            for (i, &(p, flip, kind)) in parents.iter().enumerate() {
+                let (a, b) = ((i + 1) as u32, p.min(i as u32));
+                if kind == 3 {
+                    continue;
+                }
+                used[a as usize] = true;
+                used[b as usize] = true;
+                let (a, b) = if flip { (b, a) } else { (a, b) };
+                atoms.push(format!("E(x{a}, x{b})"));
+                if kind == 1 {
+                    atoms.push(format!("E(x{b}, x{a})"));
+                }
+                if kind == 2 {
+                    atoms.push(format!("E(x{a}, x{b})"));
+                }
+            }
+            for &v in &loops {
+                used[v as usize] = true;
+                atoms.push(format!("E(x{v}, x{v})"));
+            }
+            if atoms.is_empty() {
+                used[0] = true;
+                used[1] = true;
+                atoms.push("E(x0, x1)".to_string());
+            }
+            let head: Vec<String> = head
+                .into_iter()
+                .filter(|&v| used[v as usize])
+                .map(|v| format!("x{v}"))
+                .collect();
+            let text = format!("Q({}) :- {}", head.join(", "), atoms.join(", "));
+            parse_cq(&text).expect("generated query must parse")
+        })
+    })
+}
+
+/// Random **cyclic** template queries (oriented cycles, wheels, K4,
+/// double triangles) with random orientations and heads — the shapes
+/// the decomposed tier serves.
+fn cyclic_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    (0..4u8, 3..=6usize, any::<u32>(), any::<u32>()).prop_map(|(kind, size, flips, head_bits)| {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        match kind {
+            0 => {
+                for i in 0..size {
+                    edges.push((i as u32, ((i + 1) % size) as u32));
+                }
+            }
+            1 => {
+                let m = size.clamp(3, 5);
+                for i in 1..=m {
+                    edges.push((0, i as u32));
+                    edges.push((i as u32, (i % m + 1) as u32));
+                }
+            }
+            2 => {
+                for a in 0..4u32 {
+                    for b in (a + 1)..4 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            _ => {
+                edges.extend([(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+            }
+        }
+        let mut used: BTreeSet<u32> = BTreeSet::new();
+        let atoms: Vec<String> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let (a, b) = if flips >> (i % 32) & 1 == 1 {
+                    (b, a)
+                } else {
+                    (a, b)
+                };
+                used.insert(a);
+                used.insert(b);
+                format!("E(x{a}, x{b})")
+            })
+            .collect();
+        let head: Vec<String> = used
+            .iter()
+            .filter(|&&v| head_bits >> (v % 32) & 1 == 1)
+            .map(|v| format!("x{v}"))
+            .collect();
+        let text = format!("Q({}) :- {}", head.join(", "), atoms.join(", "));
+        parse_cq(&text).expect("generated query must parse")
+    })
+}
+
+/// A random digraph database.
+fn digraph(max_n: usize) -> impl Strategy<Value = Structure> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(3 * n))
+            .prop_map(move |edges| Structure::digraph(n, &edges))
+    })
+}
+
+/// Runs one plan under every budget, cold and warm, against the
+/// sequential reference, checking answers and cache accounting.
+fn check_budgets<F>(eval: F, expected: &BTreeSet<Vec<u32>>, label: &str)
+where
+    F: Fn(
+        Option<&MaterializationCache>,
+        &ThreadBudget,
+    ) -> (BTreeSet<Vec<u32>>, cqapx_cq::eval::MatCacheStats),
+{
+    let seq_budget = ThreadBudget::new(1);
+    let seq_cache = MaterializationCache::new();
+    let (seq_cold, sc) = eval(Some(&seq_cache), &seq_budget);
+    let (seq_warm, sw) = eval(Some(&seq_cache), &seq_budget);
+    assert_eq!(
+        &seq_cold, expected,
+        "sequential cold run disagrees on {label}"
+    );
+    assert_eq!(
+        &seq_warm, expected,
+        "sequential warm run disagrees on {label}"
+    );
+    assert_eq!(sw.misses, 0, "warm run re-materialized on {label}");
+    for threads in BUDGETS {
+        let budget = ThreadBudget::new(threads);
+        let cache = MaterializationCache::new();
+        let (cold, c) = eval(Some(&cache), &budget);
+        let (warm, w) = eval(Some(&cache), &budget);
+        assert_eq!(
+            &cold, expected,
+            "cold run at {threads} threads disagrees on {label}"
+        );
+        assert_eq!(
+            &warm, expected,
+            "warm run at {threads} threads disagrees on {label}"
+        );
+        assert_eq!(
+            (c.hits, c.misses),
+            (sc.hits, sc.misses),
+            "cold cache accounting at {threads} threads differs on {label}"
+        );
+        assert_eq!(
+            (w.hits, w.misses),
+            (sw.hits, sw.misses),
+            "warm cache accounting at {threads} threads differs on {label}"
+        );
+        // Uncached evaluation too (exercises the no-cache kernels).
+        let (uncached, _) = eval(None, &budget);
+        assert_eq!(
+            &uncached, expected,
+            "uncached run at {threads} threads on {label}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `AcyclicPlan` under budgets {1, 2, 8} ≡ sequential ≡ naive.
+    #[test]
+    fn acyclic_parallel_equals_sequential(
+        q in acyclic_query(6),
+        d in digraph(7),
+    ) {
+        let plan = AcyclicPlan::compile(&q).expect("forest queries are acyclic");
+        let expected = NaivePlan::compile(q.clone()).eval(&d);
+        check_budgets(
+            |cache, budget| plan.eval_cached_budget(&d, cache, budget),
+            &expected,
+            &q.to_string(),
+        );
+        for threads in BUDGETS {
+            let (b, _) =
+                plan.eval_boolean_cached_budget(&d, None, &ThreadBudget::new(threads));
+            prop_assert_eq!(b, !expected.is_empty(), "boolean at {} threads", threads);
+        }
+    }
+
+    /// `DecomposedPlan` under budgets {1, 2, 8} ≡ sequential ≡ naive.
+    #[test]
+    fn decomposed_parallel_equals_sequential(
+        q in cyclic_query(),
+        d in digraph(7),
+    ) {
+        let plan = DecomposedPlan::compile(&q, treewidth_of_query(&q))
+            .expect("templates compile at their exact treewidth");
+        let expected = NaivePlan::compile(q.clone()).eval(&d);
+        check_budgets(
+            |cache, budget| plan.eval_cached_budget(&d, cache, budget),
+            &expected,
+            &q.to_string(),
+        );
+        for threads in BUDGETS {
+            let (b, _) =
+                plan.eval_boolean_cached_budget(&d, None, &ThreadBudget::new(threads));
+            prop_assert_eq!(b, !expected.is_empty(), "boolean at {} threads", threads);
+        }
+    }
+
+    /// Engine batches: answers and `EngineStats` materialization
+    /// accounting must be identical whether the engine runs on 1 thread
+    /// or oversubscribes 8 — single-flight makes the (miss, hit, …)
+    /// totals schedule-independent. The queries avoid repeated
+    /// variables so planner estimates (which may peek cached
+    /// cardinalities) cannot depend on materialization order either.
+    #[test]
+    fn engine_batch_stats_identical_across_thread_counts(
+        d in digraph(8),
+        dup in 2..4usize,
+    ) {
+        let queries = [
+            "Q(x, z) :- E(x, y), E(y, z)",
+            "Q() :- E(x,y), E(y,z), E(z,x)",
+            "Q(a) :- E(a,b), E(b,c), E(c,d), E(d,a)",
+        ];
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 8] {
+            let e = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let db = e.register_database("d", d.clone());
+            let reqs: Vec<Request> = queries
+                .iter()
+                .enumerate()
+                .flat_map(|(i, q)| {
+                    let qid = e.prepare_query(format!("q{i}"), parse_cq(q).unwrap());
+                    (0..dup).map(move |_| Request::new(qid, db))
+                })
+                .collect();
+            let responses = e.execute_batch(&reqs);
+            let stats = e.stats();
+            outcomes.push((
+                responses
+                    .iter()
+                    .map(|r| r.answers.clone())
+                    .collect::<Vec<_>>(),
+                stats.mat_hits,
+                stats.mat_misses,
+                stats.plan_yannakakis,
+                stats.plan_decomposed,
+            ));
+        }
+        let (a, b) = (outcomes.remove(0), outcomes.remove(0));
+        prop_assert_eq!(&a.0, &b.0, "batch answers differ between thread budgets");
+        prop_assert_eq!(
+            (a.1, a.2),
+            (b.1, b.2),
+            "mat-cache accounting differs between thread budgets"
+        );
+        prop_assert_eq!((a.3, a.4), (b.3, b.4), "plan tiers differ");
+    }
+}

@@ -34,6 +34,7 @@ use crate::classes::query_graph;
 use crate::eval::flat::{MatCacheStats, MatKey, MaterializationCache};
 use crate::eval::ir::{compile_tree, MatSource, NodeSpec, PlanIr};
 use cqapx_graphs::treewidth::treewidth_at_most;
+use cqapx_par::ThreadBudget;
 use cqapx_structures::{Element, RelId, Structure};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -200,7 +201,18 @@ impl DecomposedPlan {
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (bool, MatCacheStats) {
-        self.ir.run_boolean(d, cache)
+        self.eval_boolean_cached_budget(d, cache, ThreadBudget::shared())
+    }
+
+    /// [`DecomposedPlan::eval_boolean_cached`] under an explicit thread
+    /// budget for intra-query parallelism.
+    pub fn eval_boolean_cached_budget(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+    ) -> (bool, MatCacheStats) {
+        self.ir.run_boolean_budget(d, cache, budget)
     }
 
     /// Full evaluation: the set of answer tuples in head order.
@@ -215,15 +227,28 @@ impl DecomposedPlan {
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        self.eval_cached_budget(d, cache, ThreadBudget::shared())
+    }
+
+    /// [`DecomposedPlan::eval_cached`] under an explicit thread budget:
+    /// independent bag materializations fan out over the budget's
+    /// workers and the bag joins/sweeps run on morsel-parallel kernels;
+    /// answers are identical to the sequential run.
+    pub fn eval_cached_budget(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
         if self.query.is_boolean() {
-            let (nonempty, stats) = self.ir.run_boolean(d, cache);
+            let (nonempty, stats) = self.ir.run_boolean_budget(d, cache, budget);
             let mut out = BTreeSet::new();
             if nonempty {
                 out.insert(Vec::new());
             }
             return (out, stats);
         }
-        let (result, stats) = self.ir.run(d, cache);
+        let (result, stats) = self.ir.run_budget(d, cache, budget);
         match result {
             None => (BTreeSet::new(), stats),
             Some(rel) => (rel.rows_in_head_order(self.query.free_vars()), stats),

@@ -8,6 +8,7 @@ use crate::eval::decomposed::DecomposedPlan;
 use crate::eval::flat::{MatCacheStats, MaterializationCache};
 use crate::eval::naive::NaivePlan;
 use crate::eval::yannakakis::AcyclicPlan;
+use cqapx_par::ThreadBudget;
 use cqapx_structures::{Element, Structure};
 use std::collections::BTreeSet;
 
@@ -28,16 +29,19 @@ pub trait Evaluator {
         !self.eval(d).is_empty()
     }
 
-    /// Evaluates `Q(D)` through a per-database [`MaterializationCache`],
-    /// reporting the cache outcome. Strategies that materialize
-    /// hyperedge relations (Yannakakis) override this to share scans
-    /// across queries; the default ignores the cache.
+    /// Evaluates `Q(D)` through a per-database [`MaterializationCache`]
+    /// under an explicit [`ThreadBudget`], reporting the cache outcome.
+    /// Strategies that materialize hyperedge relations (Yannakakis, the
+    /// decomposed tier) override this to share scans across queries and
+    /// fan work out over the budget's workers; the default ignores
+    /// both — the budget is a *limit*, never an obligation.
     fn eval_with_cache(
         &self,
         d: &Structure,
         cache: &MaterializationCache,
+        budget: &ThreadBudget,
     ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
-        let _ = cache;
+        let _ = (cache, budget);
         (self.eval(d), MatCacheStats::default())
     }
 
@@ -97,8 +101,9 @@ impl Evaluator for AcyclicPlan {
         &self,
         d: &Structure,
         cache: &MaterializationCache,
+        budget: &ThreadBudget,
     ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
-        AcyclicPlan::eval_cached(self, d, Some(cache))
+        AcyclicPlan::eval_cached_budget(self, d, Some(cache), budget)
     }
 
     fn strategy_name(&self) -> &'static str {
@@ -123,8 +128,9 @@ impl Evaluator for DecomposedPlan {
         &self,
         d: &Structure,
         cache: &MaterializationCache,
+        budget: &ThreadBudget,
     ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
-        DecomposedPlan::eval_cached(self, d, Some(cache))
+        DecomposedPlan::eval_cached_budget(self, d, Some(cache), budget)
     }
 
     fn strategy_name(&self) -> &'static str {

@@ -22,12 +22,31 @@
 //! ```
 
 use crate::ast::{Atom, VarId};
+use cqapx_par::{parallel_chunks, parallel_map, DisjointWriter, ThreadBudget};
 use cqapx_structures::fxhash::{FxHashMap, FxHasher};
 use cqapx_structures::{Element, RelId, Structure};
 use std::collections::BTreeSet;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Minimum rows before a kernel even consults the thread budget:
+/// below this, thread spawn/join overhead dwarfs the scan, so small
+/// relations always take the sequential path (and never touch the
+/// budget's atomics).
+const PAR_MIN_ROWS: usize = 4096;
+
+/// Rows per morsel for parallel scans: big enough that one atomic
+/// claim amortizes over thousands of rows, small enough that the tail
+/// of an uneven workload still load-balances.
+const MORSEL_ROWS: usize = 2048;
+
+/// How many extra workers a kernel asks the budget for: one per morsel
+/// beyond the caller's own, capped so a single huge relation cannot
+/// drain the whole budget from concurrent requests.
+fn par_want(rows: usize) -> usize {
+    (rows / MORSEL_ROWS).saturating_sub(1).min(31)
+}
 
 /// A relation over distinct variables, stored columnar-flat: one
 /// contiguous row-major buffer instead of a hash set of row vectors.
@@ -168,13 +187,100 @@ impl FlatRelation {
     }
 
     /// Sorts rows lexicographically and removes duplicates, leaving the
-    /// canonical form all set-level comparisons rely on.
+    /// canonical form all set-level comparisons rely on. Runs under the
+    /// process-wide [`ThreadBudget::shared`] budget (sequential unless
+    /// `CQAPX_THREADS` is set).
     pub fn sort_dedup(&mut self) {
+        self.sort_dedup_budget(ThreadBudget::shared());
+    }
+
+    /// [`FlatRelation::sort_dedup`] under an explicit thread budget: a
+    /// parallel merge sort (morsel-sorted runs, pairwise parallel
+    /// merges, parallel gather) when the budget grants extra workers and
+    /// the relation is large enough; the plain sequential sort
+    /// otherwise. The canonical output is identical either way — rows
+    /// that compare equal are byte-identical, so tie order cannot show.
+    pub fn sort_dedup_budget(&mut self, budget: &ThreadBudget) {
         let a = self.schema.len();
         if a == 0 {
             self.rows = self.rows.min(1);
             return;
         }
+        if self.rows < PAR_MIN_ROWS || budget.capacity() == 0 {
+            return self.sort_dedup_seq();
+        }
+        let lease = budget.claim(par_want(self.rows));
+        if lease.extra() == 0 {
+            return self.sort_dedup_seq();
+        }
+        let w = lease.workers();
+        let n = self.rows;
+        let (rows_out, data_out) = {
+            let data = &self.data;
+            let row_cmp = |x: u32, y: u32| {
+                let (x, y) = (x as usize * a, y as usize * a);
+                data[x..x + a].cmp(&data[y..y + a])
+            };
+            // Sorted runs, one per worker-sized slice of the row space.
+            let mut runs: Vec<Vec<u32>> = parallel_chunks(n, n.div_ceil(w), w, |_, r| {
+                let mut idx: Vec<u32> = (r.start as u32..r.end as u32).collect();
+                idx.sort_unstable_by(|&x, &y| row_cmp(x, y));
+                idx
+            });
+            // Pairwise merges, each pair merged on its own worker.
+            while runs.len() > 1 {
+                let mut pairs: Vec<(Vec<u32>, Option<Vec<u32>>)> = Vec::new();
+                let mut it = runs.into_iter();
+                while let Some(first) = it.next() {
+                    pairs.push((first, it.next()));
+                }
+                runs = parallel_map(pairs, w, |(left, right)| {
+                    let Some(right) = right else { return left };
+                    let mut merged = Vec::with_capacity(left.len() + right.len());
+                    let (mut i, mut j) = (0, 0);
+                    while i < left.len() && j < right.len() {
+                        if row_cmp(left[i], right[j]) != std::cmp::Ordering::Greater {
+                            merged.push(left[i]);
+                            i += 1;
+                        } else {
+                            merged.push(right[j]);
+                            j += 1;
+                        }
+                    }
+                    merged.extend_from_slice(&left[i..]);
+                    merged.extend_from_slice(&right[j..]);
+                    merged
+                });
+            }
+            let mut idx = runs.pop().expect("at least one run");
+            idx.dedup_by(|&mut x, &mut y| {
+                let (x, y) = (x as usize * a, y as usize * a);
+                data[x..x + a] == data[y..y + a]
+            });
+            // Parallel gather into the output buffer (morsel order =
+            // sorted order).
+            let total = idx.len();
+            let bufs = parallel_chunks(total, MORSEL_ROWS, w, |_, r| {
+                let mut b: Vec<Element> = Vec::with_capacity(r.len() * a);
+                for &i in &idx[r] {
+                    b.extend_from_slice(&data[i as usize * a..][..a]);
+                }
+                b
+            });
+            let mut out = Vec::with_capacity(total * a);
+            for b in bufs {
+                out.extend_from_slice(&b);
+            }
+            (total, out)
+        };
+        self.rows = rows_out;
+        self.data = data_out;
+    }
+
+    /// The sequential sort + dedup (also the `threads = 1` compile
+    /// target of [`FlatRelation::sort_dedup_budget`]).
+    fn sort_dedup_seq(&mut self) {
+        let a = self.schema.len();
         let data = &self.data;
         let mut idx: Vec<u32> = (0..self.rows as u32).collect();
         idx.sort_unstable_by(|&x, &y| {
@@ -241,6 +347,21 @@ impl FlatRelation {
     /// key positions this is the cartesian-semantics degenerate case:
     /// all rows survive iff `other` is nonempty.
     pub fn semijoin_on(&mut self, my_pos: &[usize], other: &FlatRelation, their_pos: &[usize]) {
+        self.semijoin_on_budget(my_pos, other, their_pos, ThreadBudget::shared());
+    }
+
+    /// [`FlatRelation::semijoin_on`] under an explicit thread budget:
+    /// the probe runs over row-range morsels on claimed workers, each
+    /// collecting its survivors, and the in-place compaction walks the
+    /// morsel results in order — the surviving rows and their order are
+    /// identical to the sequential sweep.
+    pub fn semijoin_on_budget(
+        &mut self,
+        my_pos: &[usize],
+        other: &FlatRelation,
+        their_pos: &[usize],
+        budget: &ThreadBudget,
+    ) {
         debug_assert_eq!(my_pos.len(), their_pos.len(), "key positions must align");
         if my_pos.is_empty() {
             if other.is_empty() {
@@ -248,7 +369,59 @@ impl FlatRelation {
             }
             return;
         }
+        let a = self.schema.len();
+        if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
+            // Build first (the build claims and releases its own
+            // workers), then lease the probe: claiming the probe lease
+            // first would drain the budget the build could have used.
+            let index = KeyIndex::build_budget(other, their_pos, budget);
+            let lease = budget.claim(par_want(self.rows));
+            if lease.extra() > 0 {
+                let survivors: Vec<Vec<u32>> = {
+                    let data = &self.data;
+                    parallel_chunks(self.rows, MORSEL_ROWS, lease.workers(), |_, r| {
+                        let mut keep: Vec<u32> = Vec::new();
+                        for i in r {
+                            let row = &data[i * a..i * a + a];
+                            let hit = index
+                                .probe(Self::hash_key(row, my_pos))
+                                .any(|m| Self::keys_eq(row, my_pos, other.row(m), their_pos));
+                            if hit {
+                                keep.push(i as u32);
+                            }
+                        }
+                        keep
+                    })
+                };
+                let mut w = 0usize;
+                for keep in &survivors {
+                    for &i in keep {
+                        self.data
+                            .copy_within(i as usize * a..i as usize * a + a, w * a);
+                        w += 1;
+                    }
+                }
+                self.rows = w;
+                self.data.truncate(w * a);
+                return;
+            }
+            // No probe workers left: sequential probe over the (bit-
+            // identical) index that was just built.
+            return self.semijoin_probe_seq(my_pos, other, their_pos, &index);
+        }
         let index = KeyIndex::build(other, their_pos);
+        self.semijoin_probe_seq(my_pos, other, their_pos, &index);
+    }
+
+    /// The sequential semijoin probe + in-place compaction over a
+    /// prebuilt index.
+    fn semijoin_probe_seq(
+        &mut self,
+        my_pos: &[usize],
+        other: &FlatRelation,
+        their_pos: &[usize],
+        index: &KeyIndex,
+    ) {
         let a = self.schema.len();
         let mut w = 0usize;
         for i in 0..self.rows {
@@ -270,6 +443,16 @@ impl FlatRelation {
     /// index on the smaller side; cartesian product when the schemas are
     /// disjoint.
     pub fn join(&self, other: &FlatRelation) -> FlatRelation {
+        self.join_budget(other, ThreadBudget::shared())
+    }
+
+    /// [`FlatRelation::join`] under an explicit thread budget: the key
+    /// index is built on the smaller side (hash-partitioned build when
+    /// large), and the larger side probes it over row-range morsels,
+    /// each worker emitting into its own output buffer; the buffers are
+    /// stitched in morsel order, so the output rows and their order are
+    /// identical to the sequential probe loop.
+    pub fn join_budget(&self, other: &FlatRelation, budget: &ThreadBudget) -> FlatRelation {
         let my_map: FxHashMap<VarId, usize> = self
             .schema
             .iter()
@@ -318,37 +501,72 @@ impl FlatRelation {
         }
 
         // Build the index on the smaller side, probe with the larger.
-        if self.rows <= other.rows {
-            let index = KeyIndex::build(self, &my_shared);
-            for j in 0..other.rows {
-                let orow = other.row(j);
-                for m in index.probe(Self::hash_key(orow, &their_shared)) {
-                    let mrow = self.row(m);
-                    if Self::keys_eq(mrow, &my_shared, orow, &their_shared) {
-                        out.data.extend_from_slice(mrow);
-                        for &p in &their_extra {
-                            out.data.push(orow[p]);
-                        }
-                        out.rows += 1;
-                    }
-                }
-            }
+        // `probe_is_other` tracks which operand the probe rows come
+        // from, because the output layout is always `self`'s columns
+        // followed by `other`'s extras.
+        let (build, probe, build_pos, probe_pos, probe_is_other) = if self.rows <= other.rows {
+            (self, other, &my_shared, &their_shared, true)
         } else {
-            let index = KeyIndex::build(other, &their_shared);
-            for i in 0..self.rows {
-                let mrow = self.row(i);
-                for m in index.probe(Self::hash_key(mrow, &my_shared)) {
-                    let orow = other.row(m);
-                    if Self::keys_eq(mrow, &my_shared, orow, &their_shared) {
-                        out.data.extend_from_slice(mrow);
-                        for &p in &their_extra {
-                            out.data.push(orow[p]);
+            (other, self, &their_shared, &my_shared, false)
+        };
+        // One probe morsel: emit every match of rows `range` into `buf`
+        // (the sequential loop is the single-morsel case).
+        let probe_range =
+            |buf: &mut Vec<Element>, range: std::ops::Range<usize>, index: &KeyIndex| -> usize {
+                let mut rows = 0usize;
+                for j in range {
+                    let prow = probe.row(j);
+                    for m in index.probe(Self::hash_key(prow, probe_pos)) {
+                        let brow = build.row(m);
+                        if Self::keys_eq(prow, probe_pos, brow, build_pos) {
+                            let (s_row, o_row) = if probe_is_other {
+                                (brow, prow)
+                            } else {
+                                (prow, brow)
+                            };
+                            buf.extend_from_slice(s_row);
+                            for &p in &their_extra {
+                                buf.push(o_row[p]);
+                            }
+                            rows += 1;
                         }
-                        out.rows += 1;
                     }
                 }
+                rows
+            };
+
+        if probe.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
+            // Build first (own worker claim, released after), then
+            // lease the probe — the other order would hand the build's
+            // workers to the probe before the build could use them.
+            let index = KeyIndex::build_budget(build, build_pos, budget);
+            let lease = budget.claim(par_want(probe.rows));
+            if lease.extra() > 0 {
+                let parts: Vec<(Vec<Element>, usize)> =
+                    parallel_chunks(probe.rows, MORSEL_ROWS, lease.workers(), |_, r| {
+                        let mut buf: Vec<Element> = Vec::new();
+                        let rows = probe_range(&mut buf, r, &index);
+                        (buf, rows)
+                    });
+                let total_rows: usize = parts.iter().map(|(_, r)| r).sum();
+                out.data.reserve(total_rows * out_arity);
+                for (buf, rows) in parts {
+                    out.data.extend_from_slice(&buf);
+                    out.rows += rows;
+                }
+                return out;
             }
+            // No probe workers left: sequential probe over the index
+            // that was just built (bit-identical to a sequential build).
+            let mut buf = std::mem::take(&mut out.data);
+            out.rows = probe_range(&mut buf, 0..probe.rows, &index);
+            out.data = buf;
+            return out;
         }
+        let index = KeyIndex::build(build, build_pos);
+        let mut buf = std::mem::take(&mut out.data);
+        out.rows = probe_range(&mut buf, 0..probe.rows, &index);
+        out.data = buf;
         out
     }
 
@@ -356,6 +574,13 @@ impl FlatRelation {
     /// duplicates collapse to their first occurrence). The result is
     /// sorted and deduplicated.
     pub fn project(&self, vars: &[VarId]) -> FlatRelation {
+        self.project_budget(vars, ThreadBudget::shared())
+    }
+
+    /// [`FlatRelation::project`] under an explicit thread budget: the
+    /// column gather runs over row-range morsels stitched in order, and
+    /// the canonicalizing sort is [`FlatRelation::sort_dedup_budget`].
+    pub fn project_budget(&self, vars: &[VarId], budget: &ThreadBudget) -> FlatRelation {
         let map: FxHashMap<VarId, usize> = self
             .schema
             .iter()
@@ -372,14 +597,37 @@ impl FlatRelation {
         }
         let mut out = FlatRelation::empty(schema);
         out.rows = self.rows;
-        out.data.reserve(self.rows * keep.len());
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for &p in &keep {
-                out.data.push(row[p]);
+        let mut gathered = false;
+        if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
+            let lease = budget.claim(par_want(self.rows));
+            if lease.extra() > 0 {
+                let bufs = parallel_chunks(self.rows, MORSEL_ROWS, lease.workers(), |_, r| {
+                    let mut b: Vec<Element> = Vec::with_capacity(r.len() * keep.len());
+                    for i in r {
+                        let row = self.row(i);
+                        for &p in &keep {
+                            b.push(row[p]);
+                        }
+                    }
+                    b
+                });
+                out.data.reserve(self.rows * keep.len());
+                for b in bufs {
+                    out.data.extend_from_slice(&b);
+                }
+                gathered = true;
             }
         }
-        out.sort_dedup();
+        if !gathered {
+            out.data.reserve(self.rows * keep.len());
+            for i in 0..self.rows {
+                let row = self.row(i);
+                for &p in &keep {
+                    out.data.push(row[p]);
+                }
+            }
+        }
+        out.sort_dedup_budget(budget);
         out
     }
 
@@ -402,44 +650,139 @@ impl FlatRelation {
     }
 }
 
-/// A chained hash index over the key columns of a [`FlatRelation`]:
-/// `map` sends a key hash to the head of a row chain, `next` links rows
-/// with equal hashes. Two allocations total, no per-key buckets — the
-/// probe re-checks real column values, so hash collisions only cost a
-/// comparison.
+/// A chained hash index over the key columns of a [`FlatRelation`]: a
+/// flat power-of-two bucket table (`heads`, addressed by the top hash
+/// bits) with rows of one bucket linked through `next`, plus the
+/// **per-row key hash computed once at build time** in `hashes`.
+///
+/// Storing the hashes pays twice: the probe filters chain entries by
+/// stored hash before any column comparison (bucket collisions cost one
+/// `u64` compare, never a re-hash), and the hash-partitioned parallel
+/// build reuses the hash pass when distributing rows to bucket-range
+/// partitions instead of re-hashing per partition. Three flat
+/// allocations, no general-purpose hash map on the hot path.
 struct KeyIndex {
-    map: FxHashMap<u64, u32>,
+    /// Bucket heads; length is a power of two.
+    heads: Vec<u32>,
+    /// Next row in the same bucket.
     next: Vec<u32>,
+    /// The key hash of every indexed row, computed once at build.
+    hashes: Vec<u64>,
+    /// `bucket(h) = h >> shift` — top bits address the table.
+    shift: u32,
 }
 
 const CHAIN_END: u32 = u32::MAX;
 
 impl KeyIndex {
+    /// Bucket count and shift for `n` rows: one bucket per row, rounded
+    /// up to a power of two (minimum 2, so the shift stays below 64).
+    fn table_shape(n: usize) -> (usize, u32) {
+        let buckets = n.next_power_of_two().max(2);
+        (buckets, 64 - buckets.trailing_zeros())
+    }
+
     fn build(rel: &FlatRelation, pos: &[usize]) -> KeyIndex {
-        let mut map = FxHashMap::default();
-        map.reserve(rel.len());
-        let mut next = vec![CHAIN_END; rel.len()];
-        for (i, slot) in next.iter_mut().enumerate() {
-            let h = FlatRelation::hash_key(rel.row(i), pos);
-            let head = map.entry(h).or_insert(CHAIN_END);
-            *slot = *head;
-            *head = i as u32;
+        let n = rel.len();
+        let mut hashes = vec![0u64; n];
+        for (i, h) in hashes.iter_mut().enumerate() {
+            *h = FlatRelation::hash_key(rel.row(i), pos);
         }
-        KeyIndex { map, next }
+        let (buckets, shift) = Self::table_shape(n);
+        let mut heads = vec![CHAIN_END; buckets];
+        let mut next = vec![CHAIN_END; n];
+        for (i, slot) in next.iter_mut().enumerate() {
+            let b = (hashes[i] >> shift) as usize;
+            *slot = heads[b];
+            heads[b] = i as u32;
+        }
+        KeyIndex {
+            heads,
+            next,
+            hashes,
+            shift,
+        }
+    }
+
+    /// Hash-partitioned parallel build: one worker pass computes the
+    /// per-row hashes over morsels, then each worker owns a contiguous
+    /// **bucket range** and inserts exactly the rows hashing into it
+    /// (reusing the stored hashes), scanning rows in ascending order —
+    /// the resulting table is bit-identical to the sequential build, so
+    /// probe sequences (and join output order) cannot depend on the
+    /// thread count.
+    fn build_budget(rel: &FlatRelation, pos: &[usize], budget: &ThreadBudget) -> KeyIndex {
+        let n = rel.len();
+        if n < PAR_MIN_ROWS || budget.capacity() == 0 {
+            return Self::build(rel, pos);
+        }
+        let lease = budget.claim(par_want(n));
+        if lease.extra() == 0 {
+            return Self::build(rel, pos);
+        }
+        let w = lease.workers();
+        let mut hashes = vec![0u64; n];
+        {
+            let out = DisjointWriter::new(&mut hashes);
+            parallel_chunks(n, MORSEL_ROWS, w, |_, r| {
+                for i in r {
+                    // SAFETY: morsels are disjoint row ranges; i < n.
+                    unsafe { out.write(i, FlatRelation::hash_key(rel.row(i), pos)) };
+                }
+            });
+        }
+        let (buckets, shift) = Self::table_shape(n);
+        let mut heads = vec![CHAIN_END; buckets];
+        let mut next = vec![CHAIN_END; n];
+        {
+            let hw = DisjointWriter::new(&mut heads);
+            let nw = DisjointWriter::new(&mut next);
+            let hashes = &hashes;
+            // Deliberate tradeoff: every partition rescans the whole
+            // hash array (w sequential passes over 8·n bytes total)
+            // to find its rows, because the *inserts* — random-access
+            // writes into a table larger than cache — are what
+            // dominate a large build, and those split w ways. The
+            // rescan keeps the build single-phase with zero shared
+            // mutable state beyond the partition-owned slots.
+            parallel_chunks(buckets, buckets.div_ceil(w), w, |_, bucket_range| {
+                for (i, &h) in hashes.iter().enumerate() {
+                    let b = (h >> shift) as usize;
+                    if bucket_range.contains(&b) {
+                        // SAFETY: each bucket lies in exactly one
+                        // worker's range, and each row hashes to exactly
+                        // one bucket — all slots are partition-owned.
+                        unsafe {
+                            nw.write(i, hw.read(b));
+                            hw.write(b, i as u32);
+                        }
+                    }
+                }
+            });
+        }
+        KeyIndex {
+            heads,
+            next,
+            hashes,
+            shift,
+        }
     }
 
     /// All row indices whose key hash equals `hash` (callers re-check
-    /// the actual columns).
+    /// the actual columns). Bucket neighbors with a different stored
+    /// hash are skipped without touching row data.
     fn probe(&self, hash: u64) -> ProbeIter<'_> {
         ProbeIter {
-            next: &self.next,
-            cur: self.map.get(&hash).copied().unwrap_or(CHAIN_END),
+            index: self,
+            hash,
+            cur: self.heads[(hash >> self.shift) as usize],
         }
     }
 }
 
 struct ProbeIter<'a> {
-    next: &'a [u32],
+    index: &'a KeyIndex,
+    hash: u64,
     cur: u32,
 }
 
@@ -447,12 +790,14 @@ impl Iterator for ProbeIter<'_> {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        if self.cur == CHAIN_END {
-            return None;
+        while self.cur != CHAIN_END {
+            let r = self.cur as usize;
+            self.cur = self.index.next[r];
+            if self.index.hashes[r] == self.hash {
+                return Some(r);
+            }
         }
-        let r = self.cur as usize;
-        self.cur = self.next[r];
-        Some(r)
+        None
     }
 }
 
@@ -590,14 +935,30 @@ impl MatCacheStats {
 /// each entry is at most one relation's worth of elements. Dropping the
 /// snapshot (or re-registering its name and dropping the old handle)
 /// releases everything.
+///
+/// Concurrency: materialization is **single-flight** — the map holds
+/// one [`OnceLock`] flight per key, so when parallel batch requests
+/// miss on the same `MatKey` simultaneously, exactly one scans the
+/// database and the rest block on the flight and adopt the result as a
+/// hit. This keeps the hit/miss accounting identical to a sequential
+/// run of the same requests (one miss, the rest hits) and never burns
+/// budgeted worker threads on duplicate scans.
 #[derive(Debug, Default)]
 pub struct MaterializationCache {
     /// `RwLock`, not `Mutex`: at serving-time hit rates nearly every
     /// access is a read (hits, planner peeks), and parallel batch
     /// workers must not serialize on the warm path.
-    map: RwLock<FxHashMap<MatKey, Arc<FlatRelation>>>,
+    map: RwLock<FxHashMap<MatKey, Arc<MatFlight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// One single-flight materialization slot: the first claimant runs the
+/// scan inside [`OnceLock::get_or_init`]; concurrent claimants block
+/// and share the result.
+#[derive(Debug, Default)]
+struct MatFlight {
+    cell: OnceLock<Arc<FlatRelation>>,
 }
 
 impl MaterializationCache {
@@ -608,32 +969,51 @@ impl MaterializationCache {
 
     /// The cached relation for `key`, or the result of `materialize`
     /// (inserted for later calls). Returns the relation and whether it
-    /// was a hit. The lock is not held while materializing; concurrent
-    /// misses on the same key race benignly (first insert wins).
+    /// was a hit. No lock is held while materializing; concurrent
+    /// misses on the same key are single-flight — one caller runs
+    /// `materialize` (and counts the miss), the rest wait on the flight
+    /// and count hits, exactly as if they had arrived after it.
     pub fn get_or_materialize(
         &self,
         key: &MatKey,
         materialize: impl FnOnce() -> FlatRelation,
     ) -> (Arc<FlatRelation>, bool) {
-        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(key) {
+        // Bound scope for the read guard: a `match` scrutinee would
+        // keep it alive into the write-locking arm and self-deadlock.
+        let existing = {
+            let map = self.map.read().expect("cache lock poisoned");
+            map.get(key).cloned()
+        };
+        let flight = match existing {
+            Some(f) => f,
+            None => {
+                let mut map = self.map.write().expect("cache lock poisoned");
+                Arc::clone(map.entry(key.clone()).or_default())
+            }
+        };
+        let mut ran = false;
+        let rel = flight.cell.get_or_init(|| {
+            ran = true;
+            Arc::new(materialize())
+        });
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), true);
         }
-        let fresh = Arc::new(materialize());
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.write().expect("cache lock poisoned");
-        let entry = map.entry(key.clone()).or_insert_with(|| Arc::clone(&fresh));
-        (Arc::clone(entry), false)
+        (Arc::clone(rel), !ran)
     }
 
-    /// The cardinality of a cached materialization, if present. Does not
-    /// count as a hit or miss — this is the planner's peek at real
-    /// cardinalities.
+    /// The cardinality of a cached materialization, if present (and
+    /// landed — an in-flight scan is not peeked, matching "not yet
+    /// materialized"). Does not count as a hit or miss — this is the
+    /// planner's peek at real cardinalities.
     pub fn peek_cardinality(&self, key: &MatKey) -> Option<usize> {
         self.map
             .read()
             .expect("cache lock poisoned")
             .get(key)
+            .and_then(|f| f.cell.get())
             .map(|r| r.len())
     }
 
@@ -646,7 +1026,7 @@ impl MaterializationCache {
     ) -> Vec<Option<usize>> {
         let map = self.map.read().expect("cache lock poisoned");
         keys.into_iter()
-            .map(|k| map.get(k).map(|r| r.len()))
+            .map(|k| map.get(k).and_then(|f| f.cell.get()).map(|r| r.len()))
             .collect()
     }
 
@@ -660,9 +1040,14 @@ impl MaterializationCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of cached hyperedge relations.
+    /// Number of cached hyperedge relations (landed flights only).
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock poisoned").len()
+        self.map
+            .read()
+            .expect("cache lock poisoned")
+            .values()
+            .filter(|f| f.cell.get().is_some())
+            .count()
     }
 
     /// `true` when nothing has been materialized yet.
@@ -839,6 +1224,117 @@ mod tests {
             MatKey::of_atom(&q4.atoms()[0]),
             MatKey::of_atom(&q4.atoms()[1])
         );
+    }
+
+    /// A large relation of pseudo-random rows (duplicates likely; not
+    /// normalized) for exercising the parallel kernel paths.
+    fn big_random_rel(schema: &[VarId], n: usize, domain: u32, seed: u64) -> FlatRelation {
+        let mut r = FlatRelation::empty(schema.to_vec());
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as u32) % domain
+        };
+        let row_buf: Vec<Vec<Element>> = (0..n)
+            .map(|_| (0..schema.len()).map(|_| next()).collect())
+            .collect();
+        for row in &row_buf {
+            r.push_row(row);
+        }
+        r
+    }
+
+    /// Every parallel kernel must reproduce the sequential output bit
+    /// for bit — same rows, same order, same buffer contents.
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_sequential() {
+        let seq = ThreadBudget::sequential();
+        let par = ThreadBudget::new(4);
+        let a = big_random_rel(&[0, 1, 2], 12_000, 40, 1);
+        let b = big_random_rel(&[1, 3], 9_000, 40, 2);
+
+        // sort_dedup: parallel merge sort vs sequential sort.
+        let mut s1 = a.clone();
+        s1.sort_dedup_budget(&seq);
+        let mut s2 = a.clone();
+        s2.sort_dedup_budget(&par);
+        assert_eq!(s1.rows, s2.rows);
+        assert_eq!(s1.data, s2.data, "sort_dedup outputs must be identical");
+
+        let mut b1 = b.clone();
+        b1.sort_dedup_budget(&seq);
+
+        // join: partitioned build + morsel probe vs sequential loop.
+        let j1 = s1.join_budget(&b1, &seq);
+        let j2 = s1.join_budget(&b1, &par);
+        assert_eq!(j1.schema, j2.schema);
+        assert_eq!(j1.rows, j2.rows);
+        assert_eq!(j1.data, j2.data, "join outputs must be identical");
+        // Both build-side choices (probe = other / probe = self).
+        let j3 = b1.join_budget(&s1, &seq);
+        let j4 = b1.join_budget(&s1, &par);
+        assert_eq!(j3.data, j4.data, "swapped join outputs must be identical");
+
+        // semijoin: morsel probe + ordered compaction vs sequential.
+        let mut m1 = s1.clone();
+        m1.semijoin_on_budget(&[1], &b1, &[0], &seq);
+        let mut m2 = s1.clone();
+        m2.semijoin_on_budget(&[1], &b1, &[0], &par);
+        assert_eq!(m1.rows, m2.rows);
+        assert_eq!(m1.data, m2.data, "semijoin outputs must be identical");
+
+        // project: morsel gather + parallel sort vs sequential.
+        let p1 = s1.project_budget(&[2, 0], &seq);
+        let p2 = s1.project_budget(&[2, 0], &par);
+        assert_eq!(p1.schema, p2.schema);
+        assert_eq!(p1.data, p2.data, "project outputs must be identical");
+    }
+
+    /// A zero-capacity budget must never spawn — and must leave results
+    /// unchanged even right at the morsel-size boundaries.
+    #[test]
+    fn sequential_budget_is_the_default_path() {
+        let seq = ThreadBudget::sequential();
+        assert_eq!(seq.capacity(), 0);
+        let mut r = big_random_rel(&[0, 1], PAR_MIN_ROWS + 1, 10, 3);
+        let mut expected = r.clone();
+        expected.sort_dedup_budget(&ThreadBudget::new(1));
+        r.sort_dedup_budget(&seq);
+        assert_eq!(r.data, expected.data);
+    }
+
+    /// Concurrent misses on one key run the scan exactly once
+    /// (single-flight); the waiters account as hits, exactly like a
+    /// sequential run of the same requests.
+    #[test]
+    fn single_flight_materializes_once() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = MaterializationCache::new();
+        let q = crate::parser::parse_cq("Q() :- E(x, y)").unwrap();
+        let key = MatKey::of_atom(&q.atoms()[0]);
+        let runs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (r, _) = cache.get_or_materialize(&key, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        rel(&[0, 1], &[&[1, 2]])
+                    });
+                    assert_eq!(r.len(), 1);
+                });
+            }
+        });
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "one scan under single-flight"
+        );
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use crate::ast::{Atom, VarId};
 use crate::eval::flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
+use cqapx_par::{parallel_map, ThreadBudget};
 use cqapx_structures::Structure;
 use std::collections::BTreeSet;
 
@@ -110,22 +111,24 @@ impl MatSource {
     /// into `cache` when given. Multi-part sources are cached at both
     /// levels: the joined source under its own key and, on a source
     /// miss, each part under its key (so single-atom parts are shared
-    /// with the plans that use them as whole hyperedges).
+    /// with the plans that use them as whole hyperedges). The part
+    /// joins and canonicalization run under `budget`.
     pub fn materialize(
         &self,
         d: &Structure,
         cache: Option<&MaterializationCache>,
         stats: &mut MatCacheStats,
+        budget: &ThreadBudget,
     ) -> FlatRelation {
         if self.parts.is_empty() {
             return FlatRelation::unit();
         }
         match cache {
-            None => self.materialize_fresh(d, None, stats),
+            None => self.materialize_fresh(d, None, stats, budget),
             Some(c) => {
                 let mut inner = MatCacheStats::default();
                 let (rel, hit) = c.get_or_materialize(&self.key, || {
-                    self.materialize_fresh(d, Some(c), &mut inner)
+                    self.materialize_fresh(d, Some(c), &mut inner, budget)
                 });
                 if hit {
                     stats.hits += 1;
@@ -144,18 +147,20 @@ impl MatSource {
         d: &Structure,
         cache: Option<&MaterializationCache>,
         stats: &mut MatCacheStats,
+        budget: &ThreadBudget,
     ) -> FlatRelation {
         if self.parts.len() == 1 && self.parts[0].schema == self.schema {
             // The source *is* its single part; its key equals the part
             // key, so the caller's lookup already covered it.
-            return self.parts[0].materialize_fresh(d);
+            return self.parts[0].materialize_fresh(d, budget);
         }
         let mut acc: Option<FlatRelation> = None;
         for part in &self.parts {
             let rel = match cache {
-                None => part.materialize_fresh(d),
+                None => part.materialize_fresh(d, budget),
                 Some(c) => {
-                    let (rel, hit) = c.get_or_materialize(&part.key, || part.materialize_fresh(d));
+                    let (rel, hit) =
+                        c.get_or_materialize(&part.key, || part.materialize_fresh(d, budget));
                     if hit {
                         stats.hits += 1;
                     } else {
@@ -166,23 +171,24 @@ impl MatSource {
             };
             acc = Some(match acc {
                 None => rel,
-                Some(a) => a.join(&rel),
+                Some(a) => a.join_budget(&rel, budget),
             });
         }
         // Canonicalize onto the sorted source schema (column order and
         // row order), so cache entries are label-independent.
-        acc.expect("nonempty parts").project(&self.schema)
+        acc.expect("nonempty parts")
+            .project_budget(&self.schema, budget)
     }
 }
 
 impl MatPart {
     /// Scans the part's atoms and intersects them (they share a schema).
-    fn materialize_fresh(&self, d: &Structure) -> FlatRelation {
+    fn materialize_fresh(&self, d: &Structure, budget: &ThreadBudget) -> FlatRelation {
         let mut acc: Option<FlatRelation> = None;
         for binder in &self.binders {
             let mut rel = FlatRelation::empty(self.schema.clone());
             binder.materialize_into(d, &mut rel);
-            rel.sort_dedup();
+            rel.sort_dedup_budget(budget);
             acc = Some(match acc {
                 None => rel,
                 Some(mut a) => {
@@ -274,6 +280,10 @@ pub struct PlanIr {
     reduction_decides: bool,
     /// Slot holding the final relation after a full run.
     output: Slot,
+    /// Memoized [`PlanIr::dependency_stages`] (the labels depend only
+    /// on the immutable op list): computed on the first budgeted run,
+    /// a field read afterwards. Clones carry the computed value along.
+    stages_memo: std::sync::OnceLock<Vec<usize>>,
 }
 
 /// Disjoint `(&mut xs[a], &xs[b])` access for `a ≠ b`: the borrow split
@@ -301,8 +311,65 @@ impl PlanIr {
         self.reduction_decides
     }
 
+    /// The dependency stage of every operator: `stage[i]` is the length
+    /// of the longest chain of slot conflicts (read-after-write,
+    /// write-after-read, write-after-write) ending at op `i`, with every
+    /// [`Op::AssertNonempty`] also acting as a control barrier for the
+    /// ops behind it (they must not run if the program aborts). Ops that
+    /// share a stage are mutually independent and may execute
+    /// concurrently; stage 0 is exactly the leading block of independent
+    /// [`Op::Materialize`] ops in a [`compile_tree`] program.
+    pub fn dependency_stages(&self) -> Vec<usize> {
+        // Per slot: the stage of its last writer / last reader so far.
+        let mut last_write: Vec<Option<usize>> = vec![None; self.slots];
+        let mut last_read: Vec<Option<usize>> = vec![None; self.slots];
+        let mut barrier: Option<usize> = None;
+        let mut stages = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let (reads, writes): (Vec<Slot>, Vec<Slot>) = match op {
+                Op::Materialize { dst, .. } => (vec![], vec![*dst]),
+                Op::Semijoin { target, source, .. } => (vec![*source, *target], vec![*target]),
+                Op::AssertNonempty { slot } => (vec![*slot], vec![]),
+                Op::Join { dst, left, right } => (vec![*left, *right], vec![*dst]),
+                Op::Project { dst, src, .. } => (vec![*src], vec![*dst]),
+                Op::Dedup { slot } => (vec![*slot], vec![*slot]),
+                Op::Union { dst, src } => (vec![*src, *dst], vec![*dst]),
+            };
+            let mut stage = barrier.map(|b| b + 1).unwrap_or(0);
+            for &r in &reads {
+                if let Some(w) = last_write[r] {
+                    stage = stage.max(w + 1);
+                }
+            }
+            for &w in &writes {
+                for dep in [last_write[w], last_read[w]].into_iter().flatten() {
+                    stage = stage.max(dep + 1);
+                }
+            }
+            for &r in &reads {
+                last_read[r] = Some(last_read[r].unwrap_or(0).max(stage));
+            }
+            for &w in &writes {
+                last_write[w] = Some(stage);
+            }
+            if matches!(op, Op::AssertNonempty { .. }) {
+                barrier = Some(barrier.unwrap_or(0).max(stage));
+            }
+            stages.push(stage);
+        }
+        stages
+    }
+
     /// Executes `ops[..len]`. Returns `false` when an
     /// [`Op::AssertNonempty`] fired (the answer is empty).
+    ///
+    /// Execution is sequential in op order, with one scheduling upgrade
+    /// when `budget` grants extra workers: a contiguous run of
+    /// [`Op::Materialize`] ops that share a dependency stage (mutually
+    /// independent by construction — distinct destination slots, no slot
+    /// reads) is fanned out over claimed workers, one source per worker,
+    /// results written back in op order. Under the cache's single-flight
+    /// guarantee the per-run hit/miss totals equal the sequential run's.
     fn exec(
         &self,
         len: usize,
@@ -310,14 +377,62 @@ impl PlanIr {
         d: &Structure,
         cache: Option<&MaterializationCache>,
         stats: &mut MatCacheStats,
+        budget: &ThreadBudget,
     ) -> bool {
         fn rel(s: &Option<FlatRelation>) -> &FlatRelation {
             s.as_ref().expect("slot written before use")
         }
-        for op in &self.ops[..len] {
-            match op {
+        // Stage labels are only needed to group materializations; skip
+        // the analysis entirely on the sequential path, and memoize it
+        // across runs (the labels depend only on the immutable ops).
+        let stages: Option<&[usize]> = if budget.capacity() > 0 {
+            Some(
+                self.stages_memo
+                    .get_or_init(|| self.dependency_stages())
+                    .as_slice(),
+            )
+        } else {
+            None
+        };
+        let mut pc = 0usize;
+        while pc < len {
+            // A contiguous same-stage block of materializations fans
+            // out over the budget's workers.
+            if let (Op::Materialize { .. }, Some(stages)) = (&self.ops[pc], &stages) {
+                let mut end = pc;
+                while end < len
+                    && stages[end] == stages[pc]
+                    && matches!(self.ops[end], Op::Materialize { .. })
+                {
+                    end += 1;
+                }
+                if end - pc >= 2 {
+                    let lease = budget.claim(end - pc - 1);
+                    if lease.extra() > 0 {
+                        let group: Vec<(Slot, &MatSource)> = self.ops[pc..end]
+                            .iter()
+                            .map(|op| match op {
+                                Op::Materialize { dst, source } => (*dst, source),
+                                _ => unreachable!("group holds only materializations"),
+                            })
+                            .collect();
+                        let results = parallel_map(group, lease.workers(), |(dst, source)| {
+                            let mut s = MatCacheStats::default();
+                            let r = source.materialize(d, cache, &mut s, budget);
+                            (dst, r, s)
+                        });
+                        for (dst, r, s) in results {
+                            slots[dst] = Some(r);
+                            stats.add(s);
+                        }
+                        pc = end;
+                        continue;
+                    }
+                }
+            }
+            match &self.ops[pc] {
                 Op::Materialize { dst, source } => {
-                    slots[*dst] = Some(source.materialize(d, cache, stats));
+                    slots[*dst] = Some(source.materialize(d, cache, stats, budget));
                 }
                 Op::Semijoin {
                     target,
@@ -326,11 +441,9 @@ impl PlanIr {
                     source_pos,
                 } => {
                     let (t, s) = pair_mut(slots, *target, *source);
-                    t.as_mut().expect("slot written before use").semijoin_on(
-                        target_pos,
-                        rel(s),
-                        source_pos,
-                    );
+                    t.as_mut()
+                        .expect("slot written before use")
+                        .semijoin_on_budget(target_pos, rel(s), source_pos, budget);
                 }
                 Op::AssertNonempty { slot } => {
                     if rel(&slots[*slot]).is_empty() {
@@ -338,18 +451,18 @@ impl PlanIr {
                     }
                 }
                 Op::Join { dst, left, right } => {
-                    let out = rel(&slots[*left]).join(rel(&slots[*right]));
+                    let out = rel(&slots[*left]).join_budget(rel(&slots[*right]), budget);
                     slots[*dst] = Some(out);
                 }
                 Op::Project { dst, src, vars } => {
-                    let out = rel(&slots[*src]).project(vars);
+                    let out = rel(&slots[*src]).project_budget(vars, budget);
                     slots[*dst] = Some(out);
                 }
                 Op::Dedup { slot } => {
                     slots[*slot]
                         .as_mut()
                         .expect("slot written before use")
-                        .sort_dedup();
+                        .sort_dedup_budget(budget);
                 }
                 Op::Union { dst, src } => {
                     let (t, s) = pair_mut(slots, *dst, *src);
@@ -358,39 +471,61 @@ impl PlanIr {
                         .union_rows(rel(s));
                 }
             }
+            pc += 1;
         }
         true
     }
 
-    /// Runs the full program. `None` means the answer is empty (an
-    /// emptiness assertion fired); otherwise the output relation.
+    /// Runs the full program under the process-wide shared thread
+    /// budget. `None` means the answer is empty (an emptiness assertion
+    /// fired); otherwise the output relation.
     pub fn run(
         &self,
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (Option<FlatRelation>, MatCacheStats) {
+        self.run_budget(d, cache, ThreadBudget::shared())
+    }
+
+    /// [`PlanIr::run`] under an explicit thread budget.
+    pub fn run_budget(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+    ) -> (Option<FlatRelation>, MatCacheStats) {
         let mut stats = MatCacheStats::default();
         let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
-        if !self.exec(self.ops.len(), &mut slots, d, cache, &mut stats) {
+        if !self.exec(self.ops.len(), &mut slots, d, cache, &mut stats, budget) {
             return (None, stats);
         }
         (slots[self.output].take(), stats)
     }
 
     /// Decides whether the answer is nonempty, running only as much of
-    /// the program as the plan shape requires.
+    /// the program as the plan shape requires (shared thread budget).
     pub fn run_boolean(
         &self,
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (bool, MatCacheStats) {
+        self.run_boolean_budget(d, cache, ThreadBudget::shared())
+    }
+
+    /// [`PlanIr::run_boolean`] under an explicit thread budget.
+    pub fn run_boolean_budget(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+    ) -> (bool, MatCacheStats) {
         if self.reduction_decides {
             let mut stats = MatCacheStats::default();
             let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
-            let alive = self.exec(self.bool_len, &mut slots, d, cache, &mut stats);
+            let alive = self.exec(self.bool_len, &mut slots, d, cache, &mut stats, budget);
             return (alive, stats);
         }
-        let (out, stats) = self.run(d, cache);
+        let (out, stats) = self.run_budget(d, cache, budget);
         (out.is_some_and(|r| !r.is_empty()), stats)
     }
 }
@@ -512,6 +647,7 @@ pub fn compile_tree(
             bool_len,
             reduction_decides,
             output: *order.last().expect("at least one node"),
+            stages_memo: std::sync::OnceLock::new(),
         };
     }
 
@@ -585,6 +721,7 @@ pub fn compile_tree(
         bool_len,
         reduction_decides,
         output: out.expect("at least one root"),
+        stages_memo: std::sync::OnceLock::new(),
     }
 }
 
@@ -617,7 +754,7 @@ mod tests {
         };
         let d = Structure::digraph(2, &[]);
         let mut stats = MatCacheStats::default();
-        let r = src.materialize(&d, None, &mut stats);
+        let r = src.materialize(&d, None, &mut stats, ThreadBudget::shared());
         assert_eq!(r.len(), 1);
         assert_eq!(r.arity(), 0);
         assert_eq!(stats, MatCacheStats::default());
@@ -629,7 +766,7 @@ mod tests {
         let d = Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]);
         let cache = MaterializationCache::new();
         let mut stats = MatCacheStats::default();
-        let r = src.materialize(&d, Some(&cache), &mut stats);
+        let r = src.materialize(&d, Some(&cache), &mut stats, ThreadBudget::shared());
         assert_eq!(r.schema(), &[0, 1, 2]);
         assert_eq!(r.len(), 2); // 0-1-2 and 1-2-3
                                 // Cold: source miss + two part misses, all inserted.
@@ -637,7 +774,7 @@ mod tests {
         assert_eq!(cache.len(), 2); // the part shape + the joined source
                                     // Warm: a single source-level hit.
         let mut warm = MatCacheStats::default();
-        let r2 = src.materialize(&d, Some(&cache), &mut warm);
+        let r2 = src.materialize(&d, Some(&cache), &mut warm, ThreadBudget::shared());
         assert_eq!((warm.hits, warm.misses), (1, 0));
         assert_eq!(
             r.rows_in_head_order(&[0, 1, 2]),
@@ -676,6 +813,7 @@ mod tests {
             bool_len: 5,
             reduction_decides: true,
             output: 2,
+            stages_memo: std::sync::OnceLock::new(),
         };
         let d = Structure::digraph(3, &[(0, 1), (1, 0), (1, 2)]);
         let (out, _) = ir.run(&d, None);
@@ -689,6 +827,86 @@ mod tests {
         let empty = Structure::digraph(3, &[]);
         assert!(ir.run(&empty, None).0.is_none());
         assert!(!ir.run_boolean(&empty, None).0);
+    }
+
+    #[test]
+    fn dependency_stages_group_independent_materializations() {
+        use crate::eval::yannakakis::AcyclicPlan;
+        let q = parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4)").unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        let stages = plan.ir().dependency_stages();
+        // The three hyperedge materializations are mutually independent:
+        // all stage 0. Everything downstream conflicts with them.
+        assert!(
+            stages[..3].iter().all(|&s| s == 0),
+            "materializations must share stage 0: {stages:?}"
+        );
+        assert!(
+            stages[3..].iter().all(|&s| s > 0),
+            "reducer/join ops depend on the materializations: {stages:?}"
+        );
+    }
+
+    #[test]
+    fn assertion_is_a_control_barrier_in_stages() {
+        // Materialize, assert, then materialize again: the second
+        // materialization must not share a stage with the first even
+        // though their slots are disjoint — the assert may abort first.
+        let q = parse_cq("Q() :- E(x, y), E(y, z)").unwrap();
+        let e = MatSource::from_groups(&[vec![&q.atoms()[0]]]);
+        let e2 = MatSource::from_groups(&[vec![&q.atoms()[1]]]);
+        let ir = PlanIr {
+            slots: 2,
+            ops: vec![
+                Op::Materialize { dst: 0, source: e },
+                Op::AssertNonempty { slot: 0 },
+                Op::Materialize { dst: 1, source: e2 },
+            ],
+            bool_len: 3,
+            reduction_decides: true,
+            output: 1,
+            stages_memo: std::sync::OnceLock::new(),
+        };
+        let stages = ir.dependency_stages();
+        assert_eq!(stages[0], 0);
+        assert!(
+            stages[2] > stages[1],
+            "post-assert op must stage after the barrier: {stages:?}"
+        );
+    }
+
+    #[test]
+    fn budgeted_run_matches_sequential_run_and_accounting() {
+        use crate::eval::yannakakis::AcyclicPlan;
+        let q = parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4)").unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        let edges: Vec<(u32, u32)> = (0..300u32)
+            .flat_map(|u| {
+                [(u, (u + 1) % 300), (u, (u * 7 + 3) % 300)]
+                    .into_iter()
+                    .filter(|&(a, b)| a != b)
+            })
+            .collect();
+        let d = Structure::digraph(300, &edges);
+        let seq_cache = MaterializationCache::new();
+        let (r1, s1) = plan
+            .ir()
+            .run_budget(&d, Some(&seq_cache), &ThreadBudget::sequential());
+        let par_cache = MaterializationCache::new();
+        let (r2, s2) = plan
+            .ir()
+            .run_budget(&d, Some(&par_cache), &ThreadBudget::new(4));
+        let (r1, r2) = (r1.unwrap(), r2.unwrap());
+        assert_eq!(
+            r1.rows_in_head_order(&[0, 3]),
+            r2.rows_in_head_order(&[0, 3]),
+            "parallel run must produce identical answers"
+        );
+        assert_eq!(
+            (s1.hits, s1.misses),
+            (s2.hits, s2.misses),
+            "single-flight keeps the cache accounting identical"
+        );
     }
 
     #[test]
@@ -718,6 +936,7 @@ mod tests {
             bool_len: 4,
             reduction_decides: true,
             output: 2,
+            stages_memo: std::sync::OnceLock::new(),
         };
         let d = Structure::digraph(4, &[(0, 1), (1, 2), (3, 3)]);
         let (out, _) = ir.run(&d, None);

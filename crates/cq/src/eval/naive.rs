@@ -87,18 +87,23 @@ impl NaivePlan {
     /// distinct answers — so the buffer re-dedups whenever it doubles,
     /// keeping peak memory proportional to the answer set.
     pub fn eval(&self, d: &Structure) -> BTreeSet<Vec<Element>> {
+        // The sorts stay explicitly sequential: naive evaluation is
+        // dominated by the backtracking search, and the engine's
+        // "one thread pool" invariant must not leak worker claims
+        // through this strategy's incidental buffer maintenance.
+        let seq = cqapx_par::ThreadBudget::sequential();
         let arity = self.query.arity();
         let mut flat = FlatRelation::empty((0..arity as u32).collect());
         let mut dedup_at = 1024usize;
         self.for_each_answer(d, None, |a| {
             flat.push_row(a);
             if flat.len() >= dedup_at {
-                flat.sort_dedup();
+                flat.sort_dedup_budget(&seq);
                 dedup_at = (flat.len() * 2).max(1024);
             }
             ControlFlow::Continue(())
         });
-        flat.sort_dedup();
+        flat.sort_dedup_budget(&seq);
         flat.iter_rows().map(|r| r.to_vec()).collect()
     }
 

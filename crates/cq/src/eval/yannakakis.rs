@@ -26,6 +26,7 @@ use crate::ast::{Atom, ConjunctiveQuery, VarId};
 use crate::eval::flat::{MatCacheStats, MaterializationCache};
 use crate::eval::ir::{compile_tree, MatSource, NodeSpec, PlanIr};
 use cqapx_hypergraphs::{gyo, Hypergraph};
+use cqapx_par::ThreadBudget;
 use cqapx_structures::{Element, Structure};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -132,7 +133,18 @@ impl AcyclicPlan {
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (bool, MatCacheStats) {
-        self.ir.run_boolean(d, cache)
+        self.eval_boolean_cached_budget(d, cache, ThreadBudget::shared())
+    }
+
+    /// [`AcyclicPlan::eval_boolean_cached`] under an explicit thread
+    /// budget for intra-query parallelism.
+    pub fn eval_boolean_cached_budget(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+    ) -> (bool, MatCacheStats) {
+        self.ir.run_boolean_budget(d, cache, budget)
     }
 
     /// Full evaluation: the set of answer tuples in head order.
@@ -147,8 +159,20 @@ impl AcyclicPlan {
         d: &Structure,
         cache: Option<&MaterializationCache>,
     ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        self.eval_cached_budget(d, cache, ThreadBudget::shared())
+    }
+
+    /// [`AcyclicPlan::eval_cached`] under an explicit thread budget:
+    /// parallel answers are identical to sequential ones — the budget
+    /// only decides how many workers the kernels may claim.
+    pub fn eval_cached_budget(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
         if self.query.is_boolean() {
-            let (nonempty, stats) = self.ir.run_boolean(d, cache);
+            let (nonempty, stats) = self.ir.run_boolean_budget(d, cache, budget);
             let mut out = BTreeSet::new();
             if nonempty {
                 // Nonempty after full reduction: the single empty tuple.
@@ -156,7 +180,7 @@ impl AcyclicPlan {
             }
             return (out, stats);
         }
-        let (result, stats) = self.ir.run(d, cache);
+        let (result, stats) = self.ir.run_budget(d, cache, budget);
         match result {
             None => (BTreeSet::new(), stats),
             Some(rel) => (rel.rows_in_head_order(self.query.free_vars()), stats),

@@ -2,7 +2,7 @@
 
 use crate::cache::{ApproxCache, CachedApproximation};
 use crate::catalog::{Catalog, DatabaseEntry, DbId, PreparedQuery, QueryId};
-use crate::par::{default_threads, parallel_map};
+use crate::par::{default_threads, env_threads, parallel_map, ThreadBudget};
 use crate::planner::{choose_plan, PlanDecision, PlanKind};
 use cqapx_core::{Acyclic, ApproxOptions, HtwK, QueryClass, TwK};
 use cqapx_cq::eval::{MatCacheStats, NaivePlan};
@@ -38,7 +38,13 @@ impl ApproxClassChoice {
 /// Engine-wide tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads for batch execution (`0` = available parallelism).
+    /// The engine's **total** worker-thread budget, shared between
+    /// batch-level parallelism (requests spread over workers) and
+    /// intra-query parallelism (morsel-parallel joins, semijoins,
+    /// sorts, and concurrent bag materializations inside one request) —
+    /// one pool, so the two levels can never oversubscribe the cores.
+    /// `0` = the `CQAPX_THREADS` environment variable when set, else
+    /// available parallelism. `1` = fully sequential execution.
     pub threads: usize,
     /// Planner budget: estimated branch nodes the naive join may cost
     /// before the planner switches to the approximation sandwich.
@@ -272,18 +278,33 @@ pub struct Engine {
     /// isomorphism confirmation (O(1) hash lookup instead).
     approx_memo: Mutex<HashMap<QueryId, Arc<CachedApproximation>>>,
     stats: Mutex<EngineStats>,
+    /// The engine-wide worker budget ([`EngineConfig::threads`] total
+    /// workers): batch execution claims workers from it and every
+    /// request's evaluation claims morsel workers from the remainder.
+    budget: ThreadBudget,
 }
 
 impl Engine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
+        let threads = if config.threads == 0 {
+            env_threads().unwrap_or_else(default_threads)
+        } else {
+            config.threads
+        };
         Engine {
             config,
             catalog: RwLock::new(Catalog::new()),
             cache: ApproxCache::new(),
             approx_memo: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
+            budget: ThreadBudget::new(threads),
         }
+    }
+
+    /// The engine-wide thread budget (total workers = capacity + 1).
+    pub fn thread_budget(&self) -> &ThreadBudget {
+        &self.budget
     }
 
     /// Registers a database (scans statistics).
@@ -347,12 +368,13 @@ impl Engine {
 
     /// Executes a batch in parallel (scoped worker threads, input order
     /// preserved). Each request carries its own deadline.
+    ///
+    /// Batch workers are claimed from the engine's [`ThreadBudget`];
+    /// whatever the batch does not claim (fewer requests than threads)
+    /// stays available for intra-query parallelism inside the running
+    /// requests, so batch-level and morsel-level fan-out always share
+    /// the one configured core budget.
     pub fn execute_batch(&self, reqs: &[Request]) -> Vec<Response> {
-        let threads = if self.config.threads == 0 {
-            default_threads()
-        } else {
-            self.config.threads
-        };
         let work: Vec<(Request, Arc<PreparedQuery>, Arc<DatabaseEntry>)> = reqs
             .iter()
             .map(|r| {
@@ -360,7 +382,9 @@ impl Engine {
                 (r.clone(), q, d)
             })
             .collect();
-        let responses = parallel_map(work, threads, |(req, q, d)| self.run(&req, &q, &d));
+        let lease = self.budget.claim(work.len().saturating_sub(1));
+        let responses = parallel_map(work, lease.workers(), |(req, q, d)| self.run(&req, &q, &d));
+        drop(lease);
         for r in &responses {
             self.record(r);
         }
@@ -459,7 +483,8 @@ impl Engine {
                     .yannakakis
                     .as_ref()
                     .expect("acyclic prepared queries carry a Yannakakis plan");
-                let (answers, mstats) = plan.eval_cached(&d.structure, Some(&d.materialized));
+                let (answers, mstats) =
+                    plan.eval_cached_budget(&d.structure, Some(&d.materialized), &self.budget);
                 mat_cache.add(mstats);
                 (answers, ResponseStatus::Complete, None)
             }
@@ -470,7 +495,8 @@ impl Engine {
                     .decomposed
                     .as_ref()
                     .expect("decomposed tier requires a compiled decomposition");
-                let (answers, mstats) = plan.eval_cached(&d.structure, Some(&d.materialized));
+                let (answers, mstats) =
+                    plan.eval_cached_budget(&d.structure, Some(&d.materialized), &self.budget);
                 mat_cache.add(mstats);
                 (answers, ResponseStatus::Complete, None)
             }
@@ -524,8 +550,11 @@ impl Engine {
                             Some(cached) => {
                                 let mut answers = exact;
                                 for e in &cached.evaluators {
-                                    let (certain, mstats) =
-                                        e.eval_with_cache(&d.structure, &d.materialized);
+                                    let (certain, mstats) = e.eval_with_cache(
+                                        &d.structure,
+                                        &d.materialized,
+                                        &self.budget,
+                                    );
                                     answers.extend(certain);
                                     mat_cache.add(mstats);
                                 }
@@ -593,7 +622,7 @@ impl Engine {
         let mut answers: BTreeSet<Vec<Element>> = BTreeSet::new();
         let mut mat = MatCacheStats::default();
         for e in &cached.evaluators {
-            let (certain, mstats) = e.eval_with_cache(&d.structure, &d.materialized);
+            let (certain, mstats) = e.eval_with_cache(&d.structure, &d.materialized, &self.budget);
             answers.extend(certain);
             mat.add(mstats);
         }

@@ -1,83 +1,11 @@
-//! Minimal data-parallel map over scoped threads.
+//! Re-export of the shared worker-pool primitives.
 //!
-//! The build environment has no crate registry, so rayon is not
-//! available; this module provides the one primitive the engine needs —
-//! an order-preserving parallel map with work stealing by atomic index —
-//! on plain `std::thread::scope`. Swapping in rayon later means replacing
-//! the body of [`parallel_map`] with `into_par_iter().map().collect()`.
+//! The engine's original minimal `parallel_map` grew into the
+//! [`cqapx_par`] crate so the evaluation kernel (`cqapx-cq`) can share
+//! the same morsel-driven work-stealing machinery and — through
+//! [`ThreadBudget`] — the same core budget as batch execution. This
+//! module keeps the `cqapx_engine::par` path stable for existing users.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `f` to every item on up to `threads` worker threads, returning
-/// results in input order. `threads == 1` (or a single item) degrades to
-/// a sequential map with no thread overhead.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("each index claimed once");
-                let r = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
-}
-
-/// The default worker count: the machine's available parallelism.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let out = parallel_map((0..100).collect(), 8, |x: u64| x * x);
-        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
-    }
-
-    #[test]
-    fn single_thread_and_empty() {
-        assert_eq!(parallel_map(vec![1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
-        assert_eq!(parallel_map(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        assert_eq!(parallel_map(vec![5], 16, |x| x * 2), vec![10]);
-    }
-}
+pub use cqapx_par::{
+    default_threads, env_threads, parallel_chunks, parallel_map, Lease, ThreadBudget,
+};
