@@ -9,11 +9,14 @@
 
 use cqapx_cq::eval::{AcyclicPlan, DecomposedPlan, MaterializationCache, NaivePlan};
 use cqapx_cq::{parse_cq, treewidth_of_query, ConjunctiveQuery};
-use cqapx_engine::{Engine, EngineConfig, Request};
+use cqapx_engine::{
+    Engine, EngineConfig, EvalMode, MetricsLevel, Request, ResponseStatus, DEGRADE_MIN_SAMPLES,
+};
 use cqapx_par::ThreadBudget;
 use cqapx_structures::Structure;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 /// Thread budgets every differential case runs under. 1 is the
 /// sequential compile target; 2 and 8 exercise under- and
@@ -281,5 +284,134 @@ proptest! {
             "mat-cache accounting differs between thread budgets"
         );
         prop_assert_eq!((a.3, a.4), (b.3, b.4), "plan tiers differ");
+    }
+
+    /// Metrics accounting under budgets {1, 2, 8}: per-class and
+    /// per-database histogram *counts* (latencies obviously vary) and
+    /// cache-outcome counters must not depend on the thread budget —
+    /// every request is recorded exactly once, whatever schedules it.
+    #[test]
+    fn engine_metrics_accounting_identical_across_thread_counts(
+        d in digraph(8),
+        dup in 2..4usize,
+    ) {
+        let queries = [
+            "Q(x, z) :- E(x, y), E(y, z)",
+            "Q() :- E(x,y), E(y,z), E(z,x)",
+            "Q(a) :- E(a,b), E(b,c), E(c,d), E(d,a)",
+        ];
+        let mut outcomes = Vec::new();
+        for threads in BUDGETS {
+            let e = Engine::new(EngineConfig {
+                threads,
+                metrics: MetricsLevel::Counters,
+                ..EngineConfig::default()
+            });
+            let db = e.register_database("d", d.clone());
+            let reqs: Vec<Request> = queries
+                .iter()
+                .enumerate()
+                .flat_map(|(i, q)| {
+                    let qid = e.prepare_query(format!("q{i}"), parse_cq(q).unwrap());
+                    (0..dup).map(move |_| Request::new(qid, db))
+                })
+                .collect();
+            e.execute_batch(&reqs);
+            let snap = e.snapshot();
+            let class_counts: Vec<(String, u64)> = snap
+                .class_latency
+                .iter()
+                .map(|(k, h)| (k.clone(), h.count))
+                .collect();
+            let db_counts: Vec<(String, u64)> = snap
+                .db_latency
+                .iter()
+                .map(|(k, h)| (k.clone(), h.count))
+                .collect();
+            outcomes.push((
+                class_counts,
+                db_counts,
+                snap.approx_cache_by_db,
+                snap.mat_cache_by_db,
+            ));
+        }
+        let reference = outcomes.remove(0);
+        for (i, o) in outcomes.into_iter().enumerate() {
+            prop_assert_eq!(
+                &reference.0, &o.0,
+                "class histogram counts differ at budget {}", BUDGETS[i + 1]
+            );
+            prop_assert_eq!(
+                &reference.1, &o.1,
+                "db histogram counts differ at budget {}", BUDGETS[i + 1]
+            );
+            prop_assert_eq!(
+                &reference.2, &o.2,
+                "approx-cache counters differ at budget {}", BUDGETS[i + 1]
+            );
+            prop_assert_eq!(
+                &reference.3, &o.3,
+                "mat-cache counters differ at budget {}", BUDGETS[i + 1]
+            );
+        }
+    }
+
+    /// Admission control and degradation stay sound: a batch deeper
+    /// than `max_queue_depth` sheds exactly its tail with empty answer
+    /// sets, and every response — complete, shed, degraded, or timed
+    /// out — returns a subset of the exact answers.
+    #[test]
+    fn shed_and_degraded_responses_stay_sound(
+        d in digraph(7),
+        limit in 1..4usize,
+    ) {
+        let e = Engine::new(EngineConfig {
+            metrics: MetricsLevel::Counters,
+            max_queue_depth: Some(limit),
+            ..EngineConfig::default()
+        });
+        let db = e.register_database("d", d.clone());
+        let text =
+            "Q() :- E(a,b), E(a,c), E(a,d), E(a,e), E(b,c), E(b,d), E(b,e), E(c,d), E(c,e), E(d,e)";
+        let query = parse_cq(text).unwrap();
+        let exact = NaivePlan::compile(query.clone()).eval(&d);
+        let q = e.prepare_query("k5", query);
+
+        let batch: Vec<Request> = (0..6).map(|_| Request::new(q, db)).collect();
+        let responses = e.execute_batch(&batch);
+        prop_assert_eq!(responses.len(), 6);
+        let shed = 6usize.saturating_sub(limit);
+        for (i, r) in responses.iter().enumerate() {
+            if i < limit.min(6) {
+                prop_assert_ne!(r.status, ResponseStatus::Shed, "head request {} shed", i);
+            } else {
+                prop_assert_eq!(r.status, ResponseStatus::Shed, "tail request {} not shed", i);
+                prop_assert!(r.answers.is_empty());
+            }
+            for a in &r.answers {
+                prop_assert!(exact.contains(a), "unsound answer in {:?}", r.status);
+            }
+        }
+        prop_assert_eq!(e.stats().shed, shed as u64);
+
+        // Warm the naive-class histogram, then demand an impossible
+        // deadline: whatever the engine does — degrade up front, time
+        // out mid-join, or finish a trivially small case — the answers
+        // must stay inside the exact set.
+        for _ in 0..DEGRADE_MIN_SAMPLES {
+            e.execute(&Request::new(q, db));
+        }
+        let r = e.execute(&Request {
+            query: q,
+            db,
+            mode: EvalMode::Exact,
+            timeout: Some(Duration::from_nanos(1)),
+        });
+        for a in &r.answers {
+            prop_assert!(exact.contains(a), "unsound answer in {:?}", r.status);
+        }
+        if r.status == ResponseStatus::Degraded {
+            prop_assert_eq!(e.stats().degraded, 1);
+        }
     }
 }

@@ -39,6 +39,52 @@ use std::collections::BTreeSet;
 /// Index of a relation slot in a [`PlanIr`] program.
 pub type Slot = usize;
 
+/// One operator's share of a profiled run: wall time and the row count
+/// of its primary output slot after execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Operator kind (`"materialize"`, `"semijoin"`, …).
+    pub op: &'static str,
+    /// Wall-clock microseconds spent in the operator.
+    pub micros: u64,
+    /// Rows in the operator's output slot when it finished.
+    pub rows: usize,
+}
+
+/// A per-operator execution profile of one [`PlanIr`] run, collected
+/// only when the caller asks for it (the `Debug` metrics level): the
+/// hot path pays a single `Option` branch per operator. Entries appear
+/// in execution order; an aborted run (emptiness assertion fired)
+/// profiles the prefix that ran.
+#[derive(Debug, Clone, Default)]
+pub struct EvalProfile {
+    /// Per-operator timings/row counts, in execution order.
+    pub ops: Vec<OpProfile>,
+}
+
+impl EvalProfile {
+    /// Total microseconds across operators.
+    pub fn total_micros(&self) -> u64 {
+        self.ops.iter().map(|o| o.micros).sum()
+    }
+
+    /// Sums `micros` and `rows` per operator kind, in kind order.
+    pub fn by_op(&self) -> Vec<(&'static str, u64, usize)> {
+        let mut agg: Vec<(&'static str, u64, usize)> = Vec::new();
+        for o in &self.ops {
+            match agg.iter_mut().find(|(k, _, _)| *k == o.op) {
+                Some((_, us, rows)) => {
+                    *us += o.micros;
+                    *rows += o.rows;
+                }
+                None => agg.push((o.op, o.micros, o.rows)),
+            }
+        }
+        agg.sort_unstable_by_key(|&(k, _, _)| k);
+        agg
+    }
+}
+
 /// One sub-hyperedge of a [`MatSource`]: the atoms sharing one variable
 /// set, compiled to binders, with its own cache identity.
 #[derive(Debug, Clone)]
@@ -370,6 +416,7 @@ impl PlanIr {
     /// reads) is fanned out over claimed workers, one source per worker,
     /// results written back in op order. Under the cache's single-flight
     /// guarantee the per-run hit/miss totals equal the sequential run's.
+    #[allow(clippy::too_many_arguments)]
     fn exec(
         &self,
         len: usize,
@@ -378,9 +425,33 @@ impl PlanIr {
         cache: Option<&MaterializationCache>,
         stats: &mut MatCacheStats,
         budget: &ThreadBudget,
+        mut profile: Option<&mut EvalProfile>,
     ) -> bool {
         fn rel(s: &Option<FlatRelation>) -> &FlatRelation {
             s.as_ref().expect("slot written before use")
+        }
+        fn op_label(op: &Op) -> &'static str {
+            match op {
+                Op::Materialize { .. } => "materialize",
+                Op::Semijoin { .. } => "semijoin",
+                Op::AssertNonempty { .. } => "assert_nonempty",
+                Op::Join { .. } => "join",
+                Op::Project { .. } => "project",
+                Op::Dedup { .. } => "dedup",
+                Op::Union { .. } => "union",
+            }
+        }
+        /// The slot whose row count describes the op's output.
+        fn out_slot(op: &Op) -> Slot {
+            match op {
+                Op::Materialize { dst, .. } => *dst,
+                Op::Semijoin { target, .. } => *target,
+                Op::AssertNonempty { slot } => *slot,
+                Op::Join { dst, .. } => *dst,
+                Op::Project { dst, .. } => *dst,
+                Op::Dedup { slot } => *slot,
+                Op::Union { dst, .. } => *dst,
+            }
         }
         // Stage labels are only needed to group materializations; skip
         // the analysis entirely on the sequential path, and memoize it
@@ -409,6 +480,7 @@ impl PlanIr {
                 if end - pc >= 2 {
                     let lease = budget.claim(end - pc - 1);
                     if lease.extra() > 0 {
+                        let timed = profile.is_some();
                         let group: Vec<(Slot, &MatSource)> = self.ops[pc..end]
                             .iter()
                             .map(|op| match op {
@@ -417,11 +489,20 @@ impl PlanIr {
                             })
                             .collect();
                         let results = parallel_map(group, lease.workers(), |(dst, source)| {
+                            let t0 = timed.then(std::time::Instant::now);
                             let mut s = MatCacheStats::default();
                             let r = source.materialize(d, cache, &mut s, budget);
-                            (dst, r, s)
+                            let us = t0.map_or(0, |t| t.elapsed().as_micros() as u64);
+                            (dst, r, s, us)
                         });
-                        for (dst, r, s) in results {
+                        for (dst, r, s, us) in results {
+                            if let Some(p) = profile.as_deref_mut() {
+                                p.ops.push(OpProfile {
+                                    op: "materialize",
+                                    micros: us,
+                                    rows: r.len(),
+                                });
+                            }
                             slots[dst] = Some(r);
                             stats.add(s);
                         }
@@ -430,6 +511,7 @@ impl PlanIr {
                     }
                 }
             }
+            let t0 = profile.is_some().then(std::time::Instant::now);
             match &self.ops[pc] {
                 Op::Materialize { dst, source } => {
                     slots[*dst] = Some(source.materialize(d, cache, stats, budget));
@@ -447,6 +529,13 @@ impl PlanIr {
                 }
                 Op::AssertNonempty { slot } => {
                     if rel(&slots[*slot]).is_empty() {
+                        if let Some(p) = profile.as_deref_mut() {
+                            p.ops.push(OpProfile {
+                                op: "assert_nonempty",
+                                micros: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                                rows: 0,
+                            });
+                        }
                         return false;
                     }
                 }
@@ -471,6 +560,15 @@ impl PlanIr {
                         .union_rows(rel(s));
                 }
             }
+            if let Some(p) = profile.as_deref_mut() {
+                p.ops.push(OpProfile {
+                    op: op_label(&self.ops[pc]),
+                    micros: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                    rows: slots[out_slot(&self.ops[pc])]
+                        .as_ref()
+                        .map_or(0, |r| r.len()),
+                });
+            }
             pc += 1;
         }
         true
@@ -494,9 +592,30 @@ impl PlanIr {
         cache: Option<&MaterializationCache>,
         budget: &ThreadBudget,
     ) -> (Option<FlatRelation>, MatCacheStats) {
+        self.run_budget_profiled(d, cache, budget, None)
+    }
+
+    /// [`PlanIr::run_budget`], optionally collecting a per-operator
+    /// [`EvalProfile`] (pass `None` on the hot path: the only cost is
+    /// one branch per operator).
+    pub fn run_budget_profiled(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+        profile: Option<&mut EvalProfile>,
+    ) -> (Option<FlatRelation>, MatCacheStats) {
         let mut stats = MatCacheStats::default();
         let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
-        if !self.exec(self.ops.len(), &mut slots, d, cache, &mut stats, budget) {
+        if !self.exec(
+            self.ops.len(),
+            &mut slots,
+            d,
+            cache,
+            &mut stats,
+            budget,
+            profile,
+        ) {
             return (None, stats);
         }
         (slots[self.output].take(), stats)
@@ -519,13 +638,33 @@ impl PlanIr {
         cache: Option<&MaterializationCache>,
         budget: &ThreadBudget,
     ) -> (bool, MatCacheStats) {
+        self.run_boolean_budget_profiled(d, cache, budget, None)
+    }
+
+    /// [`PlanIr::run_boolean_budget`], optionally collecting a
+    /// per-operator [`EvalProfile`].
+    pub fn run_boolean_budget_profiled(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+        profile: Option<&mut EvalProfile>,
+    ) -> (bool, MatCacheStats) {
         if self.reduction_decides {
             let mut stats = MatCacheStats::default();
             let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
-            let alive = self.exec(self.bool_len, &mut slots, d, cache, &mut stats, budget);
+            let alive = self.exec(
+                self.bool_len,
+                &mut slots,
+                d,
+                cache,
+                &mut stats,
+                budget,
+                profile,
+            );
             return (alive, stats);
         }
-        let (out, stats) = self.run_budget(d, cache, budget);
+        let (out, stats) = self.run_budget_profiled(d, cache, budget, profile);
         (out.is_some_and(|r| !r.is_empty()), stats)
     }
 }
@@ -907,6 +1046,44 @@ mod tests {
             (s2.hits, s2.misses),
             "single-flight keeps the cache accounting identical"
         );
+    }
+
+    #[test]
+    fn profiled_run_records_every_op_and_matches_unprofiled() {
+        use crate::eval::yannakakis::AcyclicPlan;
+        let q = parse_cq("Q(x1, x4) :- E(x1,x2), E(x2,x3), E(x3,x4)").unwrap();
+        let plan = AcyclicPlan::compile(&q).unwrap();
+        let d = Structure::digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (plain, _) = plan.ir().run_budget(&d, None, ThreadBudget::shared());
+        let mut profile = EvalProfile::default();
+        let (profiled, _) =
+            plan.ir()
+                .run_budget_profiled(&d, None, ThreadBudget::shared(), Some(&mut profile));
+        assert_eq!(
+            plain.unwrap().rows_in_head_order(&[0, 3]),
+            profiled.unwrap().rows_in_head_order(&[0, 3]),
+            "profiling must not change answers"
+        );
+        // A completed run profiles every instruction.
+        assert_eq!(profile.ops.len(), plan.ir().op_count());
+        assert!(profile.ops.iter().any(|o| o.op == "materialize"));
+        assert!(profile.ops.iter().any(|o| o.op == "semijoin"));
+        let agg = profile.by_op();
+        assert_eq!(agg.iter().map(|&(k, _, _)| k).collect::<Vec<_>>(), {
+            let mut kinds: Vec<&str> = profile.ops.iter().map(|o| o.op).collect();
+            kinds.sort_unstable();
+            kinds.dedup();
+            kinds
+        });
+        // An aborted run profiles the prefix, ending at the assertion.
+        let empty = Structure::digraph(5, &[]);
+        let mut aborted = EvalProfile::default();
+        let (none, _) =
+            plan.ir()
+                .run_budget_profiled(&empty, None, ThreadBudget::shared(), Some(&mut aborted));
+        assert!(none.is_none());
+        assert!(aborted.ops.len() < plan.ir().op_count());
+        assert_eq!(aborted.ops.last().unwrap().op, "assert_nonempty");
     }
 
     #[test]

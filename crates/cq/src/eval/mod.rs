@@ -13,6 +13,6 @@ pub mod yannakakis;
 pub use decomposed::{DecomposedPlan, NotDecomposable};
 pub use evaluator::{Evaluator, NaiveEvaluator};
 pub use flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
-pub use ir::{MatPart, MatSource, NodeSpec, Op, PlanIr, Slot};
+pub use ir::{EvalProfile, MatPart, MatSource, NodeSpec, Op, OpProfile, PlanIr, Slot};
 pub use naive::{eval_boolean_naive, eval_naive, NaivePlan};
 pub use yannakakis::{AcyclicPlan, NotAcyclic};

@@ -171,8 +171,23 @@ impl AcyclicPlan {
         cache: Option<&MaterializationCache>,
         budget: &ThreadBudget,
     ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
+        self.eval_cached_budget_profiled(d, cache, budget, None)
+    }
+
+    /// [`AcyclicPlan::eval_cached_budget`], optionally collecting a
+    /// per-operator [`EvalProfile`](crate::eval::EvalProfile) (`None`
+    /// keeps the hot path at one branch per operator).
+    pub fn eval_cached_budget_profiled(
+        &self,
+        d: &Structure,
+        cache: Option<&MaterializationCache>,
+        budget: &ThreadBudget,
+        profile: Option<&mut crate::eval::EvalProfile>,
+    ) -> (BTreeSet<Vec<Element>>, MatCacheStats) {
         if self.query.is_boolean() {
-            let (nonempty, stats) = self.ir.run_boolean_budget(d, cache, budget);
+            let (nonempty, stats) = self
+                .ir
+                .run_boolean_budget_profiled(d, cache, budget, profile);
             let mut out = BTreeSet::new();
             if nonempty {
                 // Nonempty after full reduction: the single empty tuple.
@@ -180,7 +195,7 @@ impl AcyclicPlan {
             }
             return (out, stats);
         }
-        let (result, stats) = self.ir.run_budget(d, cache, budget);
+        let (result, stats) = self.ir.run_budget_profiled(d, cache, budget, profile);
         match result {
             None => (BTreeSet::new(), stats),
             Some(rel) => (rel.rows_in_head_order(self.query.free_vars()), stats),

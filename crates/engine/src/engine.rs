@@ -3,13 +3,18 @@
 use crate::cache::{ApproxCache, CachedApproximation};
 use crate::catalog::{Catalog, DatabaseEntry, DbId, PreparedQuery, QueryId};
 use crate::par::{default_threads, env_threads, parallel_map, ThreadBudget};
-use crate::planner::{choose_plan, PlanDecision, PlanKind};
+use crate::planner::{choose_plan, PlanDecision, PlanKind, PlanReason};
 use cqapx_core::{Acyclic, ApproxOptions, HtwK, QueryClass, TwK};
-use cqapx_cq::eval::{MatCacheStats, NaivePlan};
-use cqapx_structures::{Element, SearchBudget, Structure};
-use std::collections::{BTreeSet, HashMap};
+use cqapx_cq::eval::{EvalProfile, MatCacheStats, NaivePlan};
+use cqapx_metrics::{
+    Counter, CounterFamily, EventLog, Gauge, HistogramFamily, HistogramSnapshot, MetricsLevel,
+    MetricsSink, TraceEvent,
+};
+use cqapx_structures::{Element, HomSearchStats, SearchBudget, Structure};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -68,6 +73,19 @@ pub struct EngineConfig {
     /// (converts wall timeouts into hom-search node budgets, so even
     /// fruitless searches stop near the deadline).
     pub nodes_per_ms: u64,
+    /// How much the engine instruments itself (see [`MetricsLevel`]).
+    /// The default reads `CQAPX_METRICS` (unset → `Counters`).
+    /// [`MetricsLevel::None`] reduces every instrumentation site to a
+    /// field-read branch. `Counters` is also what powers deadline-aware
+    /// degradation — without latency histograms there is no p99 to
+    /// predict from.
+    pub metrics: MetricsLevel,
+    /// Admission control: the maximum number of requests that may be
+    /// outstanding (admitted and not yet finished) at once. Requests
+    /// arriving beyond the limit are not planned or evaluated at all —
+    /// they return immediately with [`ResponseStatus::Shed`] and empty
+    /// (vacuously sound) answers. `None` disables shedding.
+    pub max_queue_depth: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -79,9 +97,17 @@ impl Default for EngineConfig {
             approx_options: ApproxOptions::default(),
             default_timeout: None,
             nodes_per_ms: 50_000,
+            metrics: MetricsLevel::from_env(),
+            max_queue_depth: None,
         }
     }
 }
+
+/// Samples a query class's latency histogram must hold before its p99
+/// is trusted to predict a deadline miss (and trigger the sandwich
+/// downgrade). Below this, the engine optimistically runs the chosen
+/// plan and lets the deadline budget bound it.
+pub const DEGRADE_MIN_SAMPLES: u64 = 16;
 
 /// How much of the answer a request wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +158,15 @@ pub enum ResponseStatus {
     /// The deadline or node budget cut evaluation short; `answers` is
     /// still sound (`⊆ Q(D)`) but possibly incomplete.
     TimedOut,
+    /// The measured p99 of the query's class predicted the exact plan
+    /// would miss its deadline, so the engine served the approximation's
+    /// certain answers up front: `answers ⊆ Q(D)`, possibly incomplete,
+    /// delivered in time instead of timing out.
+    Degraded,
+    /// Admission control rejected the request at the door (queue depth
+    /// over [`EngineConfig::max_queue_depth`]): nothing was planned or
+    /// evaluated; `answers` is empty (vacuously sound).
+    Shed,
 }
 
 /// The outcome of one request.
@@ -156,8 +191,55 @@ pub struct Response {
     pub mat_cache: MatCacheStats,
     /// Wall time of this request.
     pub wall: Duration,
-    /// The planner's rationale.
-    pub plan_reason: String,
+    /// The planner's full decision (estimates, budget, rationale).
+    decision: PlanDecision,
+    /// What happened after planning, appended to the rationale.
+    note: ReasonNote,
+}
+
+/// Execution-path modifier appended to the planner's rationale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReasonNote {
+    /// The plan ran as chosen.
+    None,
+    /// Sandwich plan in exact mode: the full join ran under the
+    /// deadline, the approximation stood by as fallback.
+    ExactFallback,
+    /// Deadline-aware degradation fired: measured class p99 (µs) vs
+    /// the deadline headroom (µs) that was left.
+    Degraded { p99_us: u64, headroom_us: u64 },
+}
+
+impl Response {
+    /// The planner's rationale, rendered on demand — requests nobody
+    /// inspects never pay for the formatting (this used to be an eager
+    /// `String` built on every request).
+    pub fn plan_reason(&self) -> String {
+        let mut text = self.decision.describe();
+        match self.note {
+            ReasonNote::None => {}
+            ReasonNote::ExactFallback => {
+                text.push_str(
+                    "; exact mode: full join under the deadline, approximation as fallback",
+                );
+            }
+            ReasonNote::Degraded {
+                p99_us,
+                headroom_us,
+            } => {
+                text.push_str(&format!(
+                    "; degraded: measured class p99 {p99_us}µs exceeds the {headroom_us}µs left before the deadline — serving certain answers up front"
+                ));
+            }
+        }
+        text
+    }
+
+    /// The planner's full decision: estimates, the budget they were
+    /// compared against, and the machine-readable rationale.
+    pub fn decision(&self) -> &PlanDecision {
+        &self.decision
+    }
 }
 
 /// Aggregate serving statistics.
@@ -171,6 +253,11 @@ pub struct EngineStats {
     pub certain_only: u64,
     /// Requests cut short by deadline/budget.
     pub timed_out: u64,
+    /// Requests downgraded to certain answers up front because the
+    /// measured class p99 predicted a deadline miss.
+    pub degraded: u64,
+    /// Requests rejected by queue-depth admission control.
+    pub shed: u64,
     /// Plan counts.
     pub plan_yannakakis: u64,
     /// Plan counts.
@@ -226,8 +313,8 @@ impl fmt::Display for EngineStats {
         writeln!(f, "requests        {}", self.requests)?;
         writeln!(
             f,
-            "  complete {} · certain-only {} · timed-out {}",
-            self.complete, self.certain_only, self.timed_out
+            "  complete {} · certain-only {} · timed-out {} · degraded {} · shed {}",
+            self.complete, self.certain_only, self.timed_out, self.degraded, self.shed
         )?;
         writeln!(
             f,
@@ -251,6 +338,143 @@ impl fmt::Display for EngineStats {
         writeln!(f, "answers         {}", self.answers)?;
         write!(f, "busy time       {:?}", self.busy)
     }
+}
+
+/// The engine's tiered instrumentation (see [`MetricsLevel`] for what
+/// each level records). Recording is lock-free: histograms and counters
+/// are atomics, label handles intern through a read-mostly registry.
+#[derive(Debug)]
+struct EngineMetrics {
+    /// Copied out of the config: every instrumentation site gates on
+    /// this one field, so `None` costs a single predictable branch.
+    level: MetricsLevel,
+    /// Construction instant; trace timestamps are relative to it.
+    epoch: Instant,
+    /// Request latency by query class: one histogram per plan tier,
+    /// plus `"degraded"` and `"shed"` (kept out of the tier histograms
+    /// so a degrading engine does not poison the p99 it predicts from).
+    class_latency: HistogramFamily,
+    /// Request latency by tenant database (registration name).
+    db_latency: HistogramFamily,
+    /// Approximation-cache outcomes by database: `"<db>/hits"`,
+    /// `"<db>/misses"`.
+    approx_cache_by_db: CounterFamily,
+    /// Materialization-cache outcomes by database, same label scheme.
+    mat_cache_by_db: CounterFamily,
+    /// Queue depth (outstanding admitted requests) sampled at each
+    /// admission decision.
+    queue_depth: Gauge,
+    /// Unclaimed workers in the [`ThreadBudget`] sampled at each
+    /// request start (capacity minus claimed).
+    workers_available: Gauge,
+    /// `Debug`: solver branching decisions across requests.
+    solver_nodes: Counter,
+    /// `Debug`: solver AC-3 constraint revisions across requests.
+    solver_revisions: Counter,
+    /// `Debug`: searches stopped by an exhausted step budget.
+    solver_budget_exhaustions: Counter,
+    /// `Debug`: plan-IR operator wall time by operator kind (µs).
+    op_micros: CounterFamily,
+    /// `Debug`: plan-IR operator output rows by operator kind.
+    op_rows: CounterFamily,
+    /// `Trace`: per-request structured event spans, bounded ring.
+    trace: EventLog,
+}
+
+/// Buffered trace events an [`EventLog`] may hold before dropping the
+/// oldest.
+const TRACE_CAPACITY: usize = 4096;
+
+impl EngineMetrics {
+    fn new(level: MetricsLevel) -> EngineMetrics {
+        EngineMetrics {
+            level,
+            epoch: Instant::now(),
+            class_latency: HistogramFamily::new(),
+            db_latency: HistogramFamily::new(),
+            approx_cache_by_db: CounterFamily::new(),
+            mat_cache_by_db: CounterFamily::new(),
+            queue_depth: Gauge::new(),
+            workers_available: Gauge::new(),
+            solver_nodes: Counter::new(),
+            solver_revisions: Counter::new(),
+            solver_budget_exhaustions: Counter::new(),
+            op_micros: CounterFamily::new(),
+            op_rows: CounterFamily::new(),
+            trace: EventLog::new(level, TRACE_CAPACITY),
+        }
+    }
+
+    fn reset(&self) {
+        self.class_latency.reset();
+        self.db_latency.reset();
+        self.approx_cache_by_db.reset();
+        self.mat_cache_by_db.reset();
+        self.solver_nodes.reset();
+        self.solver_revisions.reset();
+        self.solver_budget_exhaustions.reset();
+        self.op_micros.reset();
+        self.op_rows.reset();
+    }
+}
+
+/// The label a response's latency is recorded under: the plan tier,
+/// except that degraded and shed requests get their own classes (their
+/// latencies describe the *degraded* path, not the tier the planner
+/// picked, and must not feed back into its p99).
+fn class_label(r: &Response) -> &'static str {
+    match r.status {
+        ResponseStatus::Shed => "shed",
+        ResponseStatus::Degraded => "degraded",
+        _ => match r.plan {
+            PlanKind::Yannakakis => "yannakakis",
+            PlanKind::Decomposed => "decomposed",
+            PlanKind::Naive => "naive",
+            PlanKind::Sandwich => "sandwich",
+            PlanKind::Shed => "shed",
+        },
+    }
+}
+
+/// A point-in-time copy of everything the engine measures: the
+/// aggregate counters plus, when the metrics level records them, the
+/// latency distributions, per-database cache outcomes, solver and
+/// operator activity, and occupancy gauges. Taken by
+/// [`Engine::snapshot`]; [`Engine::reset_stats`] zeroes the underlying
+/// instruments so serving epochs (warmup vs measurement) don't
+/// accumulate into each other.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// The aggregate counters ([`Engine::stats`]).
+    pub counters: EngineStats,
+    /// The level the engine records at.
+    pub level: MetricsLevel,
+    /// Latency quantiles by query class (plan tier, `"degraded"`,
+    /// `"shed"`); values in microseconds. Empty below `Counters`.
+    pub class_latency: BTreeMap<String, HistogramSnapshot>,
+    /// Latency quantiles by tenant database. Empty below `Counters`.
+    pub db_latency: BTreeMap<String, HistogramSnapshot>,
+    /// Approximation-cache outcomes by database (`"<db>/hits"`,
+    /// `"<db>/misses"`). Empty below `Counters`.
+    pub approx_cache_by_db: BTreeMap<String, u64>,
+    /// Materialization-cache outcomes by database, same label scheme.
+    pub mat_cache_by_db: BTreeMap<String, u64>,
+    /// `Debug`: total solver branching decisions.
+    pub solver_nodes: u64,
+    /// `Debug`: total solver AC-3 revisions.
+    pub solver_revisions: u64,
+    /// `Debug`: searches stopped by an exhausted step budget.
+    pub solver_budget_exhaustions: u64,
+    /// `Debug`: plan-IR wall time by operator kind (µs).
+    pub op_micros: BTreeMap<String, u64>,
+    /// `Debug`: plan-IR output rows by operator kind.
+    pub op_rows: BTreeMap<String, u64>,
+    /// Outstanding admitted requests at snapshot time.
+    pub queue_depth: i64,
+    /// Total claimable extra workers (threads − 1).
+    pub workers_capacity: usize,
+    /// Unclaimed workers sampled at the last request start.
+    pub workers_available: i64,
 }
 
 /// A stateful query-serving engine: register databases, prepare queries,
@@ -282,6 +506,13 @@ pub struct Engine {
     /// workers): batch execution claims workers from it and every
     /// request's evaluation claims morsel workers from the remainder.
     budget: ThreadBudget,
+    /// Tiered instrumentation (level copied from the config).
+    metrics: EngineMetrics,
+    /// Outstanding admitted requests — the queue depth admission
+    /// control compares against [`EngineConfig::max_queue_depth`].
+    /// Incremented at submission (before any planning), decremented
+    /// when the request finishes.
+    inflight: AtomicUsize,
 }
 
 impl Engine {
@@ -292,6 +523,7 @@ impl Engine {
         } else {
             config.threads
         };
+        let metrics = EngineMetrics::new(config.metrics);
         Engine {
             config,
             catalog: RwLock::new(Catalog::new()),
@@ -299,6 +531,8 @@ impl Engine {
             approx_memo: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
             budget: ThreadBudget::new(threads),
+            metrics,
+            inflight: AtomicUsize::new(0),
         }
     }
 
@@ -358,10 +592,116 @@ impl Engine {
         self.stats.lock().expect("stats lock poisoned").clone()
     }
 
+    /// The level the engine records at.
+    pub fn metrics_level(&self) -> MetricsLevel {
+        self.metrics.level
+    }
+
+    /// A consistent point-in-time copy of everything measured: counters
+    /// plus latency quantiles, per-database cache outcomes, solver and
+    /// operator activity, and occupancy.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let m = &self.metrics;
+        StatsSnapshot {
+            counters: self.stats(),
+            level: m.level,
+            class_latency: m.class_latency.snapshot(),
+            db_latency: m.db_latency.snapshot(),
+            approx_cache_by_db: m.approx_cache_by_db.snapshot(),
+            mat_cache_by_db: m.mat_cache_by_db.snapshot(),
+            solver_nodes: m.solver_nodes.get(),
+            solver_revisions: m.solver_revisions.get(),
+            solver_budget_exhaustions: m.solver_budget_exhaustions.get(),
+            op_micros: m.op_micros.snapshot(),
+            op_rows: m.op_rows.snapshot(),
+            queue_depth: self.inflight.load(Ordering::Relaxed) as i64,
+            workers_capacity: self.budget.capacity(),
+            workers_available: m.workers_available.get(),
+        }
+    }
+
+    /// Zeroes the aggregate counters and every histogram/counter the
+    /// metrics layer holds (labels stay interned; buffered trace events
+    /// stay until drained). Serving epochs — warmup vs measurement —
+    /// call this between phases so distributions don't accumulate
+    /// across them. Quiesce in-flight batches first: resetting under
+    /// concurrent recorders loses those increments, and a degrading
+    /// engine forgets the p99 it predicts from.
+    pub fn reset_stats(&self) {
+        *self.stats.lock().expect("stats lock poisoned") = EngineStats::default();
+        self.metrics.reset();
+    }
+
+    /// Takes every buffered `Trace`-level event, oldest first (empty
+    /// below [`MetricsLevel::Trace`]).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.metrics.trace.drain()
+    }
+
+    /// Admission control at submission time: count this request against
+    /// the queue and decide whether it may run. `Err((depth, limit))`
+    /// means it must be shed (and it no longer counts).
+    fn admit(&self) -> Result<(), (usize, usize)> {
+        let depth = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.metrics.level.at_least(MetricsLevel::Counters) {
+            self.metrics.queue_depth.set(depth as i64);
+        }
+        match self.config.max_queue_depth {
+            Some(limit) if depth > limit => {
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
+                Err((depth, limit))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Marks an admitted request finished.
+    fn depart(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The response of a request rejected at admission: nothing was
+    /// planned or evaluated, the answer set is empty (vacuously sound).
+    fn shed_response(
+        &self,
+        q: &PreparedQuery,
+        d: &DatabaseEntry,
+        depth: usize,
+        limit: usize,
+    ) -> Response {
+        let r = Response {
+            answers: BTreeSet::new(),
+            status: ResponseStatus::Shed,
+            plan: PlanKind::Shed,
+            decomposition_width: None,
+            cache_hit: None,
+            mat_cache: MatCacheStats::default(),
+            wall: Duration::ZERO,
+            decision: PlanDecision {
+                kind: PlanKind::Shed,
+                est_naive_cost: 0.0,
+                est_decomposed_cost: None,
+                decomposition_width: None,
+                naive_budget: self.config.naive_cost_budget,
+                reason: PlanReason::QueueFull(depth, limit),
+            },
+            note: ReasonNote::None,
+        };
+        self.note_response(q, d, &r, None, None);
+        r
+    }
+
     /// Executes one request synchronously.
     pub fn execute(&self, req: &Request) -> Response {
         let (q, d) = self.resolve(req);
-        let resp = self.run(req, &q, &d);
+        let resp = match self.admit() {
+            Ok(()) => {
+                let r = self.run(req, &q, &d);
+                self.depart();
+                r
+            }
+            Err((depth, limit)) => self.shed_response(&q, &d, depth, limit),
+        };
         self.record(&resp);
         resp
     }
@@ -374,16 +714,38 @@ impl Engine {
     /// stays available for intra-query parallelism inside the running
     /// requests, so batch-level and morsel-level fan-out always share
     /// the one configured core budget.
+    ///
+    /// Admission control sees the whole backlog: every request counts
+    /// against the queue at submission (here, in input order), so with
+    /// [`EngineConfig::max_queue_depth`] set, a batch deeper than the
+    /// remaining headroom has its tail shed deterministically — those
+    /// responses come back [`ResponseStatus::Shed`] without planning or
+    /// evaluation.
     pub fn execute_batch(&self, reqs: &[Request]) -> Vec<Response> {
-        let work: Vec<(Request, Arc<PreparedQuery>, Arc<DatabaseEntry>)> = reqs
+        // A resolved request plus its admission verdict: `Some((depth,
+        // limit))` marks it shed at submission.
+        type Admitted = (
+            Request,
+            Arc<PreparedQuery>,
+            Arc<DatabaseEntry>,
+            Option<(usize, usize)>,
+        );
+        let work: Vec<Admitted> = reqs
             .iter()
             .map(|r| {
                 let (q, d) = self.resolve(r);
-                (r.clone(), q, d)
+                (r.clone(), q, d, self.admit().err())
             })
             .collect();
         let lease = self.budget.claim(work.len().saturating_sub(1));
-        let responses = parallel_map(work, lease.workers(), |(req, q, d)| self.run(&req, &q, &d));
+        let responses = parallel_map(work, lease.workers(), |(req, q, d, shed)| match shed {
+            Some((depth, limit)) => self.shed_response(&q, &d, depth, limit),
+            None => {
+                let r = self.run(&req, &q, &d);
+                self.depart();
+                r
+            }
+        });
         drop(lease);
         for r in &responses {
             self.record(r);
@@ -432,12 +794,15 @@ impl Engine {
             ResponseStatus::Complete => s.complete += 1,
             ResponseStatus::CertainOnly => s.certain_only += 1,
             ResponseStatus::TimedOut => s.timed_out += 1,
+            ResponseStatus::Degraded => s.degraded += 1,
+            ResponseStatus::Shed => s.shed += 1,
         }
         match r.plan {
             PlanKind::Yannakakis => s.plan_yannakakis += 1,
             PlanKind::Decomposed => s.plan_decomposed += 1,
             PlanKind::Naive => s.plan_naive += 1,
             PlanKind::Sandwich => s.plan_sandwich += 1,
+            PlanKind::Shed => {} // not a plan; counted via `shed`
         }
         match r.cache_hit {
             Some(true) => s.cache_hits += 1,
@@ -452,6 +817,12 @@ impl Engine {
 
     fn run(&self, req: &Request, q: &PreparedQuery, d: &DatabaseEntry) -> Response {
         let start = Instant::now();
+        let level = self.metrics.level;
+        if level.at_least(MetricsLevel::Counters) {
+            self.metrics
+                .workers_available
+                .set(self.budget.available() as i64);
+        }
         let deadline = req
             .timeout
             .or(self.config.default_timeout)
@@ -475,108 +846,241 @@ impl Engine {
             d,
             self.config.naive_cost_budget,
         );
-        let mut plan_reason = decision.reason.clone();
+        let mut note = ReasonNote::None;
         let mut mat_cache = MatCacheStats::default();
-        let (answers, status, cache_hit) = match decision.kind {
-            PlanKind::Yannakakis => {
-                let plan = q
-                    .yannakakis
-                    .as_ref()
-                    .expect("acyclic prepared queries carry a Yannakakis plan");
-                let (answers, mstats) =
-                    plan.eval_cached_budget(&d.structure, Some(&d.materialized), &self.budget);
-                mat_cache.add(mstats);
-                (answers, ResponseStatus::Complete, None)
-            }
-            PlanKind::Decomposed => {
-                // Polynomial for the prepared width, like Yannakakis:
-                // runs unbudgeted under the deadline policy.
-                let plan = q
-                    .decomposed
-                    .as_ref()
-                    .expect("decomposed tier requires a compiled decomposition");
-                let (answers, mstats) =
-                    plan.eval_cached_budget(&d.structure, Some(&d.materialized), &self.budget);
-                mat_cache.add(mstats);
-                (answers, ResponseStatus::Complete, None)
-            }
-            PlanKind::Naive => {
-                let (answers, timed_out) =
-                    self.eval_naive_bounded(&q.naive, &d.structure, deadline, budget.as_ref());
-                let status = if timed_out {
-                    ResponseStatus::TimedOut
+        let mut solver: Option<HomSearchStats> = None;
+        let mut profile: Option<EvalProfile> = level
+            .at_least(MetricsLevel::Debug)
+            .then(EvalProfile::default);
+
+        // Deadline-aware degradation: when the measured p99 of this
+        // query class says the exact plan will blow the deadline anyway,
+        // don't start it — serve the approximation's certain answers up
+        // front (a sound subset, delivered in time) instead of timing
+        // out. Only the tiers whose runtime the deadline actually
+        // threatens are considered: the naive join (unless the answer is
+        // provably empty, which is instant) and the sandwich in exact
+        // mode (whose exact phase is the same naive join).
+        let mut degrade: Option<(u64, u64)> = None;
+        if let Some(dl) = deadline {
+            let threatened = match decision.kind {
+                PlanKind::Naive => decision.est_naive_cost > 0.0,
+                PlanKind::Sandwich => req.mode == EvalMode::Exact,
+                _ => false,
+            };
+            if threatened && level.at_least(MetricsLevel::Counters) {
+                let label = if decision.kind == PlanKind::Naive {
+                    "naive"
                 } else {
-                    ResponseStatus::Complete
+                    "sandwich"
                 };
-                (answers, status, None)
+                let h = self.metrics.class_latency.with(label).snapshot();
+                let headroom_us = dl.saturating_duration_since(Instant::now()).as_micros() as u64;
+                if h.count >= DEGRADE_MIN_SAMPLES && h.p99 > headroom_us {
+                    degrade = Some((h.p99, headroom_us));
+                }
             }
-            PlanKind::Sandwich => match req.mode {
-                EvalMode::CertainOnly => {
-                    // Certain answers: the union over all →-maximal
-                    // in-class approximations, each a sound
-                    // under-approximation.
-                    let (certain, hit, mstats) = self.certain_answers(req.query, q, d);
-                    mat_cache.add(mstats);
-                    (certain, ResponseStatus::CertainOnly, Some(hit))
-                }
-                EvalMode::Exact => {
-                    // Exact mode wants Q(D) itself, so run the full join
-                    // under the deadline first; the approximation rescues
-                    // a cut-short join with its certain answers.
-                    plan_reason.push_str(
-                        "; exact mode: full join under the deadline, approximation as fallback",
+        }
+
+        let (answers, status, cache_hit) = if let Some((p99_us, headroom_us)) = degrade {
+            note = ReasonNote::Degraded {
+                p99_us,
+                headroom_us,
+            };
+            let (certain, hit, mstats) = self.certain_answers(req.query, q, d);
+            mat_cache.add(mstats);
+            (certain, ResponseStatus::Degraded, Some(hit))
+        } else {
+            match decision.kind {
+                PlanKind::Yannakakis => {
+                    let plan = q
+                        .yannakakis
+                        .as_ref()
+                        .expect("acyclic prepared queries carry a Yannakakis plan");
+                    let (answers, mstats) = plan.eval_cached_budget_profiled(
+                        &d.structure,
+                        Some(&d.materialized),
+                        &self.budget,
+                        profile.as_mut(),
                     );
-                    let (exact, timed_out) =
-                        self.eval_naive_bounded(&q.naive, &d.structure, deadline, budget.as_ref());
-                    if timed_out {
-                        // Already over the deadline: only a *cached*
-                        // approximation may be consulted — starting the
-                        // single-exponential search here would blow the
-                        // timeout by orders of magnitude.
-                        let memoized = self
-                            .approx_memo
-                            .lock()
-                            .expect("memo lock poisoned")
-                            .get(&req.query)
-                            .cloned();
-                        let class = self.config.approx_class.as_class();
-                        match memoized.or_else(|| {
-                            self.cache.lookup_only(
-                                q.tableau(),
-                                class.as_ref(),
-                                &self.config.approx_options,
-                            )
-                        }) {
-                            Some(cached) => {
-                                let mut answers = exact;
-                                for e in &cached.evaluators {
-                                    let (certain, mstats) = e.eval_with_cache(
-                                        &d.structure,
-                                        &d.materialized,
-                                        &self.budget,
-                                    );
-                                    answers.extend(certain);
-                                    mat_cache.add(mstats);
-                                }
-                                (answers, ResponseStatus::TimedOut, Some(true))
-                            }
-                            None => (exact, ResponseStatus::TimedOut, None),
-                        }
-                    } else {
-                        (exact, ResponseStatus::Complete, None)
-                    }
+                    mat_cache.add(mstats);
+                    (answers, ResponseStatus::Complete, None)
                 }
-            },
+                PlanKind::Decomposed => {
+                    // Polynomial for the prepared width, like Yannakakis:
+                    // runs unbudgeted under the deadline policy.
+                    let plan = q
+                        .decomposed
+                        .as_ref()
+                        .expect("decomposed tier requires a compiled decomposition");
+                    let (answers, mstats) = plan.eval_cached_budget_profiled(
+                        &d.structure,
+                        Some(&d.materialized),
+                        &self.budget,
+                        profile.as_mut(),
+                    );
+                    mat_cache.add(mstats);
+                    (answers, ResponseStatus::Complete, None)
+                }
+                PlanKind::Shed => unreachable!("the planner never sheds; admission control does"),
+                PlanKind::Naive => {
+                    let (answers, timed_out, stats) =
+                        self.eval_naive_bounded(&q.naive, &d.structure, deadline, budget.as_ref());
+                    solver = Some(stats);
+                    let status = if timed_out {
+                        ResponseStatus::TimedOut
+                    } else {
+                        ResponseStatus::Complete
+                    };
+                    (answers, status, None)
+                }
+                PlanKind::Sandwich => match req.mode {
+                    EvalMode::CertainOnly => {
+                        // Certain answers: the union over all →-maximal
+                        // in-class approximations, each a sound
+                        // under-approximation.
+                        let (certain, hit, mstats) = self.certain_answers(req.query, q, d);
+                        mat_cache.add(mstats);
+                        (certain, ResponseStatus::CertainOnly, Some(hit))
+                    }
+                    EvalMode::Exact => {
+                        // Exact mode wants Q(D) itself, so run the full join
+                        // under the deadline first; the approximation rescues
+                        // a cut-short join with its certain answers.
+                        note = ReasonNote::ExactFallback;
+                        let (exact, timed_out, stats) = self.eval_naive_bounded(
+                            &q.naive,
+                            &d.structure,
+                            deadline,
+                            budget.as_ref(),
+                        );
+                        solver = Some(stats);
+                        if timed_out {
+                            // Already over the deadline: only a *cached*
+                            // approximation may be consulted — starting the
+                            // single-exponential search here would blow the
+                            // timeout by orders of magnitude.
+                            let memoized = self
+                                .approx_memo
+                                .lock()
+                                .expect("memo lock poisoned")
+                                .get(&req.query)
+                                .cloned();
+                            let class = self.config.approx_class.as_class();
+                            match memoized.or_else(|| {
+                                self.cache.lookup_only(
+                                    q.tableau(),
+                                    class.as_ref(),
+                                    &self.config.approx_options,
+                                )
+                            }) {
+                                Some(cached) => {
+                                    let mut answers = exact;
+                                    for e in &cached.evaluators {
+                                        let (certain, mstats) = e.eval_with_cache(
+                                            &d.structure,
+                                            &d.materialized,
+                                            &self.budget,
+                                        );
+                                        answers.extend(certain);
+                                        mat_cache.add(mstats);
+                                    }
+                                    (answers, ResponseStatus::TimedOut, Some(true))
+                                }
+                                None => (exact, ResponseStatus::TimedOut, None),
+                            }
+                        } else {
+                            (exact, ResponseStatus::Complete, None)
+                        }
+                    }
+                },
+            }
         };
-        Response {
+        let plan = if status == ResponseStatus::Degraded {
+            PlanKind::Sandwich
+        } else {
+            decision.kind
+        };
+        let r = Response {
             answers,
             status,
-            plan: decision.kind,
+            plan,
             decomposition_width: decision.decomposition_width,
             cache_hit,
             mat_cache,
             wall: start.elapsed(),
-            plan_reason,
+            decision,
+            note,
+        };
+        self.note_response(q, d, &r, solver, profile);
+        r
+    }
+
+    /// Fold one finished response into the metrics registries, honoring
+    /// the configured [`MetricsLevel`] tier by tier: latency histograms
+    /// and cache counters at `Counters`, solver/operator internals at
+    /// `Debug`, a structured per-request event at `Trace`.
+    fn note_response(
+        &self,
+        q: &PreparedQuery,
+        d: &DatabaseEntry,
+        r: &Response,
+        solver: Option<HomSearchStats>,
+        profile: Option<EvalProfile>,
+    ) {
+        let m = &self.metrics;
+        if !m.level.at_least(MetricsLevel::Counters) {
+            return;
+        }
+        let us = r.wall.as_micros() as u64;
+        m.class_latency.with(class_label(r)).record(us);
+        m.db_latency.with(&d.name).record(us);
+        match r.cache_hit {
+            Some(true) => m.approx_cache_by_db.with(&format!("{}/hits", d.name)).inc(),
+            Some(false) => m
+                .approx_cache_by_db
+                .with(&format!("{}/misses", d.name))
+                .inc(),
+            None => {}
+        }
+        if r.mat_cache.hits > 0 {
+            m.mat_cache_by_db
+                .with(&format!("{}/hits", d.name))
+                .add(r.mat_cache.hits as u64);
+        }
+        if r.mat_cache.misses > 0 {
+            m.mat_cache_by_db
+                .with(&format!("{}/misses", d.name))
+                .add(r.mat_cache.misses as u64);
+        }
+        if m.level.at_least(MetricsLevel::Debug) {
+            if let Some(s) = solver {
+                m.solver_nodes.add(s.nodes);
+                m.solver_revisions.add(s.revisions);
+                if s.budget_exhausted {
+                    m.solver_budget_exhaustions.inc();
+                }
+            }
+            if let Some(p) = &profile {
+                for (op, micros, rows) in p.by_op() {
+                    m.op_micros.with(op).add(micros);
+                    m.op_rows.with(op).add(rows as u64);
+                }
+            }
+        }
+        if m.level.at_least(MetricsLevel::Trace) {
+            m.trace.emit(TraceEvent {
+                at_us: m.epoch.elapsed().as_micros() as u64,
+                name: "request",
+                fields: vec![
+                    ("query", q.name.clone()),
+                    ("db", d.name.clone()),
+                    ("class", class_label(r).to_string()),
+                    ("status", format!("{:?}", r.status)),
+                    ("answers", r.answers.len().to_string()),
+                    ("wall_us", us.to_string()),
+                ],
+            });
         }
     }
 
@@ -634,14 +1138,15 @@ impl Engine {
     /// at every found answer, and the request's shared [`SearchBudget`]
     /// (the remaining wall time converted into solver steps) stops even
     /// answer-free subtrees near the deadline. Returns
-    /// `(answers, timed_out)`; answers are sound either way.
+    /// `(answers, timed_out, solver_stats)`; answers are sound either
+    /// way.
     fn eval_naive_bounded(
         &self,
         plan: &NaivePlan,
         d: &Structure,
         deadline: Option<Instant>,
         budget: Option<&SearchBudget>,
-    ) -> (BTreeSet<Vec<Element>>, bool) {
+    ) -> (BTreeSet<Vec<Element>>, bool, HomSearchStats) {
         let mut answers = BTreeSet::new();
         let mut timed_out = false;
         let stats = plan.for_each_answer(d, budget, |a| {
@@ -652,7 +1157,8 @@ impl Engine {
             answers.insert(a.to_vec());
             ControlFlow::Continue(())
         });
-        (answers, timed_out || stats.budget_exhausted)
+        let timed_out = timed_out || stats.budget_exhausted;
+        (answers, timed_out, stats)
     }
 }
 
@@ -867,5 +1373,181 @@ mod tests {
         let text = e.stats().to_string();
         assert!(text.contains("requests"));
         assert!(text.contains("hit rate"));
+    }
+
+    fn engine_at(level: MetricsLevel) -> Engine {
+        Engine::new(EngineConfig {
+            metrics: level,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn batch_over_queue_limit_sheds_the_tail_deterministically() {
+        let e = Engine::new(EngineConfig {
+            metrics: MetricsLevel::Counters,
+            max_queue_depth: Some(2),
+            ..EngineConfig::default()
+        });
+        let db = e.register_database("p", Structure::digraph(3, &[(0, 1), (1, 2)]));
+        let q = e.prepare_query("hop2", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        let reqs: Vec<Request> = (0..5).map(|_| Request::new(q, db)).collect();
+        let rs = e.execute_batch(&reqs);
+        assert_eq!(rs.len(), 5);
+        // Admission sees the batch in input order: the first two fit,
+        // the remaining three are shed without planning or evaluation.
+        for r in &rs[..2] {
+            assert_eq!(r.status, ResponseStatus::Complete);
+            assert_eq!(r.answers.len(), 1);
+        }
+        for r in &rs[2..] {
+            assert_eq!(r.status, ResponseStatus::Shed);
+            assert_eq!(r.plan, PlanKind::Shed);
+            assert!(r.answers.is_empty());
+            assert!(r.plan_reason().contains("admission control"));
+        }
+        let s = e.stats();
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.complete, 2);
+        // Shed latencies land in their own class, not a plan tier's.
+        assert_eq!(e.snapshot().class_latency["shed"].count, 3);
+        // The queue drained: a fresh request is admitted again.
+        assert_eq!(
+            e.execute(&Request::new(q, db)).status,
+            ResponseStatus::Complete
+        );
+    }
+
+    // A cyclic query above the decomposed-tier width limit on a database
+    // where it is genuinely expensive: the planner's naive tier, with
+    // real work for the deadline to threaten.
+    fn k5_on_dense(e: &Engine) -> (QueryId, DbId, Structure) {
+        let edges: Vec<(u32, u32)> = (0..12u32)
+            .flat_map(|u| {
+                (0..12u32)
+                    .filter(move |&v| v != u && (u + v) % 3 != 0)
+                    .map(move |v| (u, v))
+            })
+            .collect();
+        let s = Structure::digraph(12, &edges);
+        let db = e.register_database("dense", s.clone());
+        let k5 =
+            "Q() :- E(a,b), E(a,c), E(a,d), E(a,e), E(b,c), E(b,d), E(b,e), E(c,d), E(c,e), E(d,e)";
+        let q = e.prepare_query("k5", parse_cq(k5).unwrap());
+        (q, db, s)
+    }
+
+    #[test]
+    fn predicted_deadline_miss_degrades_to_certain_answers() {
+        let e = engine_at(MetricsLevel::Counters);
+        let (q, db, s) = k5_on_dense(&e);
+        let exact = {
+            let query = parse_cq(
+                "Q() :- E(a,b), E(a,c), E(a,d), E(a,e), E(b,c), E(b,d), E(b,e), E(c,d), E(c,e), E(d,e)",
+            )
+            .unwrap();
+            eval_naive(&query, &s)
+        };
+        // Warm the class histogram with unhurried exact runs.
+        for _ in 0..DEGRADE_MIN_SAMPLES {
+            let r = e.execute(&Request::new(q, db));
+            assert_eq!(r.plan, PlanKind::Naive);
+        }
+        assert!(e.snapshot().class_latency["naive"].p99 > 0);
+        // A deadline far below the measured p99: the engine should not
+        // even start the join.
+        let r = e.execute(&Request {
+            query: q,
+            db,
+            mode: EvalMode::Exact,
+            timeout: Some(Duration::from_nanos(1)),
+        });
+        assert_eq!(r.status, ResponseStatus::Degraded);
+        assert_eq!(r.plan, PlanKind::Sandwich);
+        assert!(r.plan_reason().contains("degraded"));
+        for a in &r.answers {
+            assert!(exact.contains(a), "degraded answers must stay sound");
+        }
+        let snap = e.snapshot();
+        assert_eq!(snap.counters.degraded, 1);
+        // Degraded latencies get their own class so they don't drag the
+        // naive p99 the prediction reads.
+        assert_eq!(snap.class_latency["degraded"].count, 1);
+        assert_eq!(snap.class_latency["naive"].count, DEGRADE_MIN_SAMPLES);
+    }
+
+    #[test]
+    fn metrics_level_none_records_nothing() {
+        let e = engine_at(MetricsLevel::None);
+        let db = e.register_database("p", Structure::digraph(3, &[(0, 1), (1, 2)]));
+        let q = e.prepare_query("hop2", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        e.execute(&Request::new(q, db));
+        let snap = e.snapshot();
+        assert!(snap.class_latency.is_empty());
+        assert!(snap.db_latency.is_empty());
+        assert!(snap.mat_cache_by_db.is_empty());
+        assert_eq!(snap.solver_nodes, 0);
+        assert!(e.trace_events().is_empty());
+        // Aggregate counters still work — they predate the metrics layer.
+        assert_eq!(snap.counters.requests, 1);
+    }
+
+    #[test]
+    fn debug_level_records_solver_and_operator_internals() {
+        let e = engine_at(MetricsLevel::Debug);
+        let (q, db, _) = k5_on_dense(&e);
+        e.execute(&Request::new(q, db)); // naive tier → solver stats
+        let hop = e.prepare_query("hop2", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        e.execute(&Request::new(hop, db)); // Yannakakis → operator profile
+        let snap = e.snapshot();
+        assert!(snap.solver_nodes > 0);
+        assert!(snap.solver_revisions > 0);
+        assert!(
+            snap.op_rows.contains_key("semijoin"),
+            "Yannakakis profile should count semijoin rows, got {:?}",
+            snap.op_rows.keys().collect::<Vec<_>>()
+        );
+        assert!(snap.op_micros.contains_key("materialize"));
+    }
+
+    #[test]
+    fn trace_level_buffers_one_event_per_request() {
+        let e = engine_at(MetricsLevel::Trace);
+        let db = e.register_database("p", Structure::digraph(3, &[(0, 1), (1, 2)]));
+        let q = e.prepare_query("hop2", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        for _ in 0..3 {
+            e.execute(&Request::new(q, db));
+        }
+        let events = e.trace_events();
+        assert_eq!(events.len(), 3);
+        for ev in &events {
+            assert_eq!(ev.name, "request");
+            let rendered = ev.to_string();
+            assert!(rendered.contains("query=hop2"));
+            assert!(rendered.contains("class=yannakakis"));
+        }
+        assert!(e.trace_events().is_empty(), "drain consumes the buffer");
+    }
+
+    #[test]
+    fn reset_stats_starts_a_fresh_epoch() {
+        let e = engine_at(MetricsLevel::Counters);
+        let db = e.register_database("p", Structure::digraph(3, &[(0, 1), (1, 2)]));
+        let q = e.prepare_query("hop2", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        for _ in 0..4 {
+            e.execute(&Request::new(q, db));
+        }
+        let warm = e.snapshot();
+        assert_eq!(warm.counters.requests, 4);
+        let h = &warm.class_latency["yannakakis"];
+        assert_eq!(h.count, 4);
+        assert!(h.p50 <= h.p99 && h.p99 <= h.max);
+        e.reset_stats();
+        let fresh = e.snapshot();
+        assert_eq!(fresh.counters.requests, 0);
+        assert!(fresh.class_latency.values().all(|h| h.count == 0));
+        assert!(fresh.db_latency.values().all(|h| h.count == 0));
+        assert!(fresh.mat_cache_by_db.values().all(|&c| c == 0));
     }
 }

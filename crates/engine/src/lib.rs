@@ -51,10 +51,11 @@ pub mod planner;
 
 pub use cache::{ApproxCache, CachedApproximation};
 pub use catalog::{Catalog, DatabaseEntry, DbId, PreparedQuery, QueryId, RelationStats};
+pub use cqapx_metrics::{HistogramSnapshot, MetricsLevel, TraceEvent};
 pub use engine::{
     ApproxClassChoice, Engine, EngineConfig, EngineStats, EvalMode, Request, Response,
-    ResponseStatus,
+    ResponseStatus, StatsSnapshot, DEGRADE_MIN_SAMPLES,
 };
 pub use planner::{
-    choose_plan, estimate_decomposed_cost, estimate_naive_cost, PlanDecision, PlanKind,
+    choose_plan, estimate_decomposed_cost, estimate_naive_cost, PlanDecision, PlanKind, PlanReason,
 };

@@ -33,6 +33,11 @@ pub enum PlanKind {
     Naive,
     /// Certain answers from the cached in-class approximation.
     Sandwich,
+    /// Not an evaluation strategy: admission control rejected the
+    /// request before planning (see
+    /// [`ResponseStatus::Shed`](crate::engine::ResponseStatus::Shed)).
+    /// Never returned by [`choose_plan`].
+    Shed,
 }
 
 impl fmt::Display for PlanKind {
@@ -42,8 +47,35 @@ impl fmt::Display for PlanKind {
             PlanKind::Decomposed => "decomposed",
             PlanKind::Naive => "naive",
             PlanKind::Sandwich => "sandwich",
+            PlanKind::Shed => "shed",
         })
     }
+}
+
+/// Why the planner picked its tier. The variant is the decision; the
+/// numbers it cites live in the surrounding [`PlanDecision`], so
+/// rendering the human-readable rationale ([`PlanDecision::describe`])
+/// is deferred until somebody asks — the serving hot path never
+/// formats a `String`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanReason {
+    /// The query is acyclic: Yannakakis, always.
+    Acyclic,
+    /// Some body relation is empty, so the answer is provably empty and
+    /// the naive tier terminates immediately.
+    ProvablyEmpty,
+    /// Cyclic with a compiled decomposition whose estimate fits the
+    /// budget and undercuts the naive estimate.
+    DecomposedCheaper,
+    /// Cyclic, but the naive estimate fits the budget on this database.
+    NaiveCheap,
+    /// Cyclic and expensive here: certain answers via the cached
+    /// approximation.
+    SandwichExpensive,
+    /// Not planned at all: admission control shed the request at a
+    /// queue depth of `.0` against a configured limit of `.1`. (Built
+    /// by the engine, never returned by [`choose_plan`].)
+    QueueFull(usize, usize),
 }
 
 /// A plan choice with its cost rationale.
@@ -58,11 +90,45 @@ pub struct PlanDecision {
     /// Estimated cost of the decomposed tier (total bag-materialization
     /// rows); `None` when the query has no compiled decomposition.
     pub est_decomposed_cost: Option<f64>,
-    /// Width of the decomposition behind the decomposed tier, whether
-    /// or not that tier was chosen; `None` without a compiled plan.
+    /// Width of the query's compiled tree decomposition, whether or not
+    /// that tier was chosen; `None` without a compiled plan.
     pub decomposition_width: Option<usize>,
-    /// One-line human-readable rationale.
-    pub reason: String,
+    /// The budget the estimates were compared against.
+    pub naive_budget: f64,
+    /// The decision, cheap to copy; see [`PlanDecision::describe`] for
+    /// the rendered rationale.
+    pub reason: PlanReason,
+}
+
+impl PlanDecision {
+    /// Renders the one-line human-readable rationale. Deliberately a
+    /// method, not a stored `String`: requests that nobody inspects
+    /// never pay for formatting.
+    pub fn describe(&self) -> String {
+        match self.reason {
+            PlanReason::Acyclic => "query is acyclic: Yannakakis is O(|D|·|Q|)".into(),
+            PlanReason::ProvablyEmpty => {
+                "a body relation is empty: the answer is provably empty".into()
+            }
+            PlanReason::DecomposedCheaper => format!(
+                "cyclic with treewidth {}: est. {:.1e} bag rows within {NAIVE_NODE_COST_FACTOR}× of est. {:.1e} naive branch nodes",
+                self.decomposition_width.unwrap_or(0),
+                self.est_decomposed_cost.unwrap_or(f64::NAN),
+                self.est_naive_cost,
+            ),
+            PlanReason::NaiveCheap => format!(
+                "cyclic but cheap here: est. {:.1e} branch nodes ≤ budget {:.1e}",
+                self.est_naive_cost, self.naive_budget,
+            ),
+            PlanReason::SandwichExpensive => format!(
+                "cyclic and expensive here (est. {:.1e} > budget {:.1e}): serving certain answers via the cached approximation",
+                self.est_naive_cost, self.naive_budget,
+            ),
+            PlanReason::QueueFull(depth, limit) => format!(
+                "admission control: queue depth {depth} over limit {limit}; request shed unplanned"
+            ),
+        }
+    }
 }
 
 /// An order-of-magnitude upper estimate of backtracking-join work: the
@@ -161,7 +227,8 @@ pub fn choose_plan(
             est_naive_cost: estimate_naive_cost(shape, db),
             est_decomposed_cost: None,
             decomposition_width: width,
-            reason: "query is acyclic: Yannakakis is O(|D|·|Q|)".into(),
+            naive_budget,
+            reason: PlanReason::Acyclic,
         };
     }
     let est_naive = estimate_naive_cost(shape, db);
@@ -172,20 +239,19 @@ pub fn choose_plan(
             est_naive_cost: 0.0,
             est_decomposed_cost: est_dec,
             decomposition_width: width,
-            reason: "a body relation is empty: the answer is provably empty".into(),
+            naive_budget,
+            reason: PlanReason::ProvablyEmpty,
         };
     }
-    if let (Some(plan), Some(est)) = (decomposed, est_dec) {
+    if let (Some(_), Some(est)) = (decomposed, est_dec) {
         if est <= naive_budget && est <= est_naive * NAIVE_NODE_COST_FACTOR {
             return PlanDecision {
                 kind: PlanKind::Decomposed,
                 est_naive_cost: est_naive,
                 est_decomposed_cost: est_dec,
                 decomposition_width: width,
-                reason: format!(
-                    "cyclic with treewidth {}: est. {est:.1e} bag rows within {NAIVE_NODE_COST_FACTOR}× of est. {est_naive:.1e} naive branch nodes",
-                    plan.width()
-                ),
+                naive_budget,
+                reason: PlanReason::DecomposedCheaper,
             };
         }
     }
@@ -195,9 +261,8 @@ pub fn choose_plan(
             est_naive_cost: est_naive,
             est_decomposed_cost: est_dec,
             decomposition_width: width,
-            reason: format!(
-                "cyclic but cheap here: est. {est_naive:.1e} branch nodes ≤ budget {naive_budget:.1e}"
-            ),
+            naive_budget,
+            reason: PlanReason::NaiveCheap,
         }
     } else {
         PlanDecision {
@@ -205,9 +270,8 @@ pub fn choose_plan(
             est_naive_cost: est_naive,
             est_decomposed_cost: est_dec,
             decomposition_width: width,
-            reason: format!(
-                "cyclic and expensive here (est. {est_naive:.1e} > budget {naive_budget:.1e}): serving certain answers via the cached approximation"
-            ),
+            naive_budget,
+            reason: PlanReason::SandwichExpensive,
         }
     }
 }
@@ -297,7 +361,21 @@ mod tests {
         // provably-empty answer goes to the (instant) naive tier.
         let p = choose_plan(&s, Some(&dec(q)), &d, 0.0);
         assert_eq!(p.kind, PlanKind::Naive);
-        assert!(p.reason.contains("provably empty"));
+        assert_eq!(p.reason, PlanReason::ProvablyEmpty);
+        assert!(p.describe().contains("provably empty"));
+    }
+
+    #[test]
+    fn describe_renders_the_cited_numbers() {
+        let s = shape("Q() :- E(x,y), E(y,z), E(z,x)");
+        let d = db(3, &[(0, 1), (1, 2), (2, 0)]);
+        let p = choose_plan(&s, None, &d, 10.0);
+        assert_eq!(p.reason, PlanReason::SandwichExpensive);
+        let text = p.describe();
+        assert!(text.contains("budget 1.0e1"), "text: {text}");
+        let p = choose_plan(&s, None, &d, 1e6);
+        assert_eq!(p.reason, PlanReason::NaiveCheap);
+        assert!(p.describe().contains("cheap here"));
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! **cqapx-metrics** — tiered, zero-dependency observability primitives.
+//!
+//! The serving stack needs to answer "where did the time go" without
+//! slowing down the path that produces the answer. Everything here is
+//! hand-rolled on atomics (no external crates, like the rest of the
+//! workspace's bottom layer):
+//!
+//! - [`MetricsLevel`] — an ordered opt-in ladder
+//!   (`None < Counters < Debug < Trace`). Instrumented code gates on
+//!   [`MetricsLevel::at_least`], a single integer compare on a copied
+//!   field, so `None` costs one predictable branch per call site.
+//! - [`Histogram`] — an HDR-style log-bucketed latency histogram:
+//!   power-of-two buckets (`value → 64 - leading_zeros`), lock-free
+//!   recording on relaxed atomics, quantile estimates
+//!   (`p50/p90/p99/max`) by linear interpolation inside the landing
+//!   bucket. Relative quantile error is bounded by the bucket ratio
+//!   (a factor of 2), which is what latency SLO math needs; exact
+//!   `count`, `sum`, and `max` are kept on the side.
+//! - [`Counter`] / [`Gauge`] — relaxed atomic scalars.
+//! - [`HistogramFamily`] / [`CounterFamily`] — label → instrument
+//!   registries behind an `RwLock` (read-mostly: the engine interns a
+//!   handle per label once, then records lock-free).
+//! - [`MetricsSink`] / [`EventLog`] — structured [`TraceEvent`] spans
+//!   for `Trace` level, kept in a bounded ring buffer.
+//!
+//! # Examples
+//!
+//! ```
+//! use cqapx_metrics::{Histogram, MetricsLevel};
+//!
+//! let level = MetricsLevel::Counters;
+//! let h = Histogram::new();
+//! if level.at_least(MetricsLevel::Counters) {
+//!     h.record(1_300); // e.g. µs
+//! }
+//! let s = h.snapshot();
+//! assert_eq!(s.count, 1);
+//! assert!(s.p99 >= 1_024 && s.p99 <= 2_047);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// How much instrumentation the stack records.
+///
+/// Levels are totally ordered; each includes everything below it.
+/// Instrumented code asks [`MetricsLevel::at_least`] — one integer
+/// compare — so the `None` path costs a single predictable branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum MetricsLevel {
+    /// Record nothing beyond what the caller computes anyway.
+    None,
+    /// Latency histograms, per-tier counters, cache hit rates,
+    /// queue/worker occupancy. The production default.
+    #[default]
+    Counters,
+    /// Everything above plus per-operator plan timings and solver
+    /// search internals (nodes, AC-3 revisions, budget exhaustions).
+    Debug,
+    /// Everything above plus per-request structured event spans.
+    Trace,
+}
+
+impl MetricsLevel {
+    /// Whether this level records instrumentation gated at `gate`.
+    #[inline(always)]
+    pub fn at_least(self, gate: MetricsLevel) -> bool {
+        self >= gate
+    }
+
+    /// Parses a level name: `none`/`off`/`0`, `counters`, `debug`,
+    /// `trace` (case-insensitive). Unknown names parse to `None`: a
+    /// typo in an env var must not silently enable overhead.
+    pub fn parse(s: &str) -> MetricsLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "counters" | "1" => MetricsLevel::Counters,
+            "debug" | "2" => MetricsLevel::Debug,
+            "trace" | "3" => MetricsLevel::Trace,
+            _ => MetricsLevel::None,
+        }
+    }
+
+    /// The level selected by the `CQAPX_METRICS` environment variable,
+    /// or `Counters` when unset (counters are cheap enough to be on by
+    /// default; `CQAPX_METRICS=none` turns them off).
+    pub fn from_env() -> MetricsLevel {
+        match std::env::var("CQAPX_METRICS") {
+            Ok(v) => MetricsLevel::parse(&v),
+            Err(_) => MetricsLevel::Counters,
+        }
+    }
+
+    /// The level's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsLevel::None => "none",
+            MetricsLevel::Counters => "counters",
+            MetricsLevel::Debug => "debug",
+            MetricsLevel::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of power-of-two buckets: bucket 0 holds the value `0`,
+/// bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`, bucket 63 additionally
+/// absorbs everything above.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index a value lands in (`0` for `0`, else
+/// `64 - leading_zeros`, clamped to the last bucket).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive `[lo, hi]` range of values a bucket holds (the last
+/// bucket's `hi` is `u64::MAX`).
+pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    assert!(bucket < BUCKETS, "bucket out of range");
+    match bucket {
+        0 => (0, 0),
+        b if b == BUCKETS - 1 => (1u64 << (b - 1), u64::MAX),
+        b => (1u64 << (b - 1), (1u64 << b) - 1),
+    }
+}
+
+/// A lock-free log-bucketed histogram (HDR-style, power-of-two
+/// buckets). Values are dimensionless; the engine records
+/// microseconds. Recording is wait-free (one relaxed `fetch_add`, one
+/// relaxed `fetch_max`); quantiles are computed on demand from a
+/// bucket snapshot with linear interpolation inside the landing
+/// bucket, so their relative error is bounded by the bucket ratio.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: exact count/sum/max plus
+/// interpolated quantiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u64,
+    /// Exact minimum recorded value (0 when empty).
+    pub min: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Clears every bucket and scalar. Not atomic with respect to
+    /// concurrent recorders; callers quiesce first (the engine resets
+    /// between benchmark epochs, not mid-batch).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot with interpolated `p50/p90/p99`.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the totals from the bucket snapshot so quantiles are
+        // internally consistent even if recorders race the scalars.
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let min = match self.min.load(Ordering::Relaxed) {
+            u64::MAX => 0,
+            m => m,
+        };
+        // No recorded value lies outside [min, max], so clamping the
+        // interpolated estimate into that range only improves it (and
+        // makes single-sample quantiles exact).
+        let snap = |q: f64| quantile_from_buckets(&buckets, count, q).clamp(min, max);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: snap(0.50),
+            p90: snap(0.90),
+            p99: snap(0.99),
+        }
+    }
+}
+
+/// Estimates the `q`-quantile (0 ≤ q ≤ 1) from a bucket-count vector:
+/// walk to the bucket holding the `ceil(q·count)`-th smallest value,
+/// then interpolate linearly inside its `[lo, hi]` range by the rank's
+/// position among that bucket's values.
+fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            let hi = hi.min(lo.saturating_mul(2)); // tame the open-ended last bucket
+            let within = (rank - seen - 1) as f64 / n as f64;
+            return lo + ((hi - lo) as f64 * within) as u64;
+        }
+        seen += n;
+    }
+    0
+}
+
+/// A relaxed atomic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A relaxed atomic level gauge (signed: occupancy deltas may
+/// transiently race below zero under concurrent update).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Shifts the level by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A label → [`Histogram`] registry. Read-mostly: callers intern an
+/// `Arc` handle per label once (write lock on first sight only), then
+/// record through it lock-free.
+#[derive(Debug, Default)]
+pub struct HistogramFamily {
+    members: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl HistogramFamily {
+    /// An empty family.
+    pub fn new() -> HistogramFamily {
+        HistogramFamily::default()
+    }
+
+    /// The histogram for `label`, created on first sight.
+    pub fn with(&self, label: &str) -> Arc<Histogram> {
+        if let Some(h) = self.members.read().unwrap().get(label) {
+            return Arc::clone(h);
+        }
+        let mut members = self.members.write().unwrap();
+        Arc::clone(members.entry(label.to_string()).or_default())
+    }
+
+    /// Snapshots every member, in label order.
+    pub fn snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.members
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Resets every member (labels stay interned).
+    pub fn reset(&self) {
+        for h in self.members.read().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// A label → [`Counter`] registry (same interning discipline as
+/// [`HistogramFamily`]).
+#[derive(Debug, Default)]
+pub struct CounterFamily {
+    members: RwLock<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl CounterFamily {
+    /// An empty family.
+    pub fn new() -> CounterFamily {
+        CounterFamily::default()
+    }
+
+    /// The counter for `label`, created on first sight.
+    pub fn with(&self, label: &str) -> Arc<Counter> {
+        if let Some(c) = self.members.read().unwrap().get(label) {
+            return Arc::clone(c);
+        }
+        let mut members = self.members.write().unwrap();
+        Arc::clone(members.entry(label.to_string()).or_default())
+    }
+
+    /// Adds `n` to the counter for `label`.
+    pub fn add(&self, label: &str, n: u64) {
+        self.with(label).add(n);
+    }
+
+    /// Current values, in label order.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.members
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Resets every member (labels stay interned).
+    pub fn reset(&self) {
+        for c in self.members.read().unwrap().values() {
+            c.reset();
+        }
+    }
+}
+
+/// One structured event span: a name plus key/value fields, stamped by
+/// the producer (the engine stamps wall-clock microseconds since its
+/// construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Producer-relative timestamp in microseconds.
+    pub at_us: u64,
+    /// Event name (e.g. `"request"`).
+    pub name: &'static str,
+    /// Key/value payload, in emission order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:>10}µs] {}", self.at_us, self.name)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where `Trace`-level spans go. The engine owns an [`EventLog`];
+/// alternative sinks (stderr, test collectors) implement this.
+pub trait MetricsSink: Send + Sync {
+    /// The level this sink wants; producers gate on it.
+    fn level(&self) -> MetricsLevel;
+    /// Accepts one event. Only called when `level() ≥ Trace`.
+    fn emit(&self, event: TraceEvent);
+}
+
+/// A bounded in-memory ring of [`TraceEvent`]s: the default
+/// [`MetricsSink`]. Oldest events are dropped first; `dropped` counts
+/// them so a reader knows the window slid.
+#[derive(Debug)]
+pub struct EventLog {
+    level: MetricsLevel,
+    capacity: usize,
+    ring: Mutex<std::collections::VecDeque<TraceEvent>>,
+    dropped: Counter,
+}
+
+impl EventLog {
+    /// A ring holding at most `capacity` events, emitting at `level`.
+    pub fn new(level: MetricsLevel, capacity: usize) -> EventLog {
+        EventLog {
+            level,
+            capacity: capacity.max(1),
+            ring: Mutex::new(std::collections::VecDeque::new()),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Takes every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().drain(..).collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted to make room since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+impl MetricsSink for EventLog {
+    fn level(&self) -> MetricsLevel {
+        self.level
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.inc();
+        }
+        ring.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_parse() {
+        assert!(MetricsLevel::Trace.at_least(MetricsLevel::Debug));
+        assert!(MetricsLevel::Counters.at_least(MetricsLevel::Counters));
+        assert!(!MetricsLevel::None.at_least(MetricsLevel::Counters));
+        assert_eq!(MetricsLevel::parse("TRACE"), MetricsLevel::Trace);
+        assert_eq!(MetricsLevel::parse(" debug "), MetricsLevel::Debug);
+        assert_eq!(MetricsLevel::parse("counters"), MetricsLevel::Counters);
+        assert_eq!(MetricsLevel::parse("off"), MetricsLevel::None);
+        assert_eq!(MetricsLevel::parse("bogus"), MetricsLevel::None);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every bucket's bounds round-trip through bucket_of.
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_of(lo), b, "lo of bucket {b}");
+            if b < BUCKETS - 1 {
+                assert_eq!(bucket_of(hi), b, "hi of bucket {b}");
+                assert_eq!(bucket_of(hi + 1), b + 1, "hi+1 of bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_scalars_are_exact() {
+        let h = Histogram::new();
+        for v in [0, 1, 5, 100, 100, 7_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 7_206);
+        assert_eq!(s.max, 7_000);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::new();
+        // 89 fast (≈100µs bucket [64,127]), 10 medium ([1024,2047]),
+        // 1 slow outlier.
+        for _ in 0..89 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_500);
+        }
+        h.record(50_000);
+        let s = h.snapshot();
+        assert!(s.p50 >= 64 && s.p50 <= 127, "p50 = {}", s.p50);
+        assert!(s.p90 >= 1_024 && s.p90 <= 2_047, "p90 = {}", s.p90);
+        assert!(s.p99 >= 1_024 && s.p99 <= 2_047, "p99 = {}", s.p99);
+        assert_eq!(s.max, 50_000);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_exact_max() {
+        let h = Histogram::new();
+        h.record(1_000);
+        let s = h.snapshot();
+        // A single sample: every quantile is that sample, not the
+        // bucket's upper bound.
+        assert_eq!(s.p50, 1_000);
+        assert_eq!(s.p99, 1_000);
+    }
+
+    #[test]
+    fn quantile_interpolation_is_monotone() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // p50 of 1..=1000 is ~500; bucket [256,511] or [512,1023] is
+        // acceptable at factor-2 resolution.
+        assert!(s.p50 >= 256 && s.p50 <= 1_023, "p50 = {}", s.p50);
+        assert!(s.p99 >= 512, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        assert_eq!(Histogram::new().snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn families_intern_and_reset() {
+        let f = HistogramFamily::new();
+        f.with("acyclic").record(10);
+        f.with("acyclic").record(20);
+        f.with("naive").record(30);
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["acyclic"].count, 2);
+        assert_eq!(snap["naive"].count, 1);
+        f.reset();
+        assert_eq!(f.snapshot()["acyclic"].count, 0);
+
+        let c = CounterFamily::new();
+        c.add("hit", 3);
+        c.with("hit").inc();
+        assert_eq!(c.snapshot()["hit"], 4);
+        c.reset();
+        assert_eq!(c.snapshot()["hit"], 0);
+    }
+
+    #[test]
+    fn event_log_bounds_and_counts_drops() {
+        let log = EventLog::new(MetricsLevel::Trace, 2);
+        for i in 0..5u64 {
+            log.emit(TraceEvent {
+                at_us: i,
+                name: "request",
+                fields: vec![("i", i.to_string())],
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let events = log.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at_us, 3);
+        assert_eq!(events[1].at_us, 4);
+        assert!(log.is_empty());
+        assert!(events[1].to_string().contains("request"));
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+    }
+}

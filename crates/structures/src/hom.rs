@@ -137,6 +137,9 @@ pub struct HomSearchStats {
     pub nodes: u64,
     /// Number of backtracks.
     pub backtracks: u64,
+    /// Number of AC-3 constraint revisions performed (propagation work,
+    /// the complement of `nodes`' branching work).
+    pub revisions: u64,
     /// Whether the search exhausted its step budget before finishing.
     pub budget_exhausted: bool,
 }

@@ -318,6 +318,7 @@ impl<'s, 't> HomRun<'s, 't> {
                 injective: self.injective,
                 budget: self.budget.as_ref(),
                 sc: &mut sc,
+                revisions: 0,
             };
             if search.setup(&self.pins, &self.excluded) {
                 // Root-level arc consistency (its trail level is never
@@ -327,6 +328,7 @@ impl<'s, 't> HomRun<'s, 't> {
                     let _ = search.search(&mut f, &mut stats, 0);
                 }
             }
+            stats.revisions = search.revisions;
         }
         put_scratch(sc);
         stats
@@ -382,6 +384,9 @@ struct Search<'a> {
     injective: bool,
     budget: Option<&'a SearchBudget>,
     sc: &'a mut Scratch,
+    /// AC-3 revisions performed, folded into
+    /// [`HomSearchStats::revisions`] when the search returns.
+    revisions: u64,
 }
 
 impl Search<'_> {
@@ -513,6 +518,7 @@ impl Search<'_> {
     /// domain with its supported values. Shrunk variables are appended to
     /// `sc.shrunk`; returns `false` on a wipe-out.
     fn revise(&mut self, ci: usize) -> bool {
+        self.revisions += 1;
         let c = &self.solver.constraints[ci];
         let rel = RelId(c.rel);
         let ridx = self.idx.rel(rel);
@@ -767,6 +773,18 @@ mod tests {
         assert_eq!(b.remaining(), 0);
         assert!(!b.charge(1));
         assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn stats_count_ac3_revisions() {
+        // Any constrained search does at least one root revision, and
+        // branching (MAC) revises again below the root.
+        let solver = HomSolver::compile(&cycle(4));
+        let stats = solver
+            .run(&cycle(8))
+            .for_each(|_| ControlFlow::Continue(()));
+        assert!(stats.nodes > 0);
+        assert!(stats.revisions > stats.nodes, "MAC revises per branch");
     }
 
     #[test]

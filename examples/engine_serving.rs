@@ -61,7 +61,7 @@ fn main() {
             r.plan,
             r.answers.len(),
             r.status,
-            r.plan_reason
+            r.plan_reason()
         );
     }
 
