@@ -1,0 +1,236 @@
+//! Differential property tests for the worst-case-optimal bag
+//! materializer: the multiway (generic-join) kernel against the
+//! left-deep binary pipeline and the compiled naive evaluator, on
+//! random cyclic queries over random and skewed (power-law) digraphs.
+//!
+//! For every generated pair the two forced strategies must produce
+//! **byte-identical** bag relations (same schema, same rows in the same
+//! canonical order), identical answers cold and warm through a
+//! [`MaterializationCache`], identical answers under thread budgets
+//! {1, 2, 8}, and identical cache hit/miss accounting — the strategy is
+//! cache-invisible by design.
+
+use cqapx_cq::eval::{
+    env_bag_strategy, DecomposedPlan, MatCacheStats, MatStrategy, MaterializationCache, NaivePlan,
+};
+use cqapx_cq::{parse_cq, treewidth_of_query, ConjunctiveQuery};
+use cqapx_par::ThreadBudget;
+use cqapx_structures::Structure;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Builds a query string from directed atom pairs and a head bitmask
+/// over the variables that occur.
+fn build_query(edges: &[(u32, u32)], flips: u32, head_bits: u32) -> ConjunctiveQuery {
+    let mut used: BTreeSet<u32> = BTreeSet::new();
+    let atoms: Vec<String> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| {
+            let (a, b) = if flips >> (i % 32) & 1 == 1 {
+                (b, a)
+            } else {
+                (a, b)
+            };
+            used.insert(a);
+            used.insert(b);
+            format!("E(x{a}, x{b})")
+        })
+        .collect();
+    let head: Vec<String> = used
+        .iter()
+        .filter(|&&v| head_bits >> (v % 32) & 1 == 1)
+        .map(|v| format!("x{v}"))
+        .collect();
+    let text = format!("Q({}) :- {}", head.join(", "), atoms.join(", "));
+    parse_cq(&text).expect("generated query must parse")
+}
+
+/// Cyclic template family — the shapes whose bags hold several atom
+/// groups and so actually exercise the multiway kernel: oriented cycles
+/// C₃..C₆ (connector bags), `K₄`, and double triangles.
+fn cyclic_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    (0..3u8, 3..=6usize, any::<u32>(), any::<u32>()).prop_map(|(kind, size, flips, head_bits)| {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        match kind {
+            0 => {
+                for i in 0..size {
+                    edges.push((i as u32, ((i + 1) % size) as u32));
+                }
+            }
+            1 => {
+                for a in 0..4u32 {
+                    for b in (a + 1)..4 {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            _ => {
+                edges.extend([(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+            }
+        }
+        build_query(&edges, flips, head_bits)
+    })
+}
+
+/// Random digraph queries over up to `max_vars` variables (loops and
+/// duplicate atoms allowed, any treewidth).
+fn random_query(max_vars: usize) -> impl Strategy<Value = ConjunctiveQuery> {
+    (3..=max_vars).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as u32, 0..n as u32), 3..=2 * n),
+            any::<u32>(),
+        )
+            .prop_map(|(edges, head_bits)| build_query(&edges, 0, head_bits))
+    })
+}
+
+/// A uniform random digraph database.
+fn digraph(max_n: usize) -> impl Strategy<Value = Structure> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(3 * n))
+            .prop_map(move |edges| Structure::digraph(n, &edges))
+    })
+}
+
+fn lcg(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s >> 33
+}
+
+/// A skewed digraph: endpoints drawn with quadratic (power-law-ish)
+/// bias toward low ids, so a few hubs concentrate most of the edges —
+/// the regime where binary intermediates blow up and the multiway
+/// kernel's per-value intersection pays off.
+fn skewed_digraph(n: usize, edges: usize, seed: u64) -> Structure {
+    let mut s = seed | 1;
+    let pick = |s: &mut u64| -> u32 {
+        let r = (lcg(s) % 1_048_576) as f64 / 1_048_576.0;
+        ((r * r * n as f64) as usize).min(n - 1) as u32
+    };
+    let es: Vec<(u32, u32)> = (0..edges).map(|_| (pick(&mut s), pick(&mut s))).collect();
+    Structure::digraph(n, &es)
+}
+
+fn skewed_db(max_n: usize) -> impl Strategy<Value = Structure> {
+    (4..=max_n, any::<u64>()).prop_map(|(n, seed)| skewed_digraph(n, 4 * n, seed))
+}
+
+/// The differential check: forced-binary ≡ forced-wcoj ≡ naive, with
+/// byte-identical bag relations, identical cold/warm cache accounting,
+/// and budget-independent answers.
+fn check(q: &ConjunctiveQuery, d: &Structure) {
+    let tw = treewidth_of_query(q);
+    let base = DecomposedPlan::compile(q, tw).expect("compiles at the exact treewidth");
+    let expected = NaivePlan::compile(q.clone()).eval(d);
+    let binary = base.clone().with_bag_strategy(MatStrategy::Binary);
+    let wcoj = base.clone().with_bag_strategy(MatStrategy::Wcoj);
+
+    // Byte identity of every multi-part bag build under both forced
+    // strategies: same schema, same rows, same canonical order.
+    let budget = ThreadBudget::sequential();
+    for (sb, sw) in binary
+        .ir()
+        .materialize_sources()
+        .zip(wcoj.ir().materialize_sources())
+    {
+        if sb.parts.len() < 2 {
+            continue;
+        }
+        let mut st_b = MatCacheStats::default();
+        let mut st_w = MatCacheStats::default();
+        let rb = sb.materialize(d, None, &mut st_b, &budget);
+        let rw = sw.materialize(d, None, &mut st_w, &budget);
+        prop_assert_eq!(rb.schema(), rw.schema(), "bag schemas differ on {}", q);
+        prop_assert_eq!(rb.len(), rw.len(), "bag cardinalities differ on {}", q);
+        for i in 0..rb.len() {
+            prop_assert_eq!(rb.row(i), rw.row(i), "bag row {} differs on {}", i, q);
+        }
+        // Strategy attribution (only meaningful when no env override
+        // preempts the per-source field).
+        if env_bag_strategy() == MatStrategy::Auto {
+            prop_assert_eq!(
+                st_b.wcoj_bag_builds,
+                0,
+                "binary build ran the kernel on {}",
+                q
+            );
+            prop_assert_eq!(
+                st_w.binary_bag_builds,
+                0,
+                "wcoj build joined binarily on {}",
+                q
+            );
+            prop_assert!(
+                st_w.wcoj_bag_builds > 0,
+                "wcoj build not attributed on {}",
+                q
+            );
+        }
+    }
+
+    // Answers: uncached, then cold + warm through one cache per
+    // strategy, across thread budgets {1, 2, 8}. The cold hit/miss
+    // accounting must be identical across strategies (the strategy is
+    // cache-invisible), and warm runs must not re-materialize.
+    let mut cold_accounting: Vec<(u32, u32)> = Vec::new();
+    for plan in [&binary, &wcoj] {
+        prop_assert_eq!(&plan.eval(d), &expected, "uncached eval disagrees on {}", q);
+        let cache = MaterializationCache::new();
+        for (i, t) in [1usize, 2, 8].into_iter().enumerate() {
+            let (ans, stats) = plan.eval_cached_budget(d, Some(&cache), &ThreadBudget::new(t));
+            prop_assert_eq!(
+                &ans,
+                &expected,
+                "cached eval (budget {}) disagrees on {}",
+                t,
+                q
+            );
+            if i == 0 {
+                prop_assert!(stats.misses > 0, "cold run must materialize on {}", q);
+                cold_accounting.push((stats.hits, stats.misses));
+            } else {
+                prop_assert_eq!(stats.misses, 0, "warm run re-materialized on {}", q);
+            }
+        }
+    }
+    prop_assert_eq!(
+        cold_accounting[0],
+        cold_accounting[1],
+        "cache accounting differs between strategies on {}",
+        q
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cyclic templates (cycles, K4, double triangles) over uniform
+    /// random digraphs.
+    #[test]
+    fn wcoj_agrees_on_cyclic_templates(q in cyclic_query(), d in digraph(8)) {
+        check(&q, &d);
+    }
+
+    /// Cyclic templates over skewed (hub-heavy) digraphs — the
+    /// workloads the kernel exists for.
+    #[test]
+    fn wcoj_agrees_on_skewed_databases(q in cyclic_query(), d in skewed_db(24)) {
+        check(&q, &d);
+    }
+
+    /// Random digraph queries (any treewidth, loops and duplicate
+    /// atoms) over uniform and skewed databases.
+    #[test]
+    fn wcoj_agrees_on_random_queries(q in random_query(6), d in digraph(8)) {
+        check(&q, &d);
+    }
+
+    /// Random queries crossed with skewed databases.
+    #[test]
+    fn wcoj_agrees_on_random_queries_skewed(q in random_query(5), d in skewed_db(16)) {
+        check(&q, &d);
+    }
+}

@@ -32,7 +32,7 @@
 use crate::ast::{Atom, ConjunctiveQuery, VarId};
 use crate::classes::query_graph;
 use crate::eval::flat::{MatCacheStats, MatKey, MaterializationCache};
-use crate::eval::ir::{compile_tree, MatSource, NodeSpec, PlanIr};
+use crate::eval::ir::{compile_tree, MatSource, MatStrategy, NodeSpec, PlanIr};
 use cqapx_graphs::treewidth::treewidth_at_most;
 use cqapx_par::ThreadBudget;
 use cqapx_structures::{Element, RelId, Structure};
@@ -59,15 +59,29 @@ impl fmt::Display for NotDecomposable {
 
 impl std::error::Error for NotDecomposable {}
 
-/// Cost-model inputs of one bag, exposed for the planner: the bag size
-/// and the parts (sub-hyperedges) joined inside it.
+/// One part (sub-hyperedge) of a bag, exposed for the planner.
+#[derive(Debug, Clone)]
+pub struct BagPart {
+    /// The relation of the part's first atom (for raw statistics).
+    pub rel: RelId,
+    /// The part's cache key (for real materialized cardinalities).
+    pub key: MatKey,
+    /// Sorted distinct variables of the part (for the strategy model).
+    pub schema: Vec<VarId>,
+}
+
+/// Cost-model inputs of one bag, exposed for the planner: the bag size,
+/// the compiled build strategy, and the parts (sub-hyperedges) joined
+/// inside it.
 #[derive(Debug, Clone)]
 pub struct BagSummary {
     /// Number of variables in the bag (label, not just covered schema).
     pub label_size: usize,
-    /// Per part: the relation of its first atom (for raw statistics)
-    /// and its cache key (for real materialized cardinalities).
-    pub parts: Vec<(RelId, MatKey)>,
+    /// The bag source's compiled build strategy (plans compile with
+    /// [`MatStrategy::Auto`]; see [`DecomposedPlan::with_bag_strategy`]).
+    pub strategy: MatStrategy,
+    /// The sub-hyperedges joined inside the bag.
+    pub parts: Vec<BagPart>,
 }
 
 /// A compiled bounded-treewidth evaluation plan for a (typically
@@ -136,17 +150,23 @@ impl DecomposedPlan {
                     schema: Vec::new(),
                     key: MatKey::of_group(&[], &[]),
                     parts: Vec::new(),
+                    strategy: MatStrategy::Auto,
                 }
             } else {
                 MatSource::from_groups(&group_refs)
             };
             bags.push(BagSummary {
                 label_size: bag.len(),
+                strategy: source.strategy,
                 parts: source
                     .parts
                     .iter()
                     .zip(&group_refs)
-                    .map(|(p, g)| (g[0].rel, p.key.clone()))
+                    .map(|(p, g)| BagPart {
+                        rel: g[0].rel,
+                        key: p.key.clone(),
+                        schema: p.schema.clone(),
+                    })
                     .collect(),
             });
             nodes.push(NodeSpec {
@@ -166,6 +186,19 @@ impl DecomposedPlan {
             width,
             bags,
         })
+    }
+
+    /// Returns the plan with every bag forced to the given build
+    /// strategy (compiled plans default to [`MatStrategy::Auto`]). The
+    /// produced bag relations are identical under any strategy — only
+    /// the build cost changes — so this is a test/bench/planner knob,
+    /// not a semantic one.
+    pub fn with_bag_strategy(mut self, strategy: MatStrategy) -> DecomposedPlan {
+        self.ir.set_bag_strategy(strategy);
+        for bag in &mut self.bags {
+            bag.strategy = strategy;
+        }
+        self
     }
 
     /// The underlying query.

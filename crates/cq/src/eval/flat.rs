@@ -114,6 +114,15 @@ impl FlatRelation {
         self.data.clear();
     }
 
+    /// Re-targets the buffer to a new schema, dropping all rows but
+    /// keeping the allocation — the clear-and-refill scratch pattern of
+    /// bag builds.
+    pub(crate) fn reset(&mut self, schema: Vec<VarId>) {
+        self.schema = schema;
+        self.rows = 0;
+        self.data.clear();
+    }
+
     /// The `i`-th row.
     pub fn row(&self, i: usize) -> &[Element] {
         let a = self.schema.len();
@@ -279,24 +288,59 @@ impl FlatRelation {
 
     /// The sequential sort + dedup (also the `threads = 1` compile
     /// target of [`FlatRelation::sort_dedup_budget`]).
+    ///
+    /// Narrow relations (arity ≤ 8 — every bag and join-phase
+    /// intermediate of practical plans) take a packed fast path: rows
+    /// are copied into fixed-size arrays and sorted by value, which
+    /// beats the index-indirect comparison sort by avoiding a random
+    /// data-buffer read per comparison. `[Element; A]` orders
+    /// lexicographically, i.e. exactly the canonical row order, so the
+    /// output is bit-identical to the generic path's.
     fn sort_dedup_seq(&mut self) {
-        let a = self.schema.len();
-        let data = &self.data;
-        let mut idx: Vec<u32> = (0..self.rows as u32).collect();
-        idx.sort_unstable_by(|&x, &y| {
-            let (x, y) = (x as usize * a, y as usize * a);
-            data[x..x + a].cmp(&data[y..y + a])
-        });
-        idx.dedup_by(|&mut x, &mut y| {
-            let (x, y) = (x as usize * a, y as usize * a);
-            data[x..x + a] == data[y..y + a]
-        });
-        let mut out = Vec::with_capacity(idx.len() * a);
-        for &i in &idx {
-            out.extend_from_slice(&data[i as usize * a..][..a]);
+        fn packed<const A: usize>(rows: usize, data: &mut Vec<Element>) -> usize {
+            let mut packed: Vec<[Element; A]> = Vec::with_capacity(rows);
+            for i in 0..rows {
+                let mut r = [0; A];
+                r.copy_from_slice(&data[i * A..(i + 1) * A]);
+                packed.push(r);
+            }
+            packed.sort_unstable();
+            packed.dedup();
+            data.clear();
+            for r in &packed {
+                data.extend_from_slice(r);
+            }
+            packed.len()
         }
-        self.rows = idx.len();
-        self.data = out;
+        let a = self.schema.len();
+        match a {
+            1 => self.rows = packed::<1>(self.rows, &mut self.data),
+            2 => self.rows = packed::<2>(self.rows, &mut self.data),
+            3 => self.rows = packed::<3>(self.rows, &mut self.data),
+            4 => self.rows = packed::<4>(self.rows, &mut self.data),
+            5 => self.rows = packed::<5>(self.rows, &mut self.data),
+            6 => self.rows = packed::<6>(self.rows, &mut self.data),
+            7 => self.rows = packed::<7>(self.rows, &mut self.data),
+            8 => self.rows = packed::<8>(self.rows, &mut self.data),
+            _ => {
+                let data = &self.data;
+                let mut idx: Vec<u32> = (0..self.rows as u32).collect();
+                idx.sort_unstable_by(|&x, &y| {
+                    let (x, y) = (x as usize * a, y as usize * a);
+                    data[x..x + a].cmp(&data[y..y + a])
+                });
+                idx.dedup_by(|&mut x, &mut y| {
+                    let (x, y) = (x as usize * a, y as usize * a);
+                    data[x..x + a] == data[y..y + a]
+                });
+                let mut out = Vec::with_capacity(idx.len() * a);
+                for &i in &idx {
+                    out.extend_from_slice(&data[i as usize * a..][..a]);
+                }
+                self.rows = idx.len();
+                self.data = out;
+            }
+        }
     }
 
     /// Intersection with a same-schema relation; both sides must be in
@@ -631,6 +675,95 @@ impl FlatRelation {
         out
     }
 
+    /// Distinct projection **without** the canonical ordering: gathers
+    /// the kept columns and dedups through an open-addressed hash table
+    /// in one pass, leaving row order unspecified (first occurrence
+    /// wins). Requires a duplicate-free input (all plan intermediates
+    /// are). The join-phase operators only need set semantics — joins
+    /// and semijoins probe hashes, and the answer collector orders —
+    /// so plan execution uses this on wide intermediates where the
+    /// O(n log n) sort dwarfs the dedup it buys. Bag materialization
+    /// keeps using [`FlatRelation::project_budget`]: its sorted output
+    /// is a cache and bit-identity contract.
+    pub fn project_distinct(&self, vars: &[VarId]) -> FlatRelation {
+        let map: FxHashMap<VarId, usize> = self
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        let mut schema = Vec::new();
+        let mut keep = Vec::new();
+        for &v in vars {
+            if !schema.contains(&v) {
+                schema.push(v);
+                keep.push(*map.get(&v).expect("projected variable must be in schema"));
+            }
+        }
+        let a = keep.len();
+        let mut out = FlatRelation::empty(schema);
+        if a == 0 {
+            out.rows = self.rows.min(1);
+            return out;
+        }
+        // Open addressing over output-row indices, hashes recomputed on
+        // compare-miss only (the table stays a quarter empty).
+        let cap = (self.rows * 2).next_power_of_two().max(16);
+        let mask = cap - 1;
+        let mut table: Vec<u32> = vec![u32::MAX; cap];
+        out.data.reserve(self.rows.min(cap) * a);
+        let mut scratch: Vec<Element> = vec![0; a];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (s, &p) in scratch.iter_mut().zip(&keep) {
+                *s = row[p];
+            }
+            let mut slot = (Self::hash_row(&scratch) as usize) & mask;
+            loop {
+                let entry = table[slot];
+                if entry == u32::MAX {
+                    table[slot] = out.rows as u32;
+                    out.data.extend_from_slice(&scratch);
+                    out.rows += 1;
+                    break;
+                }
+                if out.data[entry as usize * a..][..a] == scratch[..] {
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        out
+    }
+
+    /// FxHash of a whole row.
+    #[inline]
+    fn hash_row(row: &[Element]) -> u64 {
+        let mut h = FxHasher::default();
+        for &e in row {
+            h.write_u32(e);
+        }
+        h.finish()
+    }
+
+    /// Per-column maximum value frequency — the observed heavy-hitter
+    /// degree the Auto bag strategy feeds into its skew-corrected
+    /// estimate (see `resolve_bag_strategy_observed`). One counting
+    /// pass per column; empty relations report all zeros.
+    pub fn max_degrees(&self) -> Vec<usize> {
+        let a = self.schema.len();
+        let mut out = vec![0usize; a];
+        let mut counts: FxHashMap<Element, usize> = FxHashMap::default();
+        for (j, slot) in out.iter_mut().enumerate() {
+            counts.clear();
+            for r in 0..self.rows {
+                *counts.entry(self.data[r * a + j]).or_insert(0) += 1;
+            }
+            *slot = counts.values().copied().max().unwrap_or(0);
+        }
+        out
+    }
+
     /// Reads the rows out in the order of an explicit head (duplicated
     /// head variables allowed).
     pub fn rows_in_head_order(&self, head: &[VarId]) -> BTreeSet<Vec<Element>> {
@@ -801,6 +934,428 @@ impl Iterator for ProbeIter<'_> {
     }
 }
 
+/// Candidates per parallel morsel of the multiway kernel: the unit of
+/// work is one first-variable candidate *subtree*, which is far heavier
+/// than one row, so the morsel is much smaller than [`MORSEL_ROWS`].
+const WCOJ_MORSEL_CANDS: usize = 32;
+
+/// First row in `lo..hi` whose `col` value is `>= v` (`> v` when
+/// `strict`): galloping search — exponential probe from `lo`, then
+/// binary search inside the overshot step. Within a fixed-prefix row
+/// range of a sorted relation the column is sorted, which is what makes
+/// this the "per-column sorted index" of the multiway kernel.
+fn gallop(
+    data: &[Element],
+    arity: usize,
+    col: usize,
+    lo: usize,
+    hi: usize,
+    v: Element,
+    strict: bool,
+) -> usize {
+    let above = |row: usize| {
+        let x = data[row * arity + col];
+        if strict {
+            x > v
+        } else {
+            x >= v
+        }
+    };
+    if lo >= hi || above(lo) {
+        return lo;
+    }
+    let mut step = 1usize;
+    let mut prev = lo;
+    loop {
+        let nxt = prev + step;
+        if nxt >= hi || above(nxt) {
+            // Binary search in (prev, min(nxt, hi)).
+            let (mut l, mut h) = (prev + 1, nxt.min(hi));
+            while l < h {
+                let mid = l + (h - l) / 2;
+                if above(mid) {
+                    h = mid;
+                } else {
+                    l = mid + 1;
+                }
+            }
+            return l;
+        }
+        prev = nxt;
+        step <<= 1;
+    }
+}
+
+/// Static shape of one multiway join: which global variable level each
+/// part column binds at, which parts activate at each level, and the
+/// column-0 [`KeyIndex`]es used as prefix probes for parts that enter
+/// the recursion below the root (their whole relation is the candidate
+/// range, so a stored-hash probe finds the run of the current value in
+/// O(run) instead of galloping from row 0 per parent binding).
+struct WcojShape<'a> {
+    parts: &'a [&'a FlatRelation],
+    /// Per level: `(part, depth)` for every part whose `depth`-th column
+    /// binds at this level. Nonempty at every level (the schema is the
+    /// union of the part schemas).
+    active_at: Vec<Vec<(usize, usize)>>,
+    /// Per part: a hash index over column 0, built only for parts whose
+    /// first column binds below the root.
+    col0: Vec<Option<KeyIndex>>,
+    levels: usize,
+}
+
+impl<'a> WcojShape<'a> {
+    fn new(parts: &'a [&'a FlatRelation], schema: &[VarId]) -> WcojShape<'a> {
+        debug_assert!(schema.windows(2).all(|w| w[0] < w[1]));
+        let cols: Vec<Vec<usize>> = parts
+            .iter()
+            .map(|p| {
+                p.schema
+                    .iter()
+                    .map(|v| schema.binary_search(v).expect("part var must be in schema"))
+                    .collect()
+            })
+            .collect();
+        let mut active_at: Vec<Vec<(usize, usize)>> = vec![Vec::new(); schema.len()];
+        for (pi, lv) in cols.iter().enumerate() {
+            for (depth, &level) in lv.iter().enumerate() {
+                active_at[level].push((pi, depth));
+            }
+        }
+        let col0 = parts
+            .iter()
+            .zip(&cols)
+            .map(|(p, lv)| (lv[0] > 0).then(|| KeyIndex::build(p, &[0])))
+            .collect();
+        WcojShape {
+            parts,
+            active_at,
+            col0,
+            levels: schema.len(),
+        }
+    }
+
+    /// The run `[lo, hi)` of rows of part `p` whose column 0 equals `v`,
+    /// via the stored-hash prefix probe; `None` when no row matches.
+    fn probe_run(&self, p: usize, v: Element) -> Option<(usize, usize)> {
+        let idx = self.col0[p].as_ref().expect("probe only for indexed parts");
+        let rel = self.parts[p];
+        let a = rel.schema.len();
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for r in idx.probe(FlatRelation::hash_key(&[v], &[0])) {
+            if rel.data[r * a] == v {
+                lo = lo.min(r);
+                hi = hi.max(r + 1);
+            }
+        }
+        (lo != usize::MAX).then_some((lo, hi))
+    }
+}
+
+/// Mutable per-worker state of one multiway enumeration: prefix-run
+/// bounds per (part, depth), per-level cursor scratch, the current
+/// variable binding, and the output buffer.
+struct WcojRun<'a> {
+    shape: &'a WcojShape<'a>,
+    /// `bounds[p][d]`: row range of part `p` matching the first `d`
+    /// bound columns. `bounds[p][0]` is the whole relation.
+    bounds: Vec<Vec<(usize, usize)>>,
+    /// Per level: cursor per active slot (reused across calls).
+    cursors: Vec<Vec<usize>>,
+    binding: Vec<Element>,
+    out: Vec<Element>,
+    rows: usize,
+}
+
+impl<'a> WcojRun<'a> {
+    fn new(shape: &'a WcojShape<'a>) -> WcojRun<'a> {
+        WcojRun {
+            shape,
+            bounds: shape
+                .parts
+                .iter()
+                .map(|p| vec![(0, p.rows); p.schema.len() + 1])
+                .collect(),
+            cursors: shape
+                .active_at
+                .iter()
+                .map(|a| vec![0usize; a.len()])
+                .collect(),
+            binding: vec![0; shape.levels],
+            out: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    #[inline]
+    fn val(&self, p: usize, row: usize, c: usize) -> Element {
+        let rel = self.shape.parts[p];
+        rel.data[row * rel.schema.len() + c]
+    }
+
+    /// Enumerates all extensions of the current binding from `level` on,
+    /// appending complete bindings (schema order) to the output. Values
+    /// are visited in ascending order at every level, so the output is
+    /// lexicographically sorted and duplicate-free — the canonical
+    /// `sort_dedup` form, byte-identical to the binary build's.
+    fn enumerate(&mut self, level: usize) {
+        if level == self.shape.levels {
+            self.out.extend_from_slice(&self.binding);
+            self.rows += 1;
+            return;
+        }
+        let active = &self.shape.active_at[level];
+        // Parts entering here with their whole relation as the range are
+        // filtered by hash prefix probe instead of leapfrogged — unless
+        // every active part is such, in which case they lead themselves.
+        let all_fresh = active
+            .iter()
+            .all(|&(p, d)| d == 0 && self.shape.col0[p].is_some());
+        let is_probed =
+            |&(p, d): &(usize, usize)| !all_fresh && d == 0 && self.shape.col0[p].is_some();
+        let mut curs = std::mem::take(&mut self.cursors[level]);
+        let mut ends = vec![0usize; active.len()];
+        let mut live = true;
+        for (slot, &(p, d)) in active.iter().enumerate() {
+            if is_probed(&active[slot]) {
+                continue;
+            }
+            let (lo, hi) = self.bounds[p][d];
+            curs[slot] = lo;
+            ends[slot] = hi;
+            if lo >= hi {
+                live = false;
+            }
+        }
+        if !live {
+            self.cursors[level] = curs;
+            return;
+        }
+        'search: loop {
+            // Leapfrog the lead slots to a common value.
+            let mut vmax = Element::MIN;
+            for (slot, a) in active.iter().enumerate() {
+                if !is_probed(a) {
+                    vmax = vmax.max(self.val(a.0, curs[slot], a.1));
+                }
+            }
+            let mut moved = false;
+            for (slot, a) in active.iter().enumerate() {
+                if is_probed(a) {
+                    continue;
+                }
+                let &(p, d) = a;
+                if self.val(p, curs[slot], d) < vmax {
+                    let rel = self.shape.parts[p];
+                    curs[slot] = gallop(
+                        &rel.data,
+                        rel.schema.len(),
+                        d,
+                        curs[slot],
+                        ends[slot],
+                        vmax,
+                        false,
+                    );
+                    if curs[slot] >= ends[slot] {
+                        break 'search;
+                    }
+                    if self.val(p, curs[slot], d) > vmax {
+                        moved = true;
+                    }
+                }
+            }
+            if moved {
+                continue;
+            }
+            // All lead slots sit on `vmax`: check the probed slots and
+            // narrow every active part to its run of the value.
+            let mut ok = true;
+            for a in active.iter().filter(|a| is_probed(a)) {
+                match self.shape.probe_run(a.0, vmax) {
+                    Some(run) => self.bounds[a.0][1] = run,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                for (slot, a) in active.iter().enumerate() {
+                    if is_probed(a) {
+                        continue;
+                    }
+                    let &(p, d) = a;
+                    let rel = self.shape.parts[p];
+                    let run_end = gallop(
+                        &rel.data,
+                        rel.schema.len(),
+                        d,
+                        curs[slot],
+                        ends[slot],
+                        vmax,
+                        true,
+                    );
+                    self.bounds[p][d + 1] = (curs[slot], run_end);
+                }
+                self.binding[level] = vmax;
+                self.enumerate(level + 1);
+            }
+            // Advance every lead slot past the value.
+            for (slot, a) in active.iter().enumerate() {
+                if is_probed(a) {
+                    continue;
+                }
+                let &(p, d) = a;
+                let rel = self.shape.parts[p];
+                curs[slot] = if ok {
+                    self.bounds[p][d + 1].1
+                } else {
+                    gallop(
+                        &rel.data,
+                        rel.schema.len(),
+                        d,
+                        curs[slot],
+                        ends[slot],
+                        vmax,
+                        true,
+                    )
+                };
+                if curs[slot] >= ends[slot] {
+                    break 'search;
+                }
+            }
+        }
+        self.cursors[level] = curs;
+    }
+}
+
+/// Worst-case-optimal multiway join (generic-join / leapfrog style) of
+/// sorted-canonical relations onto their sorted variable union:
+/// variable by variable, the candidate extensions are intersected
+/// across every part containing the variable — galloping over the
+/// sorted per-column runs, with stored-hash [`KeyIndex`] prefix probes
+/// for parts entering the intersection mid-recursion. The total work is
+/// bounded by the fractional-cover (AGM) bound of the join, not by the
+/// size of any binary intermediate.
+///
+/// Requirements: every part is in `sort_dedup` canonical form with a
+/// sorted, nonempty schema; `schema` is the sorted union of the part
+/// schemas. The output is in canonical form by construction (values are
+/// enumerated in ascending order per level), byte-identical to
+/// `parts[0] ⋈ … ⋈ parts[n-1]` projected and canonicalized.
+///
+/// Under a granting `budget` the enumeration fans out over morsels of
+/// the first variable's candidates, each worker enumerating its
+/// candidates' subtrees into its own buffer; buffers are stitched in
+/// candidate order, so the output is bit-identical to the sequential
+/// run.
+pub(crate) fn multiway_join(
+    parts: &[&FlatRelation],
+    schema: &[VarId],
+    budget: &ThreadBudget,
+) -> FlatRelation {
+    debug_assert!(!parts.is_empty() && parts.iter().all(|p| !p.schema.is_empty()));
+    let shape = WcojShape::new(parts, schema);
+    let mut out = FlatRelation::empty(schema.to_vec());
+    if shape.levels == 0 {
+        return out;
+    }
+    // Level-0 candidates: the leapfrog intersection of the first
+    // columns, with each candidate's per-part run recorded so workers
+    // (and the sequential fallback) start directly at level 1.
+    let lead: Vec<(usize, usize)> = shape.active_at[0].clone();
+    let mut cands: Vec<Element> = Vec::new();
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // cands.len() × lead.len()
+    {
+        let mut curs: Vec<usize> = vec![0; lead.len()];
+        let mut live = lead.iter().all(|&(p, _)| parts[p].rows > 0);
+        'scan: while live {
+            let mut vmax = Element::MIN;
+            for (slot, &(p, _)) in lead.iter().enumerate() {
+                vmax = vmax.max(parts[p].data[curs[slot] * parts[p].schema.len()]);
+            }
+            let mut moved = false;
+            for (slot, &(p, _)) in lead.iter().enumerate() {
+                let rel = parts[p];
+                if rel.data[curs[slot] * rel.schema.len()] < vmax {
+                    curs[slot] = gallop(
+                        &rel.data,
+                        rel.schema.len(),
+                        0,
+                        curs[slot],
+                        rel.rows,
+                        vmax,
+                        false,
+                    );
+                    if curs[slot] >= rel.rows {
+                        break 'scan;
+                    }
+                    if rel.data[curs[slot] * rel.schema.len()] > vmax {
+                        moved = true;
+                    }
+                }
+            }
+            if moved {
+                continue;
+            }
+            cands.push(vmax);
+            for (slot, &(p, _)) in lead.iter().enumerate() {
+                let rel = parts[p];
+                let end = gallop(
+                    &rel.data,
+                    rel.schema.len(),
+                    0,
+                    curs[slot],
+                    rel.rows,
+                    vmax,
+                    true,
+                );
+                runs.push((curs[slot], end));
+                curs[slot] = end;
+                if end >= rel.rows {
+                    live = false;
+                }
+            }
+        }
+    }
+    // One candidate's subtree: bind level 0, install the runs, recurse.
+    let run_candidate = |st: &mut WcojRun, i: usize| {
+        st.binding[0] = cands[i];
+        for (slot, &(p, _)) in lead.iter().enumerate() {
+            st.bounds[p][1] = runs[i * lead.len() + slot];
+        }
+        st.enumerate(1);
+    };
+    if cands.len() >= 2 * WCOJ_MORSEL_CANDS && budget.capacity() > 0 {
+        let want = (cands.len() / WCOJ_MORSEL_CANDS).saturating_sub(1).min(31);
+        let lease = budget.claim(want);
+        if lease.extra() > 0 {
+            let bufs: Vec<(Vec<Element>, usize)> =
+                parallel_chunks(cands.len(), WCOJ_MORSEL_CANDS, lease.workers(), |_, r| {
+                    let mut st = WcojRun::new(&shape);
+                    for i in r {
+                        run_candidate(&mut st, i);
+                    }
+                    (st.out, st.rows)
+                });
+            let total: usize = bufs.iter().map(|(_, n)| n).sum();
+            out.data.reserve(total * schema.len());
+            for (buf, n) in bufs {
+                out.data.extend_from_slice(&buf);
+                out.rows += n;
+            }
+            return out;
+        }
+    }
+    let mut st = WcojRun::new(&shape);
+    for i in 0..cands.len() {
+        run_candidate(&mut st, i);
+    }
+    out.data = st.out;
+    out.rows = st.rows;
+    out
+}
+
 /// A compiled tuple→row mapping for one atom: which tuple positions must
 /// agree (repeated variables) and which tuple position feeds each output
 /// column. Compiling this once per plan removes the `var_count`-sized
@@ -908,6 +1463,14 @@ pub struct MatCacheStats {
     pub hits: u32,
     /// Hyperedges materialized (and inserted) on this call.
     pub misses: u32,
+    /// Multi-part bag builds that joined their parts binarily.
+    pub binary_bag_builds: u32,
+    /// Multi-part bag builds that ran the multiway (WCOJ) kernel.
+    pub wcoj_bag_builds: u32,
+    /// Microseconds spent in binary bag joins (join phase only).
+    pub binary_bag_us: u64,
+    /// Microseconds spent in multiway bag builds (join phase only).
+    pub wcoj_bag_us: u64,
 }
 
 impl MatCacheStats {
@@ -915,6 +1478,10 @@ impl MatCacheStats {
     pub fn add(&mut self, other: MatCacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.binary_bag_builds += other.binary_bag_builds;
+        self.wcoj_bag_builds += other.wcoj_bag_builds;
+        self.binary_bag_us += other.binary_bag_us;
+        self.wcoj_bag_us += other.wcoj_bag_us;
     }
 }
 
@@ -987,8 +1554,14 @@ impl MaterializationCache {
         let flight = match existing {
             Some(f) => f,
             None => {
+                // Re-check before inserting: a racing caller may have
+                // created the flight between the two lock acquisitions,
+                // and only a true insert needs to clone the key.
                 let mut map = self.map.write().expect("cache lock poisoned");
-                Arc::clone(map.entry(key.clone()).or_default())
+                match map.get(key) {
+                    Some(f) => Arc::clone(f),
+                    None => Arc::clone(map.entry(key.clone()).or_default()),
+                }
             }
         };
         let mut ran = false;
@@ -1350,5 +1923,111 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.peek_cardinality(&key), Some(1));
         assert_eq!(cache.len(), 1);
+    }
+
+    // ── multiway (WCOJ) kernel ──────────────────────────────────────
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    fn random_rel(schema: &[VarId], rows: usize, dom: u64, seed: &mut u64) -> FlatRelation {
+        let mut r = FlatRelation::empty(schema.to_vec());
+        for _ in 0..rows {
+            let row: Vec<Element> = schema
+                .iter()
+                .map(|_| (lcg(seed) % dom) as Element)
+                .collect();
+            r.push_row(&row);
+        }
+        r.sort_dedup();
+        r
+    }
+
+    /// The binary reference build: left-deep joins, canonical project.
+    fn binary_reference(parts: &[&FlatRelation], schema: &[VarId]) -> FlatRelation {
+        let budget = &ThreadBudget::sequential();
+        let mut acc: Option<FlatRelation> = None;
+        for &p in parts {
+            acc = Some(match acc {
+                None => p.clone(),
+                Some(a) => a.join_budget(p, budget),
+            });
+        }
+        acc.unwrap().project_budget(schema, budget)
+    }
+
+    fn assert_identical(got: &FlatRelation, want: &FlatRelation, ctx: &str) {
+        assert_eq!(got.schema(), want.schema(), "schema differs: {ctx}");
+        assert_eq!(got.len(), want.len(), "row count differs: {ctx}");
+        assert!(got.iter_rows().eq(want.iter_rows()), "rows differ: {ctx}");
+    }
+
+    #[test]
+    fn multiway_join_matches_binary_build() {
+        let mut seed = 7u64;
+        // Shapes: path (exercises the mid-recursion prefix probe),
+        // triangle, and two irregular hypergraphs with 3–4 variables.
+        let shapes: [&[&[VarId]]; 4] = [
+            &[&[0, 1], &[1, 2]],
+            &[&[0, 1], &[1, 2], &[0, 2]],
+            &[&[0, 1, 2], &[1, 3], &[2, 3]],
+            &[&[0, 2], &[1, 2], &[0, 1, 3]],
+        ];
+        for &(dom, rows) in &[(4u64, 12usize), (10, 60), (25, 300)] {
+            for schemas in shapes {
+                let rels: Vec<FlatRelation> = schemas
+                    .iter()
+                    .map(|s| random_rel(s, rows, dom, &mut seed))
+                    .collect();
+                let parts: Vec<&FlatRelation> = rels.iter().collect();
+                let mut schema: Vec<VarId> =
+                    schemas.iter().flat_map(|s| s.iter().copied()).collect();
+                schema.sort_unstable();
+                schema.dedup();
+                let got = multiway_join(&parts, &schema, &ThreadBudget::sequential());
+                let want = binary_reference(&parts, &schema);
+                assert_identical(&got, &want, &format!("{schemas:?} dom {dom} rows {rows}"));
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_join_empty_part_gives_empty() {
+        let a = rel(&[0, 1], &[&[1, 2], &[2, 3]]);
+        let b = FlatRelation::empty(vec![1, 2]);
+        let out = multiway_join(&[&a, &b], &[0, 1, 2], &ThreadBudget::sequential());
+        assert_eq!(out.schema(), &[0, 1, 2]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiway_join_single_part_is_identity() {
+        let a = rel(&[0, 1], &[&[1, 2], &[2, 3], &[5, 1]]);
+        let out = multiway_join(&[&a], &[0, 1], &ThreadBudget::sequential());
+        assert_identical(&out, &a, "single part");
+    }
+
+    #[test]
+    fn multiway_join_parallel_is_bit_identical() {
+        // Enough level-0 candidates (> 2·WCOJ_MORSEL_CANDS) to engage
+        // the morsel fan-out under a granting budget.
+        let mut seed = 99u64;
+        let schemas: [&[VarId]; 3] = [&[0, 1], &[1, 2], &[0, 2]];
+        let rels: Vec<FlatRelation> = schemas
+            .iter()
+            .map(|s| random_rel(s, 900, 200, &mut seed))
+            .collect();
+        let parts: Vec<&FlatRelation> = rels.iter().collect();
+        let seq = multiway_join(&parts, &[0, 1, 2], &ThreadBudget::sequential());
+        assert!(!seq.is_empty(), "triangle join must produce rows");
+        for threads in [2usize, 4, 8] {
+            let budget = ThreadBudget::new(threads);
+            let par = multiway_join(&parts, &[0, 1, 2], &budget);
+            assert_identical(&par, &seq, &format!("{threads} threads"));
+        }
     }
 }

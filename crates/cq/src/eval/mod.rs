@@ -10,9 +10,12 @@ pub mod ir;
 pub mod naive;
 pub mod yannakakis;
 
-pub use decomposed::{DecomposedPlan, NotDecomposable};
+pub use decomposed::{BagPart, BagSummary, DecomposedPlan, NotDecomposable};
 pub use evaluator::{Evaluator, NaiveEvaluator};
 pub use flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
-pub use ir::{EvalProfile, MatPart, MatSource, NodeSpec, Op, OpProfile, PlanIr, Slot};
+pub use ir::{
+    env_bag_strategy, resolve_bag_strategy, resolve_bag_strategy_observed, EvalProfile, MatPart,
+    MatSource, MatStrategy, NodeSpec, Op, OpProfile, PlanIr, Slot,
+};
 pub use naive::{eval_boolean_naive, eval_naive, NaivePlan};
 pub use yannakakis::{AcyclicPlan, NotAcyclic};

@@ -278,6 +278,11 @@ pub struct EngineStats {
     /// Relation-materialization cache misses: hyperedge relations
     /// actually scanned (and inserted for later requests).
     pub mat_misses: u64,
+    /// Multi-part bags joined with the left-deep binary pipeline.
+    pub bag_builds_binary: u64,
+    /// Multi-part bags joined with the worst-case-optimal multiway
+    /// kernel.
+    pub bag_builds_wcoj: u64,
     /// Total answer tuples returned.
     pub answers: u64,
     /// Summed per-request wall time (across workers; exceeds elapsed
@@ -335,6 +340,11 @@ impl fmt::Display for EngineStats {
             self.mat_misses,
             100.0 * self.mat_hit_rate()
         )?;
+        writeln!(
+            f,
+            "bag builds      binary {} · wcoj {}",
+            self.bag_builds_binary, self.bag_builds_wcoj
+        )?;
         writeln!(f, "answers         {}", self.answers)?;
         write!(f, "busy time       {:?}", self.busy)
     }
@@ -377,6 +387,9 @@ struct EngineMetrics {
     op_micros: CounterFamily,
     /// `Debug`: plan-IR operator output rows by operator kind.
     op_rows: CounterFamily,
+    /// `Debug`: bag-build time by join strategy (`"binary"`/`"wcoj"`),
+    /// recorded as per-response totals in µs.
+    bag_build: HistogramFamily,
     /// `Trace`: per-request structured event spans, bounded ring.
     trace: EventLog,
 }
@@ -401,6 +414,7 @@ impl EngineMetrics {
             solver_budget_exhaustions: Counter::new(),
             op_micros: CounterFamily::new(),
             op_rows: CounterFamily::new(),
+            bag_build: HistogramFamily::new(),
             trace: EventLog::new(level, TRACE_CAPACITY),
         }
     }
@@ -415,6 +429,7 @@ impl EngineMetrics {
         self.solver_budget_exhaustions.reset();
         self.op_micros.reset();
         self.op_rows.reset();
+        self.bag_build.reset();
     }
 }
 
@@ -469,6 +484,9 @@ pub struct StatsSnapshot {
     pub op_micros: BTreeMap<String, u64>,
     /// `Debug`: plan-IR output rows by operator kind.
     pub op_rows: BTreeMap<String, u64>,
+    /// `Debug`: bag-build time quantiles by join strategy
+    /// (`"binary"`/`"wcoj"`), per-response totals in µs.
+    pub bag_build_latency: BTreeMap<String, HistogramSnapshot>,
     /// Outstanding admitted requests at snapshot time.
     pub queue_depth: i64,
     /// Total claimable extra workers (threads − 1).
@@ -614,6 +632,7 @@ impl Engine {
             solver_budget_exhaustions: m.solver_budget_exhaustions.get(),
             op_micros: m.op_micros.snapshot(),
             op_rows: m.op_rows.snapshot(),
+            bag_build_latency: m.bag_build.snapshot(),
             queue_depth: self.inflight.load(Ordering::Relaxed) as i64,
             workers_capacity: self.budget.capacity(),
             workers_available: m.workers_available.get(),
@@ -683,6 +702,7 @@ impl Engine {
                 est_decomposed_cost: None,
                 decomposition_width: None,
                 naive_budget: self.config.naive_cost_budget,
+                bag_strategies: Vec::new(),
                 reason: PlanReason::QueueFull(depth, limit),
             },
             note: ReasonNote::None,
@@ -811,6 +831,8 @@ impl Engine {
         }
         s.mat_hits += r.mat_cache.hits as u64;
         s.mat_misses += r.mat_cache.misses as u64;
+        s.bag_builds_binary += r.mat_cache.binary_bag_builds as u64;
+        s.bag_builds_wcoj += r.mat_cache.wcoj_bag_builds as u64;
         s.answers += r.answers.len() as u64;
         s.busy += r.wall;
     }
@@ -1066,6 +1088,12 @@ impl Engine {
                     m.op_micros.with(op).add(micros);
                     m.op_rows.with(op).add(rows as u64);
                 }
+            }
+            if r.mat_cache.binary_bag_builds > 0 {
+                m.bag_build.with("binary").record(r.mat_cache.binary_bag_us);
+            }
+            if r.mat_cache.wcoj_bag_builds > 0 {
+                m.bag_build.with("wcoj").record(r.mat_cache.wcoj_bag_us);
             }
         }
         if m.level.at_least(MetricsLevel::Trace) {

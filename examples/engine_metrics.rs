@@ -44,10 +44,19 @@ fn main() {
         .unwrap(),
     );
 
-    // ── Warm traffic: two classes build their own distributions ──────
+    // A cyclic query lands on the decomposed tier, whose bags the
+    // materializer joins either binarily or with the multiway (WCOJ)
+    // kernel — the Debug tier histograms build time per strategy.
+    let c4 = engine.prepare_query(
+        "c4",
+        parse_cq("Q(a, c) :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap(),
+    );
+
+    // ── Warm traffic: the classes build their own distributions ──────
     for _ in 0..DEGRADE_MIN_SAMPLES {
         engine.execute(&Request::new(two_hop, db));
         engine.execute(&Request::new(clique, db));
+        engine.execute(&Request::new(c4, db));
     }
 
     // ── Admission control: a batch deeper than the queue sheds ───────
@@ -99,6 +108,20 @@ fn main() {
     for (op, us) in &snap.op_micros {
         let rows = snap.op_rows.get(op).copied().unwrap_or(0);
         println!("  {op:<15} {us:>8}µs {rows:>8} rows");
+    }
+    println!("\n── bag builds by strategy (Debug tier) ──");
+    println!(
+        "  counters: binary {} · wcoj {}",
+        snap.counters.bag_builds_binary, snap.counters.bag_builds_wcoj
+    );
+    for (strategy, h) in &snap.bag_build_latency {
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "  {strategy:<12} n={:<4} p50={}µs p99={}µs max={}µs (per-response totals)",
+            h.count, h.p50, h.p99, h.max
+        );
     }
 
     println!("\n── trace ring (Trace tier, last few) ──");
