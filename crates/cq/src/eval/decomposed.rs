@@ -298,7 +298,12 @@ impl DecomposedPlan {
         let (result, stats) = self.ir.run_budget_profiled(d, cache, budget, profile);
         match result {
             None => (BTreeSet::new(), stats),
-            Some(rel) => (rel.rows_in_head_order(self.query.free_vars()), stats),
+            // Plan intermediates hold dense domain codes; the answer
+            // boundary decodes them back to the structure's elements.
+            Some(rel) => (
+                rel.rows_in_head_order_decoded(self.query.free_vars(), d.domain_dict()),
+                stats,
+            ),
         }
     }
 }

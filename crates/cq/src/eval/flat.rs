@@ -24,11 +24,11 @@
 use crate::ast::{Atom, VarId};
 use cqapx_par::{parallel_chunks, parallel_map, DisjointWriter, ThreadBudget};
 use cqapx_structures::fxhash::{FxHashMap, FxHasher};
-use cqapx_structures::{Element, RelId, Structure};
-use std::collections::BTreeSet;
+use cqapx_structures::{DomainDict, Element, RelId, Structure};
+use std::collections::{BTreeSet, VecDeque};
 use std::hash::Hasher;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Minimum rows before a kernel even consults the thread budget:
 /// below this, thread spawn/join overhead dwarfs the scan, so small
@@ -48,6 +48,35 @@ fn par_want(rows: usize) -> usize {
     (rows / MORSEL_ROWS).saturating_sub(1).min(31)
 }
 
+/// Runtime switch for the direct-addressed single-column index: `0` =
+/// consult `CQAPX_DIRECT_INDEX` (default on), `1` = forced on, `2` =
+/// forced off. Process-global so benchmarks and differential tests can
+/// compare both index representations within one process.
+static DIRECT_INDEX_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces the direct-addressed index on or off for the whole process,
+/// overriding the `CQAPX_DIRECT_INDEX` environment default. Both index
+/// representations produce byte-identical join/semijoin outputs; this
+/// knob exists for benchmarking and differential testing.
+pub fn set_direct_index_enabled(on: bool) {
+    DIRECT_INDEX_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+fn direct_index_enabled() -> bool {
+    match DIRECT_INDEX_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            static FROM_ENV: OnceLock<bool> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                std::env::var("CQAPX_DIRECT_INDEX")
+                    .map(|v| !(v == "0" || v.eq_ignore_ascii_case("off")))
+                    .unwrap_or(true)
+            })
+        }
+    }
+}
+
 /// A relation over distinct variables, stored columnar-flat: one
 /// contiguous row-major buffer instead of a hash set of row vectors.
 ///
@@ -65,6 +94,12 @@ pub struct FlatRelation {
     rows: usize,
     /// Row-major buffer of `rows * schema.len()` elements.
     data: Vec<Element>,
+    /// Dense-domain guarantee: when nonzero, every element of `data` is
+    /// `< domain_width` (the snapshot dictionary's code count). `0`
+    /// means "no guarantee" — the hashed index fallback. Relations
+    /// materialized from a [`Structure`] carry the dictionary width;
+    /// operators propagate it conservatively.
+    domain_width: u32,
 }
 
 impl FlatRelation {
@@ -74,6 +109,7 @@ impl FlatRelation {
             schema,
             rows: 0,
             data: Vec::new(),
+            domain_width: 0,
         }
     }
 
@@ -85,7 +121,35 @@ impl FlatRelation {
             schema: Vec::new(),
             rows: 1,
             data: Vec::new(),
+            domain_width: 0,
         }
+    }
+
+    /// The dense-domain bound of this relation's elements (`0` = none).
+    pub fn domain_width(&self) -> u32 {
+        self.domain_width
+    }
+
+    /// The width bound of data drawn from both operands of a binary
+    /// operator: a 0-ary operand contributes no elements; otherwise
+    /// both bounds must be known for the combination to be known.
+    fn combine_widths(&self, other: &FlatRelation) -> u32 {
+        if self.schema.is_empty() {
+            other.domain_width
+        } else if other.schema.is_empty() {
+            self.domain_width
+        } else if self.domain_width > 0 && other.domain_width > 0 {
+            self.domain_width.max(other.domain_width)
+        } else {
+            0
+        }
+    }
+
+    /// Heap bytes held by this relation (buffer + schema), the unit of
+    /// cache byte accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<Element>()
+            + self.schema.capacity() * std::mem::size_of::<VarId>()
     }
 
     /// The column labels.
@@ -121,6 +185,7 @@ impl FlatRelation {
         self.schema = schema;
         self.rows = 0;
         self.data.clear();
+        self.domain_width = 0;
     }
 
     /// The `i`-th row.
@@ -153,6 +218,7 @@ impl FlatRelation {
             schema,
             rows: self.rows,
             data: self.data.clone(),
+            domain_width: self.domain_width,
         }
     }
 
@@ -175,6 +241,7 @@ impl FlatRelation {
             },
             "union operands must range over the same variables"
         );
+        self.domain_width = self.combine_widths(other);
         if self.schema == other.schema {
             self.data.extend_from_slice(&other.data);
             self.rows += other.rows;
@@ -427,10 +494,7 @@ impl FlatRelation {
                         let mut keep: Vec<u32> = Vec::new();
                         for i in r {
                             let row = &data[i * a..i * a + a];
-                            let hit = index
-                                .probe(Self::hash_key(row, my_pos))
-                                .any(|m| Self::keys_eq(row, my_pos, other.row(m), their_pos));
-                            if hit {
+                            if index.has_row_match(row, my_pos, other, their_pos) {
                                 keep.push(i as u32);
                             }
                         }
@@ -470,10 +534,7 @@ impl FlatRelation {
         let mut w = 0usize;
         for i in 0..self.rows {
             let row = &self.data[i * a..i * a + a];
-            let hit = index
-                .probe(Self::hash_key(row, my_pos))
-                .any(|r| Self::keys_eq(row, my_pos, other.row(r), their_pos));
-            if hit {
+            if index.has_row_match(row, my_pos, other, their_pos) {
                 self.data.copy_within(i * a..i * a + a, w * a);
                 w += 1;
             }
@@ -527,6 +588,7 @@ impl FlatRelation {
         }
         let out_arity = schema.len();
         let mut out = FlatRelation::empty(schema);
+        out.domain_width = self.combine_widths(other);
 
         if my_shared.is_empty() {
             // Disjoint schemas: cartesian product.
@@ -558,11 +620,12 @@ impl FlatRelation {
         let probe_range =
             |buf: &mut Vec<Element>, range: std::ops::Range<usize>, index: &KeyIndex| -> usize {
                 let mut rows = 0usize;
+                let exact = index.is_exact();
                 for j in range {
                     let prow = probe.row(j);
-                    for m in index.probe(Self::hash_key(prow, probe_pos)) {
+                    for m in index.probe_row(prow, probe_pos) {
                         let brow = build.row(m);
-                        if Self::keys_eq(prow, probe_pos, brow, build_pos) {
+                        if exact || Self::keys_eq(prow, probe_pos, brow, build_pos) {
                             let (s_row, o_row) = if probe_is_other {
                                 (brow, prow)
                             } else {
@@ -640,6 +703,7 @@ impl FlatRelation {
             }
         }
         let mut out = FlatRelation::empty(schema);
+        out.domain_width = self.domain_width;
         out.rows = self.rows;
         let mut gathered = false;
         if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
@@ -702,6 +766,7 @@ impl FlatRelation {
         }
         let a = keep.len();
         let mut out = FlatRelation::empty(schema);
+        out.domain_width = self.domain_width;
         if a == 0 {
             out.rows = self.rows.min(1);
             return out;
@@ -781,28 +846,71 @@ impl FlatRelation {
             .map(|r| positions.iter().map(|&p| r[p]).collect())
             .collect()
     }
+
+    /// [`FlatRelation::rows_in_head_order`] with the dictionary decode
+    /// applied: relations materialized from a structure hold dense
+    /// domain codes, and this is the one boundary where codes turn back
+    /// into the structure's elements. A no-op (bit-identical) when the
+    /// dictionary encodes identically.
+    pub fn rows_in_head_order_decoded(
+        &self,
+        head: &[VarId],
+        dict: &DomainDict,
+    ) -> BTreeSet<Vec<Element>> {
+        if dict.is_identity() {
+            return self.rows_in_head_order(head);
+        }
+        // The encoding is monotone, so decoding per row preserves the
+        // set (and even the canonical order) exactly.
+        self.rows_in_head_order(head)
+            .into_iter()
+            .map(|row| row.into_iter().map(|c| dict.decode(c)).collect())
+            .collect()
+    }
 }
 
-/// A chained hash index over the key columns of a [`FlatRelation`]: a
-/// flat power-of-two bucket table (`heads`, addressed by the top hash
-/// bits) with rows of one bucket linked through `next`, plus the
-/// **per-row key hash computed once at build time** in `hashes`.
+/// A key index over the key columns of a [`FlatRelation`], in one of
+/// two representations chosen deterministically at build time:
 ///
-/// Storing the hashes pays twice: the probe filters chain entries by
-/// stored hash before any column comparison (bucket collisions cost one
-/// `u64` compare, never a re-hash), and the hash-partitioned parallel
-/// build reuses the hash pass when distributing rows to bucket-range
-/// partitions instead of re-hashing per partition. Three flat
-/// allocations, no general-purpose hash map on the hot path.
-struct KeyIndex {
-    /// Bucket heads; length is a power of two.
-    heads: Vec<u32>,
-    /// Next row in the same bucket.
-    next: Vec<u32>,
-    /// The key hash of every indexed row, computed once at build.
-    hashes: Vec<u64>,
-    /// `bucket(h) = h >> shift` — top bits address the table.
-    shift: u32,
+/// * [`KeyIndex::Hashed`] — a chained hash index: a flat power-of-two
+///   bucket table (`heads`, addressed by the top hash bits) with rows
+///   of one bucket linked through `next`, plus the **per-row key hash
+///   computed once at build time** in `hashes`. Storing the hashes pays
+///   twice: the probe filters chain entries by stored hash before any
+///   column comparison, and the hash-partitioned parallel build reuses
+///   the hash pass when distributing rows to bucket-range partitions.
+///
+/// * [`KeyIndex::Direct`] — a direct-addressed (CSR) index for
+///   **single-column keys over a dense domain**: `offsets[v]..
+///   offsets[v+1]` delimits the slice of `slots` holding exactly the
+///   rows whose key column equals code `v`. No hashing, no collision
+///   chains, one array load per probe. Eligible only when the relation
+///   carries a dense-domain bound ([`FlatRelation::domain_width`]) and
+///   the bound is small enough that the offset table costs no more
+///   than the hashed build it replaces.
+///
+/// Buckets of both representations list rows in **descending row
+/// order** (the chained build pushes at the head in ascending row
+/// order; the direct build fills in reverse), so probe sequences — and
+/// with them join output buffers — are byte-identical across
+/// representations.
+enum KeyIndex {
+    Hashed {
+        /// Bucket heads; length is a power of two.
+        heads: Vec<u32>,
+        /// Next row in the same bucket.
+        next: Vec<u32>,
+        /// The key hash of every indexed row, computed once at build.
+        hashes: Vec<u64>,
+        /// `bucket(h) = h >> shift` — top bits address the table.
+        shift: u32,
+    },
+    Direct {
+        /// CSR offsets, length `width + 1`.
+        offsets: Vec<u32>,
+        /// Row ids grouped by key code, descending within a group.
+        slots: Vec<u32>,
+    },
 }
 
 const CHAIN_END: u32 = u32::MAX;
@@ -815,7 +923,48 @@ impl KeyIndex {
         (buckets, 64 - buckets.trailing_zeros())
     }
 
+    /// Whether a build over `pos` takes the direct-addressed
+    /// representation: single-column key, dense-domain bound present,
+    /// and an offset table no larger than ~4 slots per row (beyond
+    /// that the hashed index is both smaller and cache-friendlier).
+    /// A pure function of the relation and key — never of the thread
+    /// budget — so parallel and sequential builds always agree.
+    fn wants_direct(rel: &FlatRelation, pos: &[usize]) -> bool {
+        pos.len() == 1
+            && rel.domain_width > 0
+            && (rel.domain_width as usize) <= 4 * rel.len().max(16)
+            && direct_index_enabled()
+    }
+
+    /// Counting-sort build of the direct representation: one pass
+    /// counts codes, one prefix sum, one **reverse** fill so each
+    /// code's slot group lists rows in descending order — the exact
+    /// probe order of the chained-hash build.
+    fn build_direct(rel: &FlatRelation, col: usize) -> KeyIndex {
+        let n = rel.len();
+        let a = rel.schema.len();
+        let width = rel.domain_width as usize;
+        let mut offsets = vec![0u32; width + 1];
+        for i in 0..n {
+            offsets[rel.data[i * a + col] as usize + 1] += 1;
+        }
+        for v in 1..=width {
+            offsets[v] += offsets[v - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut slots = vec![0u32; n];
+        for i in (0..n).rev() {
+            let v = rel.data[i * a + col] as usize;
+            slots[cursor[v] as usize] = i as u32;
+            cursor[v] += 1;
+        }
+        KeyIndex::Direct { offsets, slots }
+    }
+
     fn build(rel: &FlatRelation, pos: &[usize]) -> KeyIndex {
+        if Self::wants_direct(rel, pos) {
+            return Self::build_direct(rel, pos[0]);
+        }
         let n = rel.len();
         let mut hashes = vec![0u64; n];
         for (i, h) in hashes.iter_mut().enumerate() {
@@ -829,7 +978,7 @@ impl KeyIndex {
             *slot = heads[b];
             heads[b] = i as u32;
         }
-        KeyIndex {
+        KeyIndex::Hashed {
             heads,
             next,
             hashes,
@@ -846,6 +995,13 @@ impl KeyIndex {
     /// thread count.
     fn build_budget(rel: &FlatRelation, pos: &[usize], budget: &ThreadBudget) -> KeyIndex {
         let n = rel.len();
+        // The direct build is a counting sort — linear, branch-free,
+        // already cheaper than the parallel hashed build's hash pass —
+        // so it never claims workers (and the representation choice
+        // stays budget-independent).
+        if Self::wants_direct(rel, pos) {
+            return Self::build_direct(rel, pos[0]);
+        }
         if n < PAR_MIN_ROWS || budget.capacity() == 0 {
             return Self::build(rel, pos);
         }
@@ -893,7 +1049,7 @@ impl KeyIndex {
                 }
             });
         }
-        KeyIndex {
+        KeyIndex::Hashed {
             heads,
             next,
             hashes,
@@ -901,36 +1057,122 @@ impl KeyIndex {
         }
     }
 
-    /// All row indices whose key hash equals `hash` (callers re-check
-    /// the actual columns). Bucket neighbors with a different stored
-    /// hash are skipped without touching row data.
-    fn probe(&self, hash: u64) -> ProbeIter<'_> {
-        ProbeIter {
-            index: self,
-            hash,
-            cur: self.heads[(hash >> self.shift) as usize],
+    /// All candidate row indices for a probe row's key columns (callers
+    /// re-check the actual columns; for the direct representation the
+    /// candidates already match exactly and the re-check is a trivially
+    /// true column compare). Hashed: chain walk filtered by stored
+    /// hash. Direct: one slice lookup, out-of-range codes yield
+    /// nothing.
+    #[inline]
+    fn probe_row<'a>(&'a self, row: &[Element], pos: &[usize]) -> ProbeIter<'a> {
+        match self {
+            KeyIndex::Hashed { .. } => self.probe_hash(FlatRelation::hash_key(row, pos)),
+            KeyIndex::Direct { .. } => self.probe_value(row[pos[0]]),
+        }
+    }
+
+    /// Whether probe candidates are **exact** matches already: direct
+    /// buckets hold exactly the rows whose key column equals the probe
+    /// code, so callers may skip the per-candidate column re-check that
+    /// the hashed representation needs against collisions.
+    #[inline]
+    fn is_exact(&self) -> bool {
+        matches!(self, KeyIndex::Direct { .. })
+    }
+
+    /// Existence-only probe: does any indexed row of `build` match the
+    /// probe `row` on the key columns? The direct representation
+    /// answers from the offset table alone — two loads, no candidate
+    /// iteration and no `build` row access; hashed walks the chain and
+    /// re-checks columns as usual.
+    #[inline]
+    fn has_row_match(
+        &self,
+        row: &[Element],
+        pos: &[usize],
+        build: &FlatRelation,
+        build_pos: &[usize],
+    ) -> bool {
+        match self {
+            KeyIndex::Direct { offsets, .. } => {
+                let v = row[pos[0]] as usize;
+                v + 1 < offsets.len() && offsets[v] < offsets[v + 1]
+            }
+            KeyIndex::Hashed { .. } => self
+                .probe_row(row, pos)
+                .any(|m| FlatRelation::keys_eq(row, pos, build.row(m), build_pos)),
+        }
+    }
+
+    /// Probe by a single key value (the WCOJ prefix probe: key column
+    /// is always column 0 of the part).
+    #[inline]
+    fn probe_value(&self, v: Element) -> ProbeIter<'_> {
+        match self {
+            KeyIndex::Hashed { .. } => self.probe_hash(FlatRelation::hash_key(&[v], &[0])),
+            KeyIndex::Direct { offsets, slots, .. } => {
+                let group = if (v as usize) < offsets.len() - 1 {
+                    &slots[offsets[v as usize] as usize..offsets[v as usize + 1] as usize]
+                } else {
+                    &[]
+                };
+                ProbeIter::Direct(group.iter())
+            }
+        }
+    }
+
+    #[inline]
+    fn probe_hash(&self, hash: u64) -> ProbeIter<'_> {
+        match self {
+            KeyIndex::Hashed {
+                heads,
+                next,
+                hashes,
+                shift,
+            } => ProbeIter::Hashed {
+                next,
+                hashes,
+                hash,
+                cur: heads[(hash >> shift) as usize],
+            },
+            KeyIndex::Direct { .. } => unreachable!("hash probe on a direct index"),
         }
     }
 }
 
-struct ProbeIter<'a> {
-    index: &'a KeyIndex,
-    hash: u64,
-    cur: u32,
+enum ProbeIter<'a> {
+    Hashed {
+        next: &'a [u32],
+        hashes: &'a [u64],
+        hash: u64,
+        cur: u32,
+    },
+    Direct(std::slice::Iter<'a, u32>),
 }
 
 impl Iterator for ProbeIter<'_> {
     type Item = usize;
 
+    #[inline]
     fn next(&mut self) -> Option<usize> {
-        while self.cur != CHAIN_END {
-            let r = self.cur as usize;
-            self.cur = self.index.next[r];
-            if self.index.hashes[r] == self.hash {
-                return Some(r);
+        match self {
+            ProbeIter::Hashed {
+                next,
+                hashes,
+                hash,
+                cur,
+            } => {
+                while *cur != CHAIN_END {
+                    let r = *cur as usize;
+                    *cur = next[r];
+                    if hashes[r] == *hash {
+                        return Some(r);
+                    }
+                }
+                None
             }
+            ProbeIter::Direct(it) => it.next().map(|&r| r as usize),
         }
-        None
     }
 }
 
@@ -1041,9 +1283,10 @@ impl<'a> WcojShape<'a> {
         let idx = self.col0[p].as_ref().expect("probe only for indexed parts");
         let rel = self.parts[p];
         let a = rel.schema.len();
+        let exact = idx.is_exact();
         let (mut lo, mut hi) = (usize::MAX, 0usize);
-        for r in idx.probe(FlatRelation::hash_key(&[v], &[0])) {
-            if rel.data[r * a] == v {
+        for r in idx.probe_value(v) {
+            if exact || rel.data[r * a] == v {
                 lo = lo.min(r);
                 hi = hi.max(r + 1);
             }
@@ -1257,6 +1500,9 @@ pub(crate) fn multiway_join(
     debug_assert!(!parts.is_empty() && parts.iter().all(|p| !p.schema.is_empty()));
     let shape = WcojShape::new(parts, schema);
     let mut out = FlatRelation::empty(schema.to_vec());
+    if parts.iter().all(|p| p.domain_width > 0) {
+        out.domain_width = parts.iter().map(|p| p.domain_width).max().unwrap_or(0);
+    }
     if shape.levels == 0 {
         return out;
     }
@@ -1403,14 +1649,36 @@ impl AtomBinder {
     /// [`FlatRelation::sort_dedup`].
     pub fn materialize_into(&self, d: &Structure, out: &mut FlatRelation) {
         debug_assert_eq!(out.arity(), self.out_pos.len(), "binder arity mismatch");
-        'tuples: for t in d.tuples(self.rel) {
+        // Materialization is the dictionary-encode boundary: rows are
+        // stored as dense domain codes, and the relation carries the
+        // code width so single-column keys can use the direct index.
+        // Tuple elements are active by definition, so every encode
+        // resolves. When the dictionary is the identity the raw loop
+        // avoids the table lookup (and is byte-identical anyway).
+        let dict = d.domain_dict();
+        out.domain_width = dict.len() as u32;
+        if dict.is_identity() {
+            'tuples: for t in d.tuples(self.rel) {
+                for &(i, j) in &self.eq_checks {
+                    if t[i] != t[j] {
+                        continue 'tuples;
+                    }
+                }
+                for &p in &self.out_pos {
+                    out.data.push(t[p]);
+                }
+                out.rows += 1;
+            }
+            return;
+        }
+        'tuples2: for t in d.tuples(self.rel) {
             for &(i, j) in &self.eq_checks {
                 if t[i] != t[j] {
-                    continue 'tuples;
+                    continue 'tuples2;
                 }
             }
             for &p in &self.out_pos {
-                out.data.push(t[p]);
+                out.data.push(dict.encode(t[p]));
             }
             out.rows += 1;
         }
@@ -1518,6 +1786,18 @@ pub struct MaterializationCache {
     map: RwLock<FxHashMap<MatKey, Arc<MatFlight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Byte budget for resident entries; `0` = unbounded (the default,
+    /// under which behavior — including exact hit/miss accounting — is
+    /// identical to the pre-budget cache).
+    budget: AtomicUsize,
+    /// Bytes held by landed entries ([`FlatRelation::heap_bytes`]).
+    resident: AtomicUsize,
+    /// Entries evicted to stay under budget, since creation.
+    evictions: AtomicU64,
+    /// Clock ring of insertion keys for the second-chance sweep. May
+    /// hold stale keys (evicted then re-inserted entries push again);
+    /// the sweep validates each popped key against the map.
+    clock: Mutex<VecDeque<MatKey>>,
 }
 
 /// One single-flight materialization slot: the first claimant runs the
@@ -1526,6 +1806,10 @@ pub struct MaterializationCache {
 #[derive(Debug, Default)]
 struct MatFlight {
     cell: OnceLock<Arc<FlatRelation>>,
+    /// Heap bytes of the landed relation (0 until landing).
+    bytes: AtomicUsize,
+    /// Referenced since the clock hand last passed (second chance).
+    touched: AtomicBool,
 }
 
 impl MaterializationCache {
@@ -1560,7 +1844,15 @@ impl MaterializationCache {
                 let mut map = self.map.write().expect("cache lock poisoned");
                 match map.get(key) {
                     Some(f) => Arc::clone(f),
-                    None => Arc::clone(map.entry(key.clone()).or_default()),
+                    None => {
+                        let f = Arc::clone(map.entry(key.clone()).or_default());
+                        drop(map);
+                        self.clock
+                            .lock()
+                            .expect("clock lock poisoned")
+                            .push_back(key.clone());
+                        f
+                    }
                 }
             }
         };
@@ -1569,12 +1861,79 @@ impl MaterializationCache {
             ran = true;
             Arc::new(materialize())
         });
+        let rel = Arc::clone(rel);
         if ran {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            let bytes = rel.heap_bytes();
+            flight.bytes.store(bytes, Ordering::Relaxed);
+            self.resident.fetch_add(bytes, Ordering::Relaxed);
+            self.maybe_evict();
         } else {
+            flight.touched.store(true, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        (Arc::clone(rel), !ran)
+        (rel, !ran)
+    }
+
+    /// Second-chance clock sweep, run after a landing pushes resident
+    /// bytes past the budget. Un-landed flights are never evicted (a
+    /// waiter may be blocked on them); recently-referenced entries get
+    /// one pass of grace. Eviction removes the **whole flight** from
+    /// the map — including its single-flight `OnceLock` slot — so a
+    /// later request for the key starts a fresh flight and rebuilds;
+    /// waiters still holding the old `Arc` land normally on it.
+    fn maybe_evict(&self) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 || self.resident.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let mut map = self.map.write().expect("cache lock poisoned");
+        let mut clock = self.clock.lock().expect("clock lock poisoned");
+        // Bounded sweep: two full revolutions clear every second-chance
+        // bit; if the hand still finds only un-landed flights, the
+        // overage is in-flight work the sweep must not touch.
+        let mut steps = 2 * clock.len() + 2;
+        while self.resident.load(Ordering::Relaxed) > budget && steps > 0 {
+            steps -= 1;
+            let Some(key) = clock.pop_front() else { break };
+            let Some(flight) = map.get(&key) else {
+                continue; // stale hand entry: key already evicted
+            };
+            if flight.cell.get().is_none() {
+                clock.push_back(key);
+                continue;
+            }
+            if flight.touched.swap(false, Ordering::Relaxed) {
+                clock.push_back(key);
+                continue;
+            }
+            let flight = map.remove(&key).expect("checked above");
+            self.resident
+                .fetch_sub(flight.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the byte budget (`0` = unbounded) and applies it
+    /// immediately if the cache is already over.
+    pub fn set_budget_bytes(&self, bytes: usize) {
+        self.budget.store(bytes, Ordering::Relaxed);
+        self.maybe_evict();
+    }
+
+    /// The configured byte budget (`0` = unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently held by landed entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// The cardinality of a cached materialization, if present (and
@@ -2009,6 +2368,246 @@ mod tests {
         let a = rel(&[0, 1], &[&[1, 2], &[2, 3], &[5, 1]]);
         let out = multiway_join(&[&a], &[0, 1], &ThreadBudget::sequential());
         assert_identical(&out, &a, "single part");
+    }
+
+    // ── direct-addressed index ──────────────────────────────────────
+
+    /// Serializes tests that read or flip the process-global direct-
+    /// index knob, so a forced-hashed window in one test cannot leak
+    /// into another's eligibility assertions.
+    fn knob_guard() -> std::sync::MutexGuard<'static, ()> {
+        static KNOB: Mutex<()> = Mutex::new(());
+        KNOB.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A dense-coded relation: rows drawn from `[0, width)` with the
+    /// width bound installed, as binder materialization would produce.
+    fn dense_rel(schema: &[VarId], n: usize, width: u32, seed: u64) -> FlatRelation {
+        let mut r = big_random_rel(schema, n, width, seed);
+        r.sort_dedup();
+        r.domain_width = width;
+        r
+    }
+
+    /// Joins and semijoins through the direct-addressed index must be
+    /// byte-identical to the hashed path — same rows, same order.
+    #[test]
+    fn direct_index_is_bit_identical_to_hashed() {
+        let _g = knob_guard();
+        let budget = ThreadBudget::sequential();
+        for &(n, m, width) in &[
+            (500usize, 300usize, 64u32),
+            (3000, 2500, 900),
+            (64, 6000, 40),
+        ] {
+            let a = dense_rel(&[0, 1], n, width, 11);
+            let b = dense_rel(&[1, 2], m, width, 22);
+            assert!(
+                KeyIndex::wants_direct(&b, &[0]),
+                "fixture must be direct-eligible"
+            );
+
+            let direct = a.join_budget(&b, &budget);
+            let mut sj_direct = a.clone();
+            sj_direct.semijoin_on_budget(&[1], &b, &[0], &budget);
+
+            // Force the hashed representation for the comparison run.
+            set_direct_index_enabled(false);
+            let hashed = a.join_budget(&b, &budget);
+            let mut sj_hashed = a.clone();
+            sj_hashed.semijoin_on_budget(&[1], &b, &[0], &budget);
+            set_direct_index_enabled(true);
+
+            assert_eq!(direct.schema, hashed.schema);
+            assert_eq!(direct.data, hashed.data, "join bytes differ (n={n})");
+            assert_eq!(direct.domain_width, hashed.domain_width);
+            assert_eq!(
+                sj_direct.data, sj_hashed.data,
+                "semijoin bytes differ (n={n})"
+            );
+        }
+        DIRECT_INDEX_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+
+    /// Probe values outside the dense bound (possible when the probe
+    /// side carries a wider — or no — bound) must simply miss.
+    #[test]
+    fn direct_index_out_of_range_probe_misses() {
+        let _g = knob_guard();
+        let b = dense_rel(&[1, 2], 100, 16, 5);
+        assert!(KeyIndex::wants_direct(&b, &[0]));
+        let mut a = rel(&[0, 1], &[&[7, 3], &[8, 99]]); // 99 ≥ width 16
+        a.semijoin_on(&[1], &b, &[0]);
+        assert!(a.iter_rows().all(|r| r[1] < 16));
+    }
+
+    /// A sparse bound (width ≫ rows) must fall back to the hashed
+    /// representation; multi-column keys always do.
+    #[test]
+    fn direct_index_memory_guard_and_multicolumn_fallback() {
+        let _g = knob_guard();
+        let small = dense_rel(&[0, 1], 20, 1000, 9);
+        assert!(
+            !KeyIndex::wants_direct(&small, &[0]),
+            "width 1000 ≫ 4·max(20,16)"
+        );
+        let dense = dense_rel(&[0, 1], 500, 64, 9);
+        assert!(!KeyIndex::wants_direct(&dense, &[0, 1]), "two-column key");
+        let unbounded = rel(&[0, 1], &[&[1, 2]]);
+        assert!(!KeyIndex::wants_direct(&unbounded, &[0]), "no width bound");
+    }
+
+    /// The WCOJ prefix probe through a direct column-0 index must keep
+    /// the multiway output identical to the binary reference.
+    #[test]
+    fn multiway_join_with_direct_prefix_probe_matches_binary() {
+        let _g = knob_guard();
+        let mut seed = 17u64;
+        let schemas: [&[VarId]; 3] = [&[0, 1], &[1, 2], &[0, 2]];
+        let rels: Vec<FlatRelation> = schemas
+            .iter()
+            .map(|s| {
+                let mut r = random_rel(s, 400, 60, &mut seed);
+                r.domain_width = 60;
+                r
+            })
+            .collect();
+        let parts: Vec<&FlatRelation> = rels.iter().collect();
+        assert!(parts.iter().all(|p| KeyIndex::wants_direct(p, &[0])));
+        let got = multiway_join(&parts, &[0, 1, 2], &ThreadBudget::sequential());
+        assert_eq!(got.domain_width, 60);
+        let want = binary_reference(&parts, &[0, 1, 2]);
+        assert_identical(&got, &want, "direct prefix probe");
+    }
+
+    // ── dictionary encoding ─────────────────────────────────────────
+
+    /// Materialization through a non-identity dictionary stores dense
+    /// codes; the decoded head-order boundary restores raw elements.
+    #[test]
+    fn binder_encodes_and_boundary_decodes() {
+        use crate::parser::parse_cq;
+        // adom = {1, 3, 5} of a universe of 6: codes 0, 1, 2.
+        let d = Structure::digraph(6, &[(1, 3), (3, 5)]);
+        let dict = d.domain_dict();
+        assert!(!dict.is_identity());
+        let q = parse_cq("Q(x, y) :- E(x, y)").unwrap();
+        let mut out = FlatRelation::empty(vec![0, 1]);
+        AtomBinder::compile(&q.atoms()[0], &[0, 1]).materialize_into(&d, &mut out);
+        out.sort_dedup();
+        assert_eq!(out.domain_width(), 3);
+        assert_eq!(out.row(0), &[0, 1]); // (1,3) encoded
+        assert_eq!(out.row(1), &[1, 2]); // (3,5) encoded
+        let decoded = out.rows_in_head_order_decoded(&[0, 1], dict);
+        assert_eq!(
+            decoded,
+            [vec![1, 3], vec![3, 5]]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+        );
+    }
+
+    // ── byte-accounted eviction ─────────────────────────────────────
+
+    /// Three distinct single-atom keys. Parsed from **one** query:
+    /// `RelId`s are per-query, so atoms parsed separately would all get
+    /// `RelId(0)` and collide into one `MatKey`.
+    fn three_keys() -> [MatKey; 3] {
+        let q = crate::parser::parse_cq("Q() :- E(x, y), F(x, y), G(x, y)").unwrap();
+        [
+            MatKey::of_atom(&q.atoms()[0]),
+            MatKey::of_atom(&q.atoms()[1]),
+            MatKey::of_atom(&q.atoms()[2]),
+        ]
+    }
+
+    fn wide_rel(rows: usize, tag: Element) -> FlatRelation {
+        let mut r = FlatRelation::empty(vec![0, 1]);
+        for i in 0..rows {
+            r.push_row(&[i as Element, tag]);
+        }
+        r.sort_dedup();
+        r
+    }
+
+    /// Landing entries past the budget evicts cold ones; resident bytes
+    /// track [`FlatRelation::heap_bytes`] exactly.
+    #[test]
+    fn eviction_keeps_resident_bytes_bounded() {
+        let cache = MaterializationCache::new();
+        let one = wide_rel(512, 0).heap_bytes();
+        cache.set_budget_bytes(2 * one + one / 2); // room for two entries
+        let keys = three_keys();
+        for (i, k) in keys.iter().enumerate() {
+            cache.get_or_materialize(k, || wide_rel(512, i as Element));
+        }
+        assert!(cache.resident_bytes() <= cache.budget_bytes());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        // The clock hand moved through the oldest entry first.
+        assert_eq!(cache.peek_cardinality(&keys[0]), None);
+        assert!(cache.peek_cardinality(&keys[2]).is_some());
+    }
+
+    /// Regression (single-flight slot lifecycle): an evicted key's
+    /// `OnceLock` flight is gone with the entry, so a re-request
+    /// *rebuilds* — it must neither deadlock on the stale landed cell
+    /// nor serve the evicted value as a hit.
+    #[test]
+    fn evicted_entry_rebuilds_instead_of_deadlocking() {
+        let cache = MaterializationCache::new();
+        cache.set_budget_bytes(1); // everything evicts as soon as it lands
+        let [key, _, _] = three_keys();
+        let runs = std::sync::atomic::AtomicUsize::new(0);
+        let build = || {
+            runs.fetch_add(1, Ordering::SeqCst);
+            wide_rel(64, 7)
+        };
+        let (r1, hit1) = cache.get_or_materialize(&key, build);
+        assert!(!hit1);
+        assert_eq!(cache.len(), 0, "entry evicted on landing");
+        // Re-request: a fresh flight must run the builder again.
+        let (r2, hit2) = cache.get_or_materialize(&key, build);
+        assert!(!hit2, "evicted entry must not count as a hit");
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        assert_eq!(r1.data, r2.data, "rebuild is byte-identical");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    /// Recently-hit entries survive one clock pass (second chance): the
+    /// hot entry outlives colder, newer ones.
+    #[test]
+    fn second_chance_spares_hot_entries() {
+        let cache = MaterializationCache::new();
+        let one = wide_rel(512, 0).heap_bytes();
+        cache.set_budget_bytes(2 * one + one / 2);
+        let [hot, cold, third] = three_keys();
+        cache.get_or_materialize(&hot, || wide_rel(512, 0));
+        cache.get_or_materialize(&cold, || wide_rel(512, 1));
+        cache.get_or_materialize(&hot, || unreachable!("must hit")); // touch
+        cache.get_or_materialize(&third, || wide_rel(512, 2));
+        assert!(
+            cache.peek_cardinality(&hot).is_some(),
+            "touched entry survives"
+        );
+        assert_eq!(cache.peek_cardinality(&cold), None, "cold entry evicted");
+    }
+
+    /// With no budget (the default) nothing ever evicts and the
+    /// accounting still tracks resident bytes.
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = MaterializationCache::new();
+        let mut total = 0usize;
+        for (i, k) in three_keys().iter().enumerate() {
+            let (r, _) = cache.get_or_materialize(k, || wide_rel(256 << i, i as Element));
+            total += r.heap_bytes();
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.resident_bytes(), total);
     }
 
     #[test]

@@ -12,7 +12,9 @@ pub mod yannakakis;
 
 pub use decomposed::{BagPart, BagSummary, DecomposedPlan, NotDecomposable};
 pub use evaluator::{Evaluator, NaiveEvaluator};
-pub use flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
+pub use flat::{
+    set_direct_index_enabled, AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache,
+};
 pub use ir::{
     env_bag_strategy, resolve_bag_strategy, resolve_bag_strategy_observed, EvalProfile, MatPart,
     MatSource, MatStrategy, NodeSpec, Op, OpProfile, PlanIr, Slot,

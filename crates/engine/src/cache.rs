@@ -13,6 +13,7 @@
 //!    representative tableau confirms the hit exactly (signatures can
 //!    collide; isomorphism cannot).
 
+use crate::memory::pointed_bytes;
 use cqapx_core::{
     all_approximations_tableaux, ApproxCacheKey, ApproxOptions, ApproxReport, QueryClass,
 };
@@ -21,7 +22,7 @@ use cqapx_cq::query_from_tableau;
 use cqapx_structures::iso::isomorphic_pointed;
 use cqapx_structures::Pointed;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -41,9 +42,32 @@ pub struct CachedApproximation {
     pub compute_time: Duration,
 }
 
+impl CachedApproximation {
+    /// Estimated resident bytes of this entry: the retained tableaux
+    /// (the dominant allocations) plus a fixed overhead per compiled
+    /// evaluator. An estimate — it steers eviction and budget
+    /// comparisons, never answers.
+    fn estimated_bytes(&self, representative: &Pointed) -> usize {
+        let tableaux: usize = self.report.tableaux.iter().map(pointed_bytes).sum();
+        tableaux + pointed_bytes(representative) + self.evaluators.len() * 256 + 128
+    }
+}
+
 struct Entry {
     representative: Arc<Pointed>,
     value: Arc<CachedApproximation>,
+    /// Estimated bytes this entry pins (accounted into `resident`).
+    bytes: usize,
+}
+
+impl Entry {
+    /// Eviction score: measured rebuild cost per resident byte. Low
+    /// scores (cheap searches pinning many bytes) evict first, so the
+    /// budget preferentially retains the entries whose
+    /// single-exponential searches were most expensive to amortize.
+    fn cost_per_byte(&self) -> f64 {
+        self.value.compute_time.as_nanos() as f64 / self.bytes.max(1) as f64
+    }
 }
 
 /// A concurrent map from canonicalized tableaux to shared
@@ -53,11 +77,22 @@ struct Entry {
 /// inserts; the isomorphism confirmations (worst-case exponential
 /// backtracking) run outside it, so one pathological pair never stalls
 /// unrelated requests.
+/// When a budget is set ([`ApproxCache::set_budget_bytes`]), inserts
+/// that push the estimated resident bytes over it evict entries in
+/// ascending rebuild-cost-per-byte order (compute time / bytes)
+/// until the cache fits again — the just-inserted entry is exempt, so
+/// one oversized entry is admitted rather than thrashed. Budget `0`
+/// (the default) means unbounded, preserving exact legacy behavior.
 #[derive(Default)]
 pub struct ApproxCache {
     buckets: Mutex<HashMap<ApproxCacheKey, Vec<Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Byte ceiling; `0` = unbounded.
+    budget: AtomicUsize,
+    /// Estimated bytes of all retained entries.
+    resident: AtomicUsize,
+    evictions: AtomicU64,
 }
 
 impl ApproxCache {
@@ -124,12 +159,78 @@ impl ApproxCache {
         if let Some(v) = self.confirm(self.snapshot(&key), t) {
             return (v, false);
         }
+        let representative = Arc::new(t.clone());
+        let bytes = value.estimated_bytes(&representative);
         let mut buckets = self.buckets.lock().expect("cache lock poisoned");
         buckets.entry(key).or_default().push(Entry {
-            representative: Arc::new(t.clone()),
+            representative,
             value: Arc::clone(&value),
+            bytes,
         });
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        self.maybe_evict(&mut buckets, &value);
+        drop(buckets);
         (value, false)
+    }
+
+    /// Evicts entries (cheapest rebuild cost per byte first) until the
+    /// estimated resident bytes fit the budget again. `keep` — the
+    /// entry whose insert triggered the sweep — is exempt, so an entry
+    /// larger than the whole budget is admitted once instead of being
+    /// rebuilt on every request.
+    fn maybe_evict(
+        &self,
+        buckets: &mut HashMap<ApproxCacheKey, Vec<Entry>>,
+        keep: &Arc<CachedApproximation>,
+    ) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        while self.resident.load(Ordering::Relaxed) > budget {
+            let victim = buckets
+                .iter()
+                .flat_map(|(k, entries)| {
+                    entries
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, e)| (k.clone(), i, e))
+                })
+                .filter(|(_, _, e)| !Arc::ptr_eq(&e.value, keep))
+                .min_by(|a, b| a.2.cost_per_byte().total_cmp(&b.2.cost_per_byte()))
+                .map(|(k, i, _)| (k, i));
+            let Some((key, i)) = victim else {
+                break; // only the protected entry is left
+            };
+            let entries = buckets.get_mut(&key).expect("victim bucket exists");
+            let evicted = entries.remove(i);
+            if entries.is_empty() {
+                buckets.remove(&key);
+            }
+            self.resident.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the byte budget (`0` = unbounded). Takes effect at the next
+    /// insert; already-resident entries are not swept eagerly.
+    pub fn set_budget_bytes(&self, bytes: usize) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The configured byte budget (`0` = unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes of all retained entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the byte budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Peeks for a cached approximation without ever computing one —
@@ -201,9 +302,11 @@ impl ApproxCache {
         self.len() == 0
     }
 
-    /// Drops every entry (counters keep their values).
+    /// Drops every entry (counters keep their values; resident bytes
+    /// return to zero).
     pub fn clear(&self) {
         self.buckets.lock().expect("cache lock poisoned").clear();
+        self.resident.store(0, Ordering::Relaxed);
     }
 }
 
@@ -251,6 +354,51 @@ mod tests {
         let (_, hit) = cache.get_or_compute(&t, &TwK(2), &opts);
         assert!(!hit);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts() {
+        let cache = ApproxCache::new();
+        let opts = ApproxOptions::default();
+        let q1 = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let q2 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        cache.get_or_compute(&tableau_of(&q1), &TwK(1), &opts);
+        cache.get_or_compute(&tableau_of(&q2), &TwK(1), &opts);
+        assert_eq!(cache.budget_bytes(), 0);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn tiny_budget_evicts_cold_entry_and_recomputes_on_return() {
+        let cache = ApproxCache::new();
+        cache.set_budget_bytes(1); // every insert overflows; newest survives
+        let opts = ApproxOptions::default();
+        let q1 = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        let q2 = parse_cq("Q() :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        let (a, _) = cache.get_or_compute(&tableau_of(&q1), &TwK(1), &opts);
+        cache.get_or_compute(&tableau_of(&q2), &TwK(1), &opts);
+        // Inserting q2 evicted q1 (the just-inserted entry is exempt).
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        // A return visit recomputes — and still yields a sound entry.
+        let (b, hit) = cache.get_or_compute(&tableau_of(&q1), &TwK(1), &opts);
+        assert!(!hit, "evicted entry must miss");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.report.approximations.len(), a.report.approximations.len());
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn clear_resets_resident_bytes() {
+        let cache = ApproxCache::new();
+        let q = parse_cq("Q() :- E(x,y), E(y,z), E(z,x)").unwrap();
+        cache.get_or_compute(&tableau_of(&q), &TwK(1), &ApproxOptions::default());
+        assert!(cache.resident_bytes() > 0);
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -142,15 +142,22 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Registers a database under a name, scanning its statistics.
+    /// Registers a database under a name, scanning its statistics and
+    /// building its domain dictionary (registration is the
+    /// once-per-snapshot step, so the dictionary every evaluation
+    /// encodes through is ready before the first request instead of
+    /// being built lazily on its critical path).
     pub fn register_database(&mut self, name: impl Into<String>, s: Structure) -> DbId {
         let name = name.into();
         let id = DbId(self.dbs.len());
+        let stats = compute_stats(&s);
+        let structure = Arc::new(s);
+        let adom_size = structure.domain_dict().len();
         self.dbs.push(Arc::new(DatabaseEntry {
             name: name.clone(),
-            adom_size: s.active_domain().len(),
-            stats: compute_stats(&s),
-            structure: Arc::new(s),
+            adom_size,
+            stats,
+            structure,
             materialized: MaterializationCache::new(),
         }));
         self.db_names.insert(name, id);
@@ -196,6 +203,12 @@ impl Catalog {
     /// The database behind an id.
     pub fn database(&self, id: DbId) -> Option<Arc<DatabaseEntry>> {
         self.dbs.get(id.0).cloned()
+    }
+
+    /// Iterates every registered database entry in id order (including
+    /// entries superseded by a later registration under the same name).
+    pub fn databases(&self) -> impl Iterator<Item = &Arc<DatabaseEntry>> {
+        self.dbs.iter()
     }
 
     /// The prepared query behind an id.

@@ -86,6 +86,20 @@ pub struct EngineConfig {
     /// they return immediately with [`ResponseStatus::Shed`] and empty
     /// (vacuously sound) answers. `None` disables shedding.
     pub max_queue_depth: Option<usize>,
+    /// Byte budget for **each** registered database's relation-
+    /// materialization cache. `None` falls back to the
+    /// `CQAPX_CACHE_BUDGET` environment variable (plain bytes or
+    /// `k`/`m`/`g` suffixes); unset means unbounded, and `Some(0)`
+    /// forces unbounded regardless of the environment. Over-budget
+    /// caches evict clock-wise with second chances; evicted relations
+    /// are rebuilt byte-identically on the next request.
+    pub mat_cache_budget_bytes: Option<usize>,
+    /// Byte budget for the shared approximation cache, with the same
+    /// `None` → `CQAPX_CACHE_BUDGET` → unbounded fallback. Eviction
+    /// prefers entries with the lowest measured rebuild cost per
+    /// resident byte, so expensive single-exponential searches stay
+    /// amortized the longest.
+    pub approx_cache_budget_bytes: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +113,8 @@ impl Default for EngineConfig {
             nodes_per_ms: 50_000,
             metrics: MetricsLevel::from_env(),
             max_queue_depth: None,
+            mat_cache_budget_bytes: None,
+            approx_cache_budget_bytes: None,
         }
     }
 }
@@ -374,6 +390,12 @@ struct EngineMetrics {
     /// Queue depth (outstanding admitted requests) sampled at each
     /// admission decision.
     queue_depth: Gauge,
+    /// Resident bytes of the served database's materialization cache,
+    /// sampled at each response.
+    mat_cache_bytes: Gauge,
+    /// Estimated resident bytes of the approximation cache, sampled at
+    /// each response.
+    approx_cache_bytes: Gauge,
     /// Unclaimed workers in the [`ThreadBudget`] sampled at each
     /// request start (capacity minus claimed).
     workers_available: Gauge,
@@ -408,6 +430,8 @@ impl EngineMetrics {
             approx_cache_by_db: CounterFamily::new(),
             mat_cache_by_db: CounterFamily::new(),
             queue_depth: Gauge::new(),
+            mat_cache_bytes: Gauge::new(),
+            approx_cache_bytes: Gauge::new(),
             workers_available: Gauge::new(),
             solver_nodes: Counter::new(),
             solver_revisions: Counter::new(),
@@ -474,6 +498,25 @@ pub struct StatsSnapshot {
     pub approx_cache_by_db: BTreeMap<String, u64>,
     /// Materialization-cache outcomes by database, same label scheme.
     pub mat_cache_by_db: BTreeMap<String, u64>,
+    /// Resident bytes of each database's materialization cache, by
+    /// registration name (on re-registration the live entry wins).
+    /// Authoritative — read from the caches at snapshot time, at every
+    /// metrics level.
+    pub mat_cache_bytes_by_db: BTreeMap<String, u64>,
+    /// Budget-driven evictions of each database's materialization
+    /// cache, by registration name.
+    pub mat_cache_evictions_by_db: BTreeMap<String, u64>,
+    /// Domain-dictionary sizes (distinct active-domain elements) by
+    /// registration name.
+    pub dict_size_by_db: BTreeMap<String, u64>,
+    /// Per-database materialization-cache byte budget (`0` = unbounded).
+    pub mat_cache_budget_bytes: u64,
+    /// Estimated resident bytes of the approximation cache.
+    pub approx_cache_bytes: u64,
+    /// Approximation-cache byte budget (`0` = unbounded).
+    pub approx_cache_budget_bytes: u64,
+    /// Approximation-cache entries evicted by the byte budget.
+    pub approx_cache_evictions: u64,
     /// `Debug`: total solver branching decisions.
     pub solver_nodes: u64,
     /// `Debug`: total solver AC-3 revisions.
@@ -526,6 +569,11 @@ pub struct Engine {
     budget: ThreadBudget,
     /// Tiered instrumentation (level copied from the config).
     metrics: EngineMetrics,
+    /// Resolved per-database materialization-cache byte budget
+    /// ([`EngineConfig::mat_cache_budget_bytes`] else
+    /// `CQAPX_CACHE_BUDGET`; `0` = unbounded), applied to every
+    /// database at registration.
+    mat_budget: usize,
     /// Outstanding admitted requests — the queue depth admission
     /// control compares against [`EngineConfig::max_queue_depth`].
     /// Incremented at submission (before any planning), decremented
@@ -542,14 +590,20 @@ impl Engine {
             config.threads
         };
         let metrics = EngineMetrics::new(config.metrics);
+        let env_budget = crate::memory::env_cache_budget();
+        let mat_budget = config.mat_cache_budget_bytes.or(env_budget).unwrap_or(0);
+        let approx_budget = config.approx_cache_budget_bytes.or(env_budget).unwrap_or(0);
+        let cache = ApproxCache::new();
+        cache.set_budget_bytes(approx_budget);
         Engine {
             config,
             catalog: RwLock::new(Catalog::new()),
-            cache: ApproxCache::new(),
+            cache,
             approx_memo: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
             budget: ThreadBudget::new(threads),
             metrics,
+            mat_budget,
             inflight: AtomicUsize::new(0),
         }
     }
@@ -559,12 +613,18 @@ impl Engine {
         &self.budget
     }
 
-    /// Registers a database (scans statistics).
+    /// Registers a database: scans statistics, builds the domain
+    /// dictionary, and applies the resolved materialization-cache byte
+    /// budget (see [`EngineConfig::mat_cache_budget_bytes`]).
     pub fn register_database(&self, name: impl Into<String>, s: Structure) -> DbId {
-        self.catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .register_database(name, s)
+        let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+        let id = catalog.register_database(name, s);
+        if self.mat_budget > 0 {
+            if let Some(entry) = catalog.database(id) {
+                entry.materialized.set_budget_bytes(self.mat_budget);
+            }
+        }
+        id
     }
 
     /// Prepares a query (computes shape; compiles Yannakakis if acyclic).
@@ -620,6 +680,21 @@ impl Engine {
     /// operator activity, and occupancy.
     pub fn snapshot(&self) -> StatsSnapshot {
         let m = &self.metrics;
+        // Memory occupancy comes from the caches themselves (not the
+        // sampled gauges), so it is authoritative at every metrics
+        // level. Superseded registrations of a name are folded into
+        // the live entry's slot last, so the live entry wins.
+        let mut mat_bytes = BTreeMap::new();
+        let mut mat_evictions = BTreeMap::new();
+        let mut dict_sizes = BTreeMap::new();
+        {
+            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            for d in catalog.databases() {
+                mat_bytes.insert(d.name.clone(), d.materialized.resident_bytes() as u64);
+                mat_evictions.insert(d.name.clone(), d.materialized.evictions());
+                dict_sizes.insert(d.name.clone(), d.structure.domain_dict().len() as u64);
+            }
+        }
         StatsSnapshot {
             counters: self.stats(),
             level: m.level,
@@ -627,6 +702,13 @@ impl Engine {
             db_latency: m.db_latency.snapshot(),
             approx_cache_by_db: m.approx_cache_by_db.snapshot(),
             mat_cache_by_db: m.mat_cache_by_db.snapshot(),
+            mat_cache_bytes_by_db: mat_bytes,
+            mat_cache_evictions_by_db: mat_evictions,
+            dict_size_by_db: dict_sizes,
+            mat_cache_budget_bytes: self.mat_budget as u64,
+            approx_cache_bytes: self.cache.resident_bytes() as u64,
+            approx_cache_budget_bytes: self.cache.budget_bytes() as u64,
+            approx_cache_evictions: self.cache.evictions(),
             solver_nodes: m.solver_nodes.get(),
             solver_revisions: m.solver_revisions.get(),
             solver_budget_exhaustions: m.solver_budget_exhaustions.get(),
@@ -1057,6 +1139,9 @@ impl Engine {
         let us = r.wall.as_micros() as u64;
         m.class_latency.with(class_label(r)).record(us);
         m.db_latency.with(&d.name).record(us);
+        m.mat_cache_bytes
+            .set(d.materialized.resident_bytes() as i64);
+        m.approx_cache_bytes.set(self.cache.resident_bytes() as i64);
         match r.cache_hit {
             Some(true) => m.approx_cache_by_db.with(&format!("{}/hits", d.name)).inc(),
             Some(false) => m
@@ -1210,6 +1295,58 @@ mod tests {
         assert_eq!(r.status, ResponseStatus::Complete);
         assert_eq!(r.answers.len(), 2);
         assert_eq!(e.stats().plan_yannakakis, 1);
+    }
+
+    #[test]
+    fn snapshot_reports_cache_memory_and_dictionaries() {
+        // `Some(0)` pins both caches unbounded even when the test
+        // process runs under a `CQAPX_CACHE_BUDGET` (the CI budget job
+        // runs the whole suite that way).
+        let e = Engine::new(EngineConfig {
+            mat_cache_budget_bytes: Some(0),
+            approx_cache_budget_bytes: Some(0),
+            ..EngineConfig::default()
+        });
+        let db = e.register_database("p", Structure::digraph(4, &[(0, 1), (1, 2), (2, 3)]));
+        let q = e.prepare_query("ends", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        e.execute(&Request::new(q, db));
+        let snap = e.snapshot();
+        // Unbounded default: relations stay resident, nothing evicts.
+        assert_eq!(snap.mat_cache_budget_bytes, 0);
+        assert!(snap.mat_cache_bytes_by_db["p"] > 0);
+        assert_eq!(snap.mat_cache_evictions_by_db["p"], 0);
+        // digraph(4, path) has the full universe active: dictionary of 4.
+        assert_eq!(snap.dict_size_by_db["p"], 4);
+        assert_eq!(snap.approx_cache_budget_bytes, 0);
+        assert_eq!(snap.approx_cache_evictions, 0);
+    }
+
+    #[test]
+    fn tiny_mat_budget_stays_correct_and_reports_evictions() {
+        let bounded = Engine::new(EngineConfig {
+            mat_cache_budget_bytes: Some(1), // every landing evicts
+            ..EngineConfig::default()
+        });
+        let unbounded = engine();
+        for e in [&bounded, &unbounded] {
+            e.register_database(
+                "p",
+                Structure::digraph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            );
+            e.prepare_query("ends", parse_cq("Q(x, z) :- E(x, y), E(y, z)").unwrap());
+        }
+        let run = |e: &Engine| {
+            let q = e.query_by_name("ends").unwrap();
+            let db = e.database_by_name("p").unwrap();
+            (0..3)
+                .map(|_| e.execute(&Request::new(q, db)).answers)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&bounded), run(&unbounded));
+        let snap = bounded.snapshot();
+        assert_eq!(snap.mat_cache_budget_bytes, 1);
+        assert!(snap.mat_cache_evictions_by_db["p"] >= 1);
+        assert!(snap.mat_cache_bytes_by_db["p"] <= 1);
     }
 
     #[test]

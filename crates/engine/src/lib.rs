@@ -46,6 +46,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod engine;
+pub mod memory;
 pub mod par;
 pub mod planner;
 
@@ -56,6 +57,7 @@ pub use engine::{
     ApproxClassChoice, Engine, EngineConfig, EngineStats, EvalMode, Request, Response,
     ResponseStatus, StatsSnapshot, DEGRADE_MIN_SAMPLES,
 };
+pub use memory::parse_budget_bytes;
 pub use planner::{
     choose_plan, estimate_decomposed_cost, estimate_naive_cost, PlanDecision, PlanKind, PlanReason,
 };

@@ -38,6 +38,7 @@
 #![warn(clippy::all)]
 
 pub mod core_ops;
+pub mod dict;
 pub mod dot;
 pub mod fxhash;
 pub mod hom;
@@ -52,6 +53,7 @@ pub mod structure;
 pub mod vocabulary;
 
 pub use core_ops::{core_of, is_core, CoreResult};
+pub use dict::DomainDict;
 pub use hom::{HomProblem, HomSearchStats, Homomorphism};
 pub use index::{RelIndex, StructureIndex};
 pub use iso::{isomorphic, signature_pointed, IsoSignature};

@@ -1,5 +1,6 @@
 //! Finite relational structures (databases).
 
+use crate::dict::{DictCell, DomainDict};
 use crate::index::{IndexCell, StructureIndex};
 use crate::vocabulary::{RelId, Vocabulary};
 use serde::{Deserialize, Serialize};
@@ -48,6 +49,9 @@ pub struct Structure {
     /// Lazily-built inverted indexes (derived data: ignored by equality
     /// and hashing, shared by clones; see [`crate::index`]).
     index: IndexCell,
+    /// Lazily-built active-domain dictionary (derived data, same
+    /// contract as `index`; see [`crate::dict`]).
+    dict: DictCell,
 }
 
 impl Structure {
@@ -60,6 +64,7 @@ impl Structure {
             relations,
             names: None,
             index: IndexCell::default(),
+            dict: DictCell::default(),
         }
     }
 
@@ -104,6 +109,16 @@ impl Structure {
         self.index
             .0
             .get_or_init(|| Arc::new(StructureIndex::build(self)))
+    }
+
+    /// The active-domain dictionary of this snapshot: dense codes
+    /// `[0, n)` for the `n` active elements, in sorted (canonical)
+    /// order. Built lazily on first use and cached; clones share it
+    /// (see [`crate::dict`]).
+    pub fn domain_dict(&self) -> &DomainDict {
+        self.dict
+            .0
+            .get_or_init(|| Arc::new(DomainDict::build(self)))
     }
 
     /// Checks whether a tuple is a fact of the relation.
@@ -398,6 +413,7 @@ impl StructureBuilder {
             relations,
             names: None,
             index: IndexCell::default(),
+            dict: DictCell::default(),
         }
     }
 }

@@ -124,6 +124,28 @@ fn main() {
         );
     }
 
+    println!("\n── cache memory (any tier — read from the caches) ──");
+    println!(
+        "  mat cache     budget={} bytes ({})",
+        snap.mat_cache_budget_bytes,
+        if snap.mat_cache_budget_bytes == 0 {
+            "unbounded; set CQAPX_CACHE_BUDGET, e.g. 64k, to bound it"
+        } else {
+            "evicting when over"
+        }
+    );
+    for (db, bytes) in &snap.mat_cache_bytes_by_db {
+        println!(
+            "    {db:<12} resident={bytes:>8}B evictions={} dict={} codes",
+            snap.mat_cache_evictions_by_db.get(db).copied().unwrap_or(0),
+            snap.dict_size_by_db.get(db).copied().unwrap_or(0),
+        );
+    }
+    println!(
+        "  approx cache  resident={}B budget={} evictions={}",
+        snap.approx_cache_bytes, snap.approx_cache_budget_bytes, snap.approx_cache_evictions
+    );
+
     println!("\n── trace ring (Trace tier, last few) ──");
     let events = engine.trace_events();
     for ev in events.iter().rev().take(3).rev() {

@@ -168,6 +168,88 @@ proptest! {
         }
     }
 
+    /// Dense-domain dictionary encoding is invisible: evaluation with
+    /// direct-addressed join indexes, with the hashed fallback forced,
+    /// and naive evaluation all agree — cold and warm, Boolean and
+    /// unary heads, sequential and parallel thread budgets.
+    #[test]
+    fn dense_encoding_agrees_with_hashed_and_naive(
+        s in digraph_structure(5),
+        db in digraph_structure(8),
+    ) {
+        use cqapx_cq::eval::set_direct_index_enabled;
+        use cqapx_engine::{Engine, EngineConfig, Request};
+
+        // Restore the default (direct indexes on) however the test exits.
+        struct KnobReset;
+        impl Drop for KnobReset {
+            fn drop(&mut self) {
+                set_direct_index_enabled(true);
+            }
+        }
+        let _reset = KnobReset;
+
+        let queries = [
+            query_from_tableau(&Pointed::boolean(s.clone())),
+            query_from_tableau(&Pointed::new(s, vec![0])),
+        ];
+        let exact: Vec<_> = queries.iter().map(|q| eval_naive(q, &db)).collect();
+        for threads in [1usize, 2] {
+            for direct in [false, true] {
+                set_direct_index_enabled(direct);
+                let engine = Engine::new(EngineConfig {
+                    threads,
+                    ..EngineConfig::default()
+                });
+                let d = engine.register_database("db", db.clone());
+                for (i, q) in queries.iter().enumerate() {
+                    let qid = engine.prepare_query(format!("q{i}"), q.clone());
+                    let cold = engine.execute(&Request::new(qid, d));
+                    let warm = engine.execute(&Request::new(qid, d));
+                    prop_assert_eq!(&cold.answers, &exact[i],
+                        "cold, direct={} threads={}", direct, threads);
+                    prop_assert_eq!(&warm.answers, &exact[i],
+                        "warm, direct={} threads={}", direct, threads);
+                }
+            }
+        }
+    }
+
+    /// A starvation-level cache budget only costs rebuilds, never
+    /// answers: every response matches naive evaluation, resident bytes
+    /// stay bounded, and the materialization traffic (hits + misses) is
+    /// schedule-independent across thread budgets.
+    #[test]
+    fn tiny_cache_budget_is_correct_and_schedule_independent(
+        s in digraph_structure(5),
+        db in digraph_structure(8),
+    ) {
+        use cqapx_engine::{Engine, EngineConfig, Request};
+
+        let q = query_from_tableau(&Pointed::boolean(s));
+        let exact = eval_naive(&q, &db);
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 4] {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                mat_cache_budget_bytes: Some(1), // every landing evicts
+                approx_cache_budget_bytes: Some(1),
+                ..EngineConfig::default()
+            });
+            let d = engine.register_database("db", db.clone());
+            let qid = engine.prepare_query("q", q.clone());
+            for _ in 0..3 {
+                let r = engine.execute(&Request::new(qid, d));
+                prop_assert_eq!(&r.answers, &exact, "threads={}", threads);
+            }
+            let snap = engine.snapshot();
+            prop_assert!(snap.mat_cache_bytes_by_db["db"] <= 1);
+            let stats = engine.stats();
+            outcomes.push(stats.mat_hits + stats.mat_misses);
+        }
+        prop_assert_eq!(outcomes[0], outcomes[1]);
+    }
+
     /// Theorem 5.1 consistency: the polynomial classifier predicts the
     /// computed acyclic approximations.
     #[test]
