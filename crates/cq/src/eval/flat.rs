@@ -24,7 +24,7 @@
 use crate::ast::{Atom, VarId};
 use cqapx_par::{parallel_chunks, parallel_map, DisjointWriter, ThreadBudget};
 use cqapx_structures::fxhash::{FxHashMap, FxHasher};
-use cqapx_structures::{DomainDict, Element, RelId, Structure};
+use cqapx_structures::{DomainBitmap, DomainDict, Element, RelId, Structure};
 use std::collections::{BTreeSet, VecDeque};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -77,6 +77,161 @@ fn direct_index_enabled() -> bool {
     }
 }
 
+/// Policy for the word-parallel bitmap existence kernels over dense
+/// codes (the `CQAPX_BITMAP` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitmapMode {
+    /// Bitmaps wherever the existence predicate is a clear win; the
+    /// density-adaptive choice (bitmap AND vs galloping search) in the
+    /// WCOJ kernel's top-level intersection.
+    Auto,
+    /// Bitmaps wherever eligible, ignoring the density threshold.
+    On,
+    /// No bitmaps: every probe goes through the key index.
+    Off,
+}
+
+/// Runtime switch for the bitmap existence kernels: `0` = consult
+/// `CQAPX_BITMAP` (default auto), otherwise a forced [`BitmapMode`].
+/// Process-global so benchmarks and differential tests can compare the
+/// bitmap and probe kernels within one process, mirroring
+/// [`set_direct_index_enabled`].
+static BITMAP_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces the bitmap existence kernels to a mode for the whole
+/// process, overriding the `CQAPX_BITMAP` environment default. All
+/// modes produce byte-identical outputs — bitmaps only answer
+/// existence, never ordering — so this knob exists for benchmarking
+/// and differential testing.
+pub fn set_bitmap_mode(mode: BitmapMode) {
+    let v = match mode {
+        BitmapMode::Auto => 1,
+        BitmapMode::On => 2,
+        BitmapMode::Off => 3,
+    };
+    BITMAP_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+pub(crate) fn bitmap_mode() -> BitmapMode {
+    match BITMAP_OVERRIDE.load(Ordering::Relaxed) {
+        1 => BitmapMode::Auto,
+        2 => BitmapMode::On,
+        3 => BitmapMode::Off,
+        _ => {
+            static FROM_ENV: OnceLock<BitmapMode> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| match std::env::var("CQAPX_BITMAP").as_deref() {
+                Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => BitmapMode::Off,
+                Ok(v) if v == "1" || v.eq_ignore_ascii_case("on") => BitmapMode::On,
+                _ => BitmapMode::Auto,
+            })
+        }
+    }
+}
+
+/// Test-only: serializes tests (across this crate's modules) that read
+/// or flip the process-global kernel knobs, so a forced window in one
+/// test cannot leak into another's assertions.
+#[cfg(test)]
+pub(crate) fn knob_guard() -> std::sync::MutexGuard<'static, ()> {
+    static KNOB: Mutex<()> = Mutex::new(());
+    KNOB.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Test-only: returns the bitmap knob to its env-driven default.
+#[cfg(test)]
+pub(crate) fn reset_bitmap_override() {
+    BITMAP_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Column bitmaps built this process (one per (relation, column)).
+static BITMAP_BUILDS: AtomicU64 = AtomicU64::new(0);
+/// Kernel dispatches answered by a bitmap instead of an index probe.
+static BITMAP_PROBES: AtomicU64 = AtomicU64::new(0);
+/// Word-table bytes of all currently live column bitmaps.
+static BITMAP_RESIDENT: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide counters of the bitmap existence kernels, surfaced in
+/// `Engine::snapshot()` and `examples/engine_metrics.rs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitmapStats {
+    /// Column bitmaps built since process start.
+    pub builds: u64,
+    /// Kernel dispatches (semijoins, sweeps, WCOJ intersections) that
+    /// ran on bitmaps instead of per-row index probes.
+    pub probes: u64,
+    /// Word-table bytes of all currently live column bitmaps.
+    pub resident_bytes: usize,
+}
+
+/// The current process-wide bitmap counters.
+pub fn bitmap_stats() -> BitmapStats {
+    BitmapStats {
+        builds: BITMAP_BUILDS.load(Ordering::Relaxed),
+        probes: BITMAP_PROBES.load(Ordering::Relaxed),
+        resident_bytes: BITMAP_RESIDENT.load(Ordering::Relaxed),
+    }
+}
+
+/// Counts one bitmap-kernel dispatch (also from the plan IR's Boolean
+/// sweep, which lives in a sibling module).
+pub(crate) fn note_bitmap_probe() {
+    BITMAP_PROBES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one transient bitmap build (the Boolean sweep's live-row
+/// rebuilds, which never become resident).
+pub(crate) fn note_bitmap_build() {
+    BITMAP_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The lazily-built per-column existence bitmaps of one relation,
+/// shared by clones through an `Arc` (the [`cqapx_structures::dict`]
+/// `DictCell` pattern). Derived data: invisible to the relation's
+/// logical value, rebuilt from scratch after any mutation.
+#[derive(Debug)]
+struct ColumnBitmaps {
+    cols: Vec<OnceLock<Arc<DomainBitmap>>>,
+}
+
+impl ColumnBitmaps {
+    fn new(arity: usize) -> Self {
+        ColumnBitmaps {
+            cols: (0..arity).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Word-table bytes of the columns built so far.
+    fn heap_bytes(&self) -> usize {
+        self.cols
+            .iter()
+            .filter_map(|c| c.get())
+            .map(|b| b.heap_bytes())
+            .sum()
+    }
+}
+
+impl Drop for ColumnBitmaps {
+    fn drop(&mut self) {
+        let bytes = self.heap_bytes();
+        if bytes > 0 {
+            BITMAP_RESIDENT.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The clone-shared slot holding a relation's [`ColumnBitmaps`].
+/// Mutating operations replace the whole cell with a fresh one
+/// (clones keep the old, still-valid bitmaps); `relabel` and `clone`
+/// share it — same rows, same bitmaps.
+#[derive(Debug, Default)]
+struct BitmapCell(OnceLock<Arc<ColumnBitmaps>>);
+
+impl Clone for BitmapCell {
+    fn clone(&self) -> Self {
+        BitmapCell(self.0.clone())
+    }
+}
+
 /// A relation over distinct variables, stored columnar-flat: one
 /// contiguous row-major buffer instead of a hash set of row vectors.
 ///
@@ -100,6 +255,9 @@ pub struct FlatRelation {
     /// materialized from a [`Structure`] carry the dictionary width;
     /// operators propagate it conservatively.
     domain_width: u32,
+    /// Lazily-built per-column existence bitmaps (derived data; see
+    /// [`BitmapCell`]). Invalidated by every mutating operation.
+    bitmaps: BitmapCell,
 }
 
 impl FlatRelation {
@@ -110,6 +268,7 @@ impl FlatRelation {
             rows: 0,
             data: Vec::new(),
             domain_width: 0,
+            bitmaps: BitmapCell::default(),
         }
     }
 
@@ -122,6 +281,7 @@ impl FlatRelation {
             rows: 1,
             data: Vec::new(),
             domain_width: 0,
+            bitmaps: BitmapCell::default(),
         }
     }
 
@@ -131,12 +291,14 @@ impl FlatRelation {
     }
 
     /// The width bound of data drawn from both operands of a binary
-    /// operator: a 0-ary operand contributes no elements; otherwise
-    /// both bounds must be known for the combination to be known.
+    /// operator: a 0-ary or **empty** operand contributes no elements
+    /// (an unbounded constant/unit side must not erase the other
+    /// side's known bound); otherwise both bounds must be known for
+    /// the combination to be known.
     fn combine_widths(&self, other: &FlatRelation) -> u32 {
-        if self.schema.is_empty() {
+        if self.schema.is_empty() || self.rows == 0 {
             other.domain_width
-        } else if other.schema.is_empty() {
+        } else if other.schema.is_empty() || other.rows == 0 {
             self.domain_width
         } else if self.domain_width > 0 && other.domain_width > 0 {
             self.domain_width.max(other.domain_width)
@@ -145,11 +307,62 @@ impl FlatRelation {
         }
     }
 
-    /// Heap bytes held by this relation (buffer + schema), the unit of
-    /// cache byte accounting.
+    /// Heap bytes held by this relation (buffer + schema + built
+    /// column bitmaps), the unit of cache byte accounting. Cached
+    /// relations prebuild their bitmaps at landing (`prebuild_bitmaps`
+    /// in [`MaterializationCache::get_or_materialize`]) so the bytes
+    /// stored with the cache entry — and subtracted at eviction —
+    /// include them.
     pub fn heap_bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<Element>()
             + self.schema.capacity() * std::mem::size_of::<VarId>()
+            + self.bitmaps.0.get().map_or(0, |c| c.heap_bytes())
+    }
+
+    /// Whether column bitmaps may be built over this relation: the
+    /// dense bound is known and the word table stays within ~8 bytes
+    /// per row (beyond that the bitmap is mostly empty words and the
+    /// index probe is cheaper per cache line). A pure function of the
+    /// relation — never of the thread budget — so every kernel
+    /// dispatch agrees on eligibility.
+    fn bitmap_eligible(&self) -> bool {
+        self.domain_width > 0 && (self.domain_width as usize) <= 64 * self.rows.max(16)
+    }
+
+    /// The existence bitmap of one column, built lazily and shared by
+    /// clones. `None` when bitmaps are off ([`BitmapMode::Off`]) or
+    /// the relation is ineligible — callers fall back to the index
+    /// probe, which answers identically.
+    pub(crate) fn column_bitmap(&self, col: usize) -> Option<Arc<DomainBitmap>> {
+        if bitmap_mode() == BitmapMode::Off || !self.bitmap_eligible() {
+            return None;
+        }
+        let cols = self
+            .bitmaps
+            .0
+            .get_or_init(|| Arc::new(ColumnBitmaps::new(self.schema.len())));
+        let a = self.schema.len();
+        let bm = cols.cols[col].get_or_init(|| {
+            let mut bm = DomainBitmap::new(self.domain_width);
+            for i in 0..self.rows {
+                bm.set(self.data[i * a + col]);
+            }
+            BITMAP_BUILDS.fetch_add(1, Ordering::Relaxed);
+            BITMAP_RESIDENT.fetch_add(bm.heap_bytes(), Ordering::Relaxed);
+            Arc::new(bm)
+        });
+        Some(Arc::clone(bm))
+    }
+
+    /// Eagerly builds every eligible column bitmap. The
+    /// materialization cache calls this at entry landing so
+    /// [`FlatRelation::heap_bytes`] — stored with the entry and
+    /// subtracted at eviction — includes the bitmap words, keeping
+    /// the byte budget honest.
+    pub(crate) fn prebuild_bitmaps(&self) {
+        for c in 0..self.schema.len() {
+            let _ = self.column_bitmap(c);
+        }
     }
 
     /// The column labels.
@@ -176,6 +389,15 @@ impl FlatRelation {
     pub fn clear(&mut self) {
         self.rows = 0;
         self.data.clear();
+        self.invalidate_bitmaps();
+    }
+
+    /// Replaces the bitmap cell after a mutation. Clones made before
+    /// the mutation keep the old (still-valid-for-them) bitmaps.
+    fn invalidate_bitmaps(&mut self) {
+        if self.bitmaps.0.get().is_some() {
+            self.bitmaps = BitmapCell::default();
+        }
     }
 
     /// Re-targets the buffer to a new schema, dropping all rows but
@@ -186,6 +408,7 @@ impl FlatRelation {
         self.rows = 0;
         self.data.clear();
         self.domain_width = 0;
+        self.invalidate_bitmaps();
     }
 
     /// The `i`-th row.
@@ -206,6 +429,7 @@ impl FlatRelation {
         debug_assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
         self.data.extend_from_slice(row);
         self.rows += 1;
+        self.invalidate_bitmaps();
     }
 
     /// The same rows under different column labels (`schema` must have
@@ -219,6 +443,8 @@ impl FlatRelation {
             rows: self.rows,
             data: self.data.clone(),
             domain_width: self.domain_width,
+            // Same rows, same bitmaps: relabeling shares the cell.
+            bitmaps: self.bitmaps.clone(),
         }
     }
 
@@ -245,6 +471,7 @@ impl FlatRelation {
         if self.schema == other.schema {
             self.data.extend_from_slice(&other.data);
             self.rows += other.rows;
+            self.invalidate_bitmaps();
             return;
         }
         // Column remap: for each of my columns, its position in `other`.
@@ -260,6 +487,7 @@ impl FlatRelation {
             }
         }
         self.rows += other.rows;
+        self.invalidate_bitmaps();
     }
 
     /// Sorts rows lexicographically and removes duplicates, leaving the
@@ -276,6 +504,10 @@ impl FlatRelation {
     /// the relation is large enough; the plain sequential sort
     /// otherwise. The canonical output is identical either way — rows
     /// that compare equal are byte-identical, so tie order cannot show.
+    ///
+    /// Built bitmaps stay valid across this call: reordering rows and
+    /// dropping whole-row duplicates never changes a column's value
+    /// *set*, which is all a bitmap records.
     pub fn sort_dedup_budget(&mut self, budget: &ThreadBudget) {
         let a = self.schema.len();
         if a == 0 {
@@ -433,6 +665,7 @@ impl FlatRelation {
         }
         self.rows = w;
         self.data.truncate(w * a);
+        self.invalidate_bitmaps();
     }
 
     /// FxHash of the key columns of one row, hashed in place (no key
@@ -480,6 +713,17 @@ impl FlatRelation {
             }
             return;
         }
+        // Branch-free bitmap path for single-column keys against a
+        // dense source: the existence predicate ("does my code occur
+        // in the other column?") is exactly what the index probe
+        // answers, so survivors — and with them output bytes — are
+        // identical; only the per-row branch goes away.
+        if my_pos.len() == 1 {
+            if let Some(bm) = other.column_bitmap(their_pos[0]) {
+                note_bitmap_probe();
+                return self.semijoin_bitmap(my_pos[0], &bm, budget);
+            }
+        }
         let a = self.schema.len();
         if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
             // Build first (the build claims and releases its own
@@ -511,6 +755,7 @@ impl FlatRelation {
                 }
                 self.rows = w;
                 self.data.truncate(w * a);
+                self.invalidate_bitmaps();
                 return;
             }
             // No probe workers left: sequential probe over the (bit-
@@ -541,6 +786,63 @@ impl FlatRelation {
         }
         self.rows = w;
         self.data.truncate(w * a);
+        self.invalidate_bitmaps();
+    }
+
+    /// Semijoin survivor selection against a prebuilt existence
+    /// bitmap: codes are tested **branch-free** into a selection
+    /// vector (the membership read is straight-line word math and the
+    /// conditional append is an unconditional store plus a 0/1 index
+    /// bump), then the survivors are compacted once. The parallel
+    /// variant collects per-morsel selection vectors and compacts in
+    /// morsel order, mirroring [`FlatRelation::semijoin_on_budget`]
+    /// exactly — survivors and their order are identical to the
+    /// per-row `has_row_match` loop either way.
+    fn semijoin_bitmap(&mut self, my_col: usize, bm: &DomainBitmap, budget: &ThreadBudget) {
+        let a = self.schema.len();
+        if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
+            let lease = budget.claim(par_want(self.rows));
+            if lease.extra() > 0 {
+                let survivors: Vec<Vec<u32>> = {
+                    let data = &self.data;
+                    parallel_chunks(self.rows, MORSEL_ROWS, lease.workers(), |_, r| {
+                        let mut keep: Vec<u32> = vec![0; r.len()];
+                        let mut n = 0usize;
+                        for i in r {
+                            keep[n] = i as u32;
+                            n += bm.contains(data[i * a + my_col]) as usize;
+                        }
+                        keep.truncate(n);
+                        keep
+                    })
+                };
+                let mut w = 0usize;
+                for keep in &survivors {
+                    for &i in keep {
+                        self.data
+                            .copy_within(i as usize * a..i as usize * a + a, w * a);
+                        w += 1;
+                    }
+                }
+                self.rows = w;
+                self.data.truncate(w * a);
+                self.invalidate_bitmaps();
+                return;
+            }
+        }
+        let mut sel: Vec<u32> = vec![0; self.rows];
+        let mut n = 0usize;
+        for i in 0..self.rows {
+            sel[n] = i as u32;
+            n += bm.contains(self.data[i * a + my_col]) as usize;
+        }
+        for (w, &i) in sel[..n].iter().enumerate() {
+            self.data
+                .copy_within(i as usize * a..i as usize * a + a, w * a);
+        }
+        self.rows = n;
+        self.data.truncate(n * a);
+        self.invalidate_bitmaps();
     }
 
     /// Natural join `self ⋈ other`: output schema is `self`'s columns
@@ -588,7 +890,15 @@ impl FlatRelation {
         }
         let out_arity = schema.len();
         let mut out = FlatRelation::empty(schema);
-        out.domain_width = self.combine_widths(other);
+        // When `other` contributes no output columns (its variables
+        // are a subset of mine — a semijoin-shaped join), every output
+        // element comes from `self`, so my bound survives even if the
+        // other side carries none.
+        out.domain_width = if their_extra.is_empty() && self.domain_width > 0 {
+            self.domain_width
+        } else {
+            self.combine_widths(other)
+        };
 
         if my_shared.is_empty() {
             // Disjoint schemas: cartesian product.
@@ -1492,6 +1802,49 @@ impl<'a> WcojRun<'a> {
 /// candidates' subtrees into its own buffer; buffers are stitched in
 /// candidate order, so the output is bit-identical to the sequential
 /// run.
+/// The level-0 candidate set of a multiway join as a bitmap AND of the
+/// lead parts' column-0 bitmaps, when the density-adaptive choice
+/// favors it: `None` falls back to the galloping leapfrog scan.
+///
+/// Both enumerations produce the identical ascending candidate
+/// sequence (each column-0 bitmap is the exact value set of that
+/// column, so the AND is exactly the leapfrog intersection); the
+/// choice is pure performance. [`BitmapMode::Auto`] takes the bitmap
+/// only above a density threshold — the word scan is `O(width / 64)`
+/// regardless of outcome, while galloping is `O(cands · log)` — which
+/// plays the same role as the skew-corrected cost model's density
+/// estimate in the bag-strategy choice: an observed-size heuristic,
+/// never affecting bytes.
+fn wcoj_lead_bitmap(parts: &[&FlatRelation], lead: &[(usize, usize)]) -> Option<DomainBitmap> {
+    let mode = bitmap_mode();
+    if mode == BitmapMode::Off {
+        return None;
+    }
+    let min_rows = lead.iter().map(|&(p, _)| parts[p].rows).min().unwrap_or(0);
+    let width = lead
+        .iter()
+        .map(|&(p, _)| parts[p].domain_width)
+        .min()
+        .unwrap_or(0);
+    if min_rows == 0 || width == 0 {
+        return None;
+    }
+    // Dense enough: at least one candidate value per 8 codes of the
+    // narrowest lead column's domain.
+    if mode == BitmapMode::Auto && (width as usize) > 8 * min_rows {
+        return None;
+    }
+    let mut acc: Option<DomainBitmap> = None;
+    for &(p, _) in lead {
+        let bm = parts[p].column_bitmap(0)?;
+        acc = Some(match acc {
+            None => bm.as_ref().clone(),
+            Some(prev) => prev.and(&bm),
+        });
+    }
+    acc
+}
+
 pub(crate) fn multiway_join(
     parts: &[&FlatRelation],
     schema: &[VarId],
@@ -1512,7 +1865,32 @@ pub(crate) fn multiway_join(
     let lead: Vec<(usize, usize)> = shape.active_at[0].clone();
     let mut cands: Vec<Element> = Vec::new();
     let mut runs: Vec<(usize, usize)> = Vec::new(); // cands.len() × lead.len()
-    {
+    if let Some(bm) = wcoj_lead_bitmap(parts, &lead) {
+        // Bitmap AND gave the candidates; a monotone cursor per lead
+        // slot finds each candidate's run exactly as the leapfrog
+        // would (first row ≥ v is the first row = v, since v occurs
+        // in every lead column).
+        note_bitmap_probe();
+        let mut curs: Vec<usize> = vec![0; lead.len()];
+        for v in bm.iter_ones() {
+            cands.push(v);
+            for (slot, &(p, _)) in lead.iter().enumerate() {
+                let rel = parts[p];
+                let lo = gallop(
+                    &rel.data,
+                    rel.schema.len(),
+                    0,
+                    curs[slot],
+                    rel.rows,
+                    v,
+                    false,
+                );
+                let end = gallop(&rel.data, rel.schema.len(), 0, lo, rel.rows, v, true);
+                runs.push((lo, end));
+                curs[slot] = end;
+            }
+        }
+    } else {
         let mut curs: Vec<usize> = vec![0; lead.len()];
         let mut live = lead.iter().all(|&(p, _)| parts[p].rows > 0);
         'scan: while live {
@@ -1657,6 +2035,7 @@ impl AtomBinder {
         // avoids the table lookup (and is byte-identical anyway).
         let dict = d.domain_dict();
         out.domain_width = dict.len() as u32;
+        out.invalidate_bitmaps();
         if dict.is_identity() {
             'tuples: for t in d.tuples(self.rel) {
                 for &(i, j) in &self.eq_checks {
@@ -1859,14 +2238,27 @@ impl MaterializationCache {
         let mut ran = false;
         let rel = flight.cell.get_or_init(|| {
             ran = true;
-            Arc::new(materialize())
+            let rel = Arc::new(materialize());
+            // Build the entry's column bitmaps before taking its byte
+            // size: the stored bytes — what eviction later subtracts —
+            // then include the bitmap words, keeping the budget honest.
+            rel.prebuild_bitmaps();
+            // Byte accounting must happen *inside* the flight, before
+            // the `OnceLock` publishes the cell: the sweep treats a
+            // landed cell as evictable and subtracts `flight.bytes`,
+            // so a sweeper racing ahead of a post-landing store would
+            // subtract 0 while the lander's later `fetch_add` leaks
+            // phantom resident bytes that nothing ever reclaims. The
+            // `OnceLock`'s release-publication orders these stores
+            // before any observer can see the cell as landed.
+            let bytes = rel.heap_bytes();
+            flight.bytes.store(bytes, Ordering::Relaxed);
+            self.resident.fetch_add(bytes, Ordering::Relaxed);
+            rel
         });
         let rel = Arc::clone(rel);
         if ran {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let bytes = rel.heap_bytes();
-            flight.bytes.store(bytes, Ordering::Relaxed);
-            self.resident.fetch_add(bytes, Ordering::Relaxed);
             self.maybe_evict();
         } else {
             flight.touched.store(true, Ordering::Relaxed);
@@ -1889,12 +2281,22 @@ impl MaterializationCache {
         }
         let mut map = self.map.write().expect("cache lock poisoned");
         let mut clock = self.clock.lock().expect("clock lock poisoned");
-        // Bounded sweep: two full revolutions clear every second-chance
-        // bit; if the hand still finds only un-landed flights, the
-        // overage is in-flight work the sweep must not touch.
+        // Bounded sweep: the first revolution honors second chance; on
+        // the second, pressure overrides recency and any landed entry
+        // is fair game. The hand is FIFO and survivors re-enter at the
+        // tail, so the first `len` pops visit every original entry
+        // exactly once — an exact phase boundary. Without the second
+        // phase, hits already in flight (flight cloned before this
+        // sweep took the map lock) could keep re-setting `touched` and
+        // a starvation-level budget would stay exceeded at quiescence.
+        // If the hand still finds only un-landed flights, the overage
+        // is in-flight work the sweep must not touch.
+        let mut grace = clock.len();
         let mut steps = 2 * clock.len() + 2;
         while self.resident.load(Ordering::Relaxed) > budget && steps > 0 {
             steps -= 1;
+            let first_pass = grace > 0;
+            grace = grace.saturating_sub(1);
             let Some(key) = clock.pop_front() else { break };
             let Some(flight) = map.get(&key) else {
                 continue; // stale hand entry: key already evicted
@@ -1903,7 +2305,7 @@ impl MaterializationCache {
                 clock.push_back(key);
                 continue;
             }
-            if flight.touched.swap(false, Ordering::Relaxed) {
+            if first_pass && flight.touched.swap(false, Ordering::Relaxed) {
                 clock.push_back(key);
                 continue;
             }
@@ -2372,14 +2774,6 @@ mod tests {
 
     // ── direct-addressed index ──────────────────────────────────────
 
-    /// Serializes tests that read or flip the process-global direct-
-    /// index knob, so a forced-hashed window in one test cannot leak
-    /// into another's eligibility assertions.
-    fn knob_guard() -> std::sync::MutexGuard<'static, ()> {
-        static KNOB: Mutex<()> = Mutex::new(());
-        KNOB.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     /// A dense-coded relation: rows drawn from `[0, width)` with the
     /// width bound installed, as binder materialization would produce.
     fn dense_rel(schema: &[VarId], n: usize, width: u32, seed: u64) -> FlatRelation {
@@ -2608,6 +3002,142 @@ mod tests {
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.resident_bytes(), total);
+    }
+
+    // ── bitmap existence kernels ────────────────────────────────────
+
+    /// The bitmap semijoin (branch-free selection vector) must be
+    /// byte-identical to the index-probe path — same survivors, same
+    /// order, same width bound — sequentially and under morsel fan-out.
+    #[test]
+    fn bitmap_semijoin_is_bit_identical_to_probe() {
+        let _g = knob_guard();
+        for &(n, m, width) in &[
+            (500usize, 300usize, 64u32),
+            (3000, 2500, 900),
+            (64, 6000, 40),
+        ] {
+            let a = dense_rel(&[0, 1], n, width, 31);
+            let b = dense_rel(&[1, 2], m, width, 32);
+            for threads in [1usize, 4] {
+                let budget = ThreadBudget::new(threads);
+                set_bitmap_mode(BitmapMode::On);
+                let probes = BITMAP_PROBES.load(Ordering::Relaxed);
+                let mut via_bitmap = a.clone();
+                via_bitmap.semijoin_on_budget(&[1], &b, &[0], &budget);
+                assert!(
+                    BITMAP_PROBES.load(Ordering::Relaxed) > probes,
+                    "dense fixture must take the bitmap path"
+                );
+                set_bitmap_mode(BitmapMode::Off);
+                let mut via_probe = a.clone();
+                via_probe.semijoin_on_budget(&[1], &b, &[0], &budget);
+                assert_eq!(
+                    via_bitmap.data, via_probe.data,
+                    "semijoin bytes differ (n={n}, {threads} threads)"
+                );
+                assert_eq!(via_bitmap.rows, via_probe.rows);
+                assert_eq!(via_bitmap.domain_width, via_probe.domain_width);
+            }
+        }
+        BITMAP_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+
+    /// The density-adaptive WCOJ lead (bitmap AND over the parts'
+    /// column-0 bitmaps, runs recovered by monotone gallops) must keep
+    /// the multiway output identical to the pure-leapfrog scan.
+    #[test]
+    fn multiway_join_bitmap_lead_matches_leapfrog() {
+        let _g = knob_guard();
+        let mut seed = 43u64;
+        let schemas: [&[VarId]; 3] = [&[0, 1], &[1, 2], &[0, 2]];
+        let rels: Vec<FlatRelation> = schemas
+            .iter()
+            .map(|s| {
+                let mut r = random_rel(s, 600, 80, &mut seed);
+                r.domain_width = 80;
+                r
+            })
+            .collect();
+        let parts: Vec<&FlatRelation> = rels.iter().collect();
+        set_bitmap_mode(BitmapMode::On);
+        let with_bitmap = multiway_join(&parts, &[0, 1, 2], &ThreadBudget::sequential());
+        let with_bitmap_par = multiway_join(&parts, &[0, 1, 2], &ThreadBudget::new(4));
+        set_bitmap_mode(BitmapMode::Off);
+        let leapfrog = multiway_join(&parts, &[0, 1, 2], &ThreadBudget::sequential());
+        BITMAP_OVERRIDE.store(0, Ordering::Relaxed);
+        assert!(!leapfrog.is_empty(), "triangle join must produce rows");
+        assert_identical(&with_bitmap, &leapfrog, "bitmap lead (sequential)");
+        assert_identical(&with_bitmap_par, &leapfrog, "bitmap lead (parallel)");
+    }
+
+    /// Bitmaps answer only existence, so they survive `sort_dedup` but
+    /// must be dropped by any mutation that changes the value set —
+    /// a stale cell would silently corrupt later semijoins.
+    #[test]
+    fn bitmaps_invalidate_on_mutation_and_survive_sort() {
+        let _g = knob_guard();
+        set_bitmap_mode(BitmapMode::On);
+        let mut r = dense_rel(&[0, 1], 200, 32, 77);
+        let bm = r.column_bitmap(0).expect("dense fixture is eligible");
+        r.sort_dedup();
+        assert!(
+            Arc::ptr_eq(&bm, &r.column_bitmap(0).unwrap()),
+            "sort_dedup keeps the cached cell"
+        );
+        // A clone taken before the mutation keeps the old (valid) cell.
+        let snapshot = r.clone();
+        r.push_row(&[31, 31]);
+        let rebuilt = r.column_bitmap(0).expect("rebuilt after push_row");
+        assert!(!Arc::ptr_eq(&bm, &rebuilt), "mutation must drop the cell");
+        assert!(rebuilt.contains(31));
+        assert!(Arc::ptr_eq(&bm, &snapshot.column_bitmap(0).unwrap()));
+        BITMAP_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+
+    /// Regression: joining with the unit (or an empty) relation must
+    /// keep the other side's known bound instead of clearing it, and a
+    /// semijoin-shaped join (no extra columns) keeps `self`'s bound.
+    #[test]
+    fn combine_widths_keeps_bound_through_unit_and_empty() {
+        let unit = FlatRelation::unit();
+        let dense = dense_rel(&[0, 1], 50, 16, 3);
+        assert_eq!(unit.combine_widths(&dense), 16);
+        assert_eq!(dense.combine_widths(&unit), 16);
+        let empty = FlatRelation::empty(vec![2]);
+        assert_eq!(dense.combine_widths(&empty), 16);
+
+        let budget = ThreadBudget::sequential();
+        let joined = unit.join_budget(&dense, &budget);
+        assert_eq!(joined.domain_width, 16, "unit ⋈ dense keeps the bound");
+        // Semijoin-shaped: other contributes no new columns, so the
+        // output rows are a subset of self's — self's bound holds even
+        // if the other side's is unknown.
+        let mut wide = dense_rel(&[1, 3], 50, 16, 4);
+        wide.domain_width = 0;
+        let shaped = dense.join_budget(&wide.project(&[1]), &budget);
+        assert_eq!(shaped.schema, vec![0, 1]);
+        assert_eq!(shaped.domain_width, 16, "their_extra is empty");
+    }
+
+    /// Cached materializations prebuild their bitmaps, and the bytes
+    /// stored with the entry — hence resident accounting and eviction —
+    /// include the word tables.
+    #[test]
+    fn cache_accounts_bitmap_bytes() {
+        let _g = knob_guard();
+        set_bitmap_mode(BitmapMode::On);
+        let cache = MaterializationCache::new();
+        let [key, _, _] = three_keys();
+        let bare = dense_rel(&[0, 1], 512, 256, 8);
+        let raw = bare.heap_bytes(); // no bitmaps built yet
+        let (landed, _) = cache.get_or_materialize(&key, || dense_rel(&[0, 1], 512, 256, 8));
+        assert!(
+            landed.heap_bytes() > raw,
+            "landed entry carries bitmap words"
+        );
+        assert_eq!(cache.resident_bytes(), landed.heap_bytes());
+        BITMAP_OVERRIDE.store(0, Ordering::Relaxed);
     }
 
     #[test]

@@ -31,9 +31,12 @@
 //! detects which case it is in — see [`PlanIr::reduction_decides`]).
 
 use crate::ast::{Atom, VarId};
-use crate::eval::flat::{AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache};
+use crate::eval::flat::{
+    bitmap_mode, note_bitmap_build, note_bitmap_probe, AtomBinder, BitmapMode, FlatRelation,
+    MatCacheStats, MatKey, MaterializationCache,
+};
 use cqapx_par::{parallel_map, ThreadBudget};
-use cqapx_structures::Structure;
+use cqapx_structures::{DomainBitmap, Structure};
 use std::collections::BTreeSet;
 
 /// Index of a relation slot in a [`PlanIr`] program.
@@ -615,7 +618,7 @@ impl PlanIr {
         stages
     }
 
-    /// Executes `ops[..len]`. Returns `false` when an
+    /// Executes `ops[start..len]`. Returns `false` when an
     /// [`Op::AssertNonempty`] fired (the answer is empty).
     ///
     /// Execution is sequential in op order, with one scheduling upgrade
@@ -628,6 +631,7 @@ impl PlanIr {
     #[allow(clippy::too_many_arguments)]
     fn exec(
         &self,
+        start: usize,
         len: usize,
         slots: &mut [Option<FlatRelation>],
         d: &Structure,
@@ -674,7 +678,7 @@ impl PlanIr {
         } else {
             None
         };
-        let mut pc = 0usize;
+        let mut pc = start;
         while pc < len {
             // A contiguous same-stage block of materializations fans
             // out over the budget's workers.
@@ -830,6 +834,7 @@ impl PlanIr {
         let mut stats = MatCacheStats::default();
         let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
         if !self.exec(
+            0,
             self.ops.len(),
             &mut slots,
             d,
@@ -870,12 +875,35 @@ impl PlanIr {
         d: &Structure,
         cache: Option<&MaterializationCache>,
         budget: &ThreadBudget,
-        profile: Option<&mut EvalProfile>,
+        mut profile: Option<&mut EvalProfile>,
     ) -> (bool, MatCacheStats) {
         if self.reduction_decides {
             let mut stats = MatCacheStats::default();
             let mut slots: Vec<Option<FlatRelation>> = vec![None; self.slots];
+            // Materialize first (parallel fan-out and cache accounting
+            // identical to the full run), then decide the sweep path.
+            let mat_len = self
+                .ops
+                .iter()
+                .take_while(|op| matches!(op, Op::Materialize { .. }))
+                .count()
+                .min(self.bool_len);
             let alive = self.exec(
+                0,
+                mat_len,
+                &mut slots,
+                d,
+                cache,
+                &mut stats,
+                budget,
+                profile.as_deref_mut(),
+            );
+            debug_assert!(alive, "materializations assert nothing");
+            if let Some(alive) = self.bitmap_bool_sweep(mat_len, &slots, profile.as_deref_mut()) {
+                return (alive, stats);
+            }
+            let alive = self.exec(
+                mat_len,
                 self.bool_len,
                 &mut slots,
                 d,
@@ -888,6 +916,200 @@ impl PlanIr {
         }
         let (out, stats) = self.run_budget_profiled(d, cache, budget, profile);
         (out.is_some_and(|r| !r.is_empty()), stats)
+    }
+
+    /// The full-reducer sweep `ops[mat_len..bool_len]` collapsed onto
+    /// existence bitmaps and per-slot **live-row masks**: each semijoin
+    /// tests the target's live rows against the source's live-value
+    /// bitmap and clears misses in the mask; each emptiness assertion
+    /// reads a popcount. No key index is built and no row is compacted
+    /// — for `reduction_decides` plans the Boolean answer is exactly
+    /// "did every mask stay nonempty", which is the bitmap-intersection
+    /// collapse of the sweep.
+    ///
+    /// Exactness: a live mask *is* the survivor set the in-place
+    /// semijoin would have compacted (same membership predicate per
+    /// row, applied to the same live rows in the same op order), so
+    /// the outcome — and every profiled row count — is identical to
+    /// the kernel path. Slots are never mutated.
+    ///
+    /// Returns `None` (before emitting any profile entry) when bitmaps
+    /// are off or any sweep op is ineligible — a multi-column key, or
+    /// a source without a dense bound; the caller then runs the same
+    /// ops through the semijoin kernel.
+    fn bitmap_bool_sweep(
+        &self,
+        mat_len: usize,
+        slots: &[Option<FlatRelation>],
+        mut profile: Option<&mut EvalProfile>,
+    ) -> Option<bool> {
+        if bitmap_mode() == BitmapMode::Off {
+            return None;
+        }
+        let sweep = &self.ops[mat_len..self.bool_len];
+        let rel = |s: Slot| slots[s].as_ref().expect("slot written before use");
+        // Validate every op up front — warming the source bitmaps from
+        // the relation caches — so an ineligible sweep falls back
+        // before any profile entry or counter moves.
+        for op in sweep {
+            match op {
+                Op::AssertNonempty { .. } => {}
+                Op::Semijoin {
+                    source,
+                    target_pos,
+                    source_pos,
+                    ..
+                } => {
+                    if target_pos.len() > 1
+                        || (target_pos.len() == 1
+                            && rel(*source).column_bitmap(source_pos[0]).is_none())
+                    {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        /// Live rows of one slot: a row-indexed bitset plus popcount.
+        /// `dirty` marks slots whose mask has cleared bits, i.e. whose
+        /// cached column bitmaps no longer describe the live rows.
+        struct Mask {
+            words: Vec<u64>,
+            live: usize,
+            dirty: bool,
+        }
+        let mut masks: Vec<Option<Mask>> = (0..self.slots).map(|_| None).collect();
+        fn ensure(masks: &mut [Option<Mask>], rows: usize, s: Slot) {
+            if masks[s].is_none() {
+                let mut words = vec![u64::MAX; rows.div_ceil(64)];
+                if !rows.is_multiple_of(64) {
+                    *words.last_mut().expect("rows > 0") = (1u64 << (rows % 64)) - 1;
+                }
+                masks[s] = Some(Mask {
+                    words,
+                    live: rows,
+                    dirty: false,
+                });
+            }
+        }
+        for op in sweep {
+            let t0 = profile.is_some().then(std::time::Instant::now);
+            match op {
+                Op::AssertNonempty { slot } => {
+                    ensure(&mut masks, rel(*slot).len(), *slot);
+                    let live = masks[*slot].as_ref().expect("ensured").live;
+                    if let Some(p) = profile.as_deref_mut() {
+                        p.ops.push(OpProfile {
+                            op: "assert_nonempty",
+                            micros: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                            rows: live,
+                        });
+                    }
+                    if live == 0 {
+                        return Some(false);
+                    }
+                }
+                Op::Semijoin {
+                    target,
+                    source,
+                    target_pos,
+                    source_pos,
+                } => {
+                    ensure(&mut masks, rel(*source).len(), *source);
+                    ensure(&mut masks, rel(*target).len(), *target);
+                    if target_pos.is_empty() {
+                        // Cartesian degenerate case: the target dies
+                        // iff the source has no live row.
+                        if masks[*source].as_ref().expect("ensured").live == 0 {
+                            let m = masks[*target].as_mut().expect("ensured");
+                            m.words.fill(0);
+                            m.live = 0;
+                            m.dirty = true;
+                        }
+                    } else {
+                        note_bitmap_probe();
+                        let srel = rel(*source);
+                        let scol = source_pos[0];
+                        let smask = masks[*source].as_ref().expect("ensured");
+                        // The source's live-value bitmap: the cached
+                        // column bitmap while every source row is
+                        // live, a one-pass rebuild over the live rows
+                        // once the sweep has filtered it.
+                        let rebuilt;
+                        let cached;
+                        let sbm: &DomainBitmap = if smask.dirty {
+                            let mut bm = DomainBitmap::new(srel.domain_width());
+                            for (wi, &w) in smask.words.iter().enumerate() {
+                                let mut bits = w;
+                                while bits != 0 {
+                                    let i = (wi << 6) + bits.trailing_zeros() as usize;
+                                    bm.set(srel.row(i)[scol]);
+                                    bits &= bits - 1;
+                                }
+                            }
+                            note_bitmap_build();
+                            rebuilt = bm;
+                            &rebuilt
+                        } else {
+                            cached = srel
+                                .column_bitmap(scol)
+                                .expect("validated before the sweep");
+                            &cached
+                        };
+                        let trel = rel(*target);
+                        let tcol = target_pos[0];
+                        // Word-wise collapse: the target's cached column
+                        // bitmap covers every row (dead ones included),
+                        // so if it is a subset of the source's live
+                        // values, no live row can miss — the op is a
+                        // subset test over two word tables and the row
+                        // scan never runs. On fully-reducing data the
+                        // entire sweep settles in these tests.
+                        let covered = trel
+                            .column_bitmap(tcol)
+                            .is_some_and(|tbm| tbm.subset_of(sbm));
+                        let m = masks[*target].as_mut().expect("ensured");
+                        if covered {
+                            if let Some(p) = profile.as_deref_mut() {
+                                p.ops.push(OpProfile {
+                                    op: "semijoin",
+                                    micros: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                                    rows: m.live,
+                                });
+                            }
+                            continue;
+                        }
+                        let mut live = 0usize;
+                        for (wi, w) in m.words.iter_mut().enumerate() {
+                            let mut keep = 0u64;
+                            let mut bits = *w;
+                            while bits != 0 {
+                                let b = bits & bits.wrapping_neg();
+                                let i = (wi << 6) + b.trailing_zeros() as usize;
+                                let hit = sbm.contains(trel.row(i)[tcol]) as u64;
+                                keep |= b & hit.wrapping_neg();
+                                bits ^= b;
+                            }
+                            *w = keep;
+                            live += keep.count_ones() as usize;
+                        }
+                        if live != m.live {
+                            m.dirty = true;
+                        }
+                        m.live = live;
+                    }
+                    if let Some(p) = profile.as_deref_mut() {
+                        p.ops.push(OpProfile {
+                            op: "semijoin",
+                            micros: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                            rows: masks[*target].as_ref().expect("ensured").live,
+                        });
+                    }
+                }
+                _ => unreachable!("validated before the sweep"),
+            }
+        }
+        Some(true)
     }
 }
 

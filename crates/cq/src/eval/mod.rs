@@ -13,7 +13,8 @@ pub mod yannakakis;
 pub use decomposed::{BagPart, BagSummary, DecomposedPlan, NotDecomposable};
 pub use evaluator::{Evaluator, NaiveEvaluator};
 pub use flat::{
-    set_direct_index_enabled, AtomBinder, FlatRelation, MatCacheStats, MatKey, MaterializationCache,
+    bitmap_stats, set_bitmap_mode, set_direct_index_enabled, AtomBinder, BitmapMode, BitmapStats,
+    FlatRelation, MatCacheStats, MatKey, MaterializationCache,
 };
 pub use ir::{
     env_bag_strategy, resolve_bag_strategy, resolve_bag_strategy_observed, EvalProfile, MatPart,

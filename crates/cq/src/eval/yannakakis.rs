@@ -249,6 +249,52 @@ mod tests {
         assert!(plan.ir().reduction_decides());
     }
 
+    /// A `reduction_decides` Boolean plan collapses its semijoin sweep
+    /// to bitmap intersections under `CQAPX_BITMAP=on`; the decision,
+    /// the naive reference, and the cache traffic must all be identical
+    /// to the probe sweep — on both satisfied and unsatisfied
+    /// instances, cold and warm.
+    #[test]
+    fn bitmap_boolean_sweep_matches_probe_sweep() {
+        use crate::eval::flat::{knob_guard, reset_bitmap_override, set_bitmap_mode, BitmapMode};
+        let _g = knob_guard();
+        let mut edges = Vec::new();
+        for u in 0..40u32 {
+            edges.push((u, (u * 7 + 3) % 40));
+            edges.push((u, (u * 13 + 1) % 40));
+        }
+        let yes = Structure::digraph(40, &edges);
+        let no = Structure::digraph(4, &[(0, 1), (2, 3)]);
+        for qs in [
+            "Q() :- E(x, y), E(y, z), E(z, w)",
+            "Q() :- E(h, a), E(h, b), E(h, c)",
+            "Q() :- E(x, y), E(y, y)",
+        ] {
+            let q = parse_cq(qs).unwrap();
+            let plan = AcyclicPlan::compile(&q).unwrap();
+            assert!(plan.ir().reduction_decides(), "{qs} must be sweep-shaped");
+            for d in [&yes, &no] {
+                let naive = eval_boolean_naive(&q, d);
+                set_bitmap_mode(BitmapMode::On);
+                let cache_on = MaterializationCache::new();
+                let (on_cold, s_on) = plan.eval_boolean_cached(d, Some(&cache_on));
+                let (on_warm, _) = plan.eval_boolean_cached(d, Some(&cache_on));
+                set_bitmap_mode(BitmapMode::Off);
+                let cache_off = MaterializationCache::new();
+                let (off_cold, s_off) = plan.eval_boolean_cached(d, Some(&cache_off));
+                reset_bitmap_override();
+                assert_eq!(on_cold, naive, "bitmap sweep wrong on {qs}");
+                assert_eq!(on_warm, naive, "warm bitmap sweep wrong on {qs}");
+                assert_eq!(off_cold, naive, "probe sweep wrong on {qs}");
+                assert_eq!(
+                    (s_on.hits, s_on.misses),
+                    (s_off.hits, s_off.misses),
+                    "cache traffic must not depend on the kernel ({qs})"
+                );
+            }
+        }
+    }
+
     #[test]
     fn path_queries_agree() {
         let d = Structure::digraph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (5, 0)]);

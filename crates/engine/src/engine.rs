@@ -530,6 +530,16 @@ pub struct StatsSnapshot {
     /// `Debug`: bag-build time quantiles by join strategy
     /// (`"binary"`/`"wcoj"`), per-response totals in µs.
     pub bag_build_latency: BTreeMap<String, HistogramSnapshot>,
+    /// Column existence bitmaps built by the eval layer, process-wide
+    /// (the `CQAPX_BITMAP` kernels). Authoritative at every level.
+    pub bitmap_builds: u64,
+    /// Kernel dispatches answered via bitmaps instead of index probes,
+    /// process-wide.
+    pub bitmap_probes: u64,
+    /// Word-table bytes of currently live column bitmaps, process-wide
+    /// (bitmaps on cached materializations are also inside each cache's
+    /// resident bytes — see `mat_cache_bytes_by_db`).
+    pub bitmap_resident_bytes: u64,
     /// Outstanding admitted requests at snapshot time.
     pub queue_depth: i64,
     /// Total claimable extra workers (threads − 1).
@@ -695,6 +705,7 @@ impl Engine {
                 dict_sizes.insert(d.name.clone(), d.structure.domain_dict().len() as u64);
             }
         }
+        let bitmap_stats = cqapx_cq::eval::bitmap_stats();
         StatsSnapshot {
             counters: self.stats(),
             level: m.level,
@@ -715,6 +726,9 @@ impl Engine {
             op_micros: m.op_micros.snapshot(),
             op_rows: m.op_rows.snapshot(),
             bag_build_latency: m.bag_build.snapshot(),
+            bitmap_builds: bitmap_stats.builds,
+            bitmap_probes: bitmap_stats.probes,
+            bitmap_resident_bytes: bitmap_stats.resident_bytes as u64,
             queue_depth: self.inflight.load(Ordering::Relaxed) as i64,
             workers_capacity: self.budget.capacity(),
             workers_available: m.workers_available.get(),

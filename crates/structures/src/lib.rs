@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bitmap;
 pub mod core_ops;
 pub mod dict;
 pub mod dot;
@@ -52,6 +53,7 @@ pub mod solver;
 pub mod structure;
 pub mod vocabulary;
 
+pub use bitmap::DomainBitmap;
 pub use core_ops::{core_of, is_core, CoreResult};
 pub use dict::DomainDict;
 pub use hom::{HomProblem, HomSearchStats, Homomorphism};

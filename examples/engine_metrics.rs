@@ -145,6 +145,10 @@ fn main() {
         "  approx cache  resident={}B budget={} evictions={}",
         snap.approx_cache_bytes, snap.approx_cache_budget_bytes, snap.approx_cache_evictions
     );
+    println!(
+        "  bitmaps       resident={}B builds={} probes={} (CQAPX_BITMAP kernels)",
+        snap.bitmap_resident_bytes, snap.bitmap_builds, snap.bitmap_probes
+    );
 
     println!("\n── trace ring (Trace tier, last few) ──");
     let events = engine.trace_events();
