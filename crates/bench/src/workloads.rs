@@ -86,6 +86,46 @@ pub fn random_relation_db(n: usize, arity: usize, tuples: usize, seed: u64) -> S
     b.finish()
 }
 
+/// Two independent random edge relations `E` and `F` over `n` nodes,
+/// with a handful of planted reversed overlaps (`E(x,y)` alongside
+/// `E(y,x)` or `F(y,x)`) so reversed-atom intersection queries have
+/// nonempty answers. Atoms like `E(y, x)` under a head-fixed variable
+/// order materialize scans that arrive genuinely out of row order —
+/// the canonicalizing-sort- and intersection-bound shape the packed
+/// code-word kernels target.
+pub fn two_rel_reversed_db(n: usize, edges: usize, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = Vocabulary::new(vec![("E", 2), ("F", 2)]);
+    let (e, f) = (
+        vocab.rel("E").expect("E declared"),
+        vocab.rel("F").expect("F declared"),
+    );
+    let mut b = StructureBuilder::new(vocab, n);
+    let mut es = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let (x, y) = (
+            rng.gen_range(0..n as Element),
+            rng.gen_range(0..n as Element),
+        );
+        es.push((x, y));
+        b.add(e, &[x, y]);
+        b.add(
+            f,
+            &[
+                rng.gen_range(0..n as Element),
+                rng.gen_range(0..n as Element),
+            ],
+        );
+    }
+    for i in 0..60 {
+        let (x, y) = es[i * 37 % es.len()];
+        b.add(f, &[y, x]); // reversed overlap of F with E
+        let (x2, y2) = es[(i * 53 + 11) % es.len()];
+        b.add(e, &[y2, x2]); // mutual E pair
+    }
+    b.finish()
+}
+
 /// The query mix for the engine-serving benchmarks: acyclic shapes the
 /// planner sends to Yannakakis, cheap cyclic shapes it evaluates
 /// naively, and an expensive cyclic shape (the introduction's `Q2`) that

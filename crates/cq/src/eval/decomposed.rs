@@ -422,6 +422,52 @@ mod tests {
         }
     }
 
+    /// The cyclic tier must give identical answers and cache traffic
+    /// under both packed kernel settings — forcing the packed word
+    /// kernels onto every eligible two-column interface (cross-bag
+    /// semijoins, bag joins, dedups) must not move a byte.
+    #[test]
+    fn packed_kernels_identical_on_cyclic_tier() {
+        use crate::eval::flat::{knob_guard, reset_packed_override, set_packed_mode, PackedMode};
+        let _g = knob_guard();
+        let q6 = "Q() :- E(a,p), E(p,b), E(b,q), E(q,c), E(c,r), E(r,a)";
+        let qpair = "Q(x, y) :- E(x, z), E(z, y), E(x, w), E(w, y)";
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for u in 0..60u32 {
+            edges.push((u, (u * 11 + 5) % 60));
+            edges.push((u, (u * 17 + 2) % 60));
+            edges.push(((u * 3) % 60, u));
+        }
+        let d = Structure::digraph(60, &edges);
+        for (qs, strategy) in [
+            (q6, MatStrategy::Binary),
+            (q6, MatStrategy::Wcoj),
+            (qpair, MatStrategy::Binary),
+        ] {
+            let q = parse_cq(qs).unwrap();
+            let plan = DecomposedPlan::compile(&q, 2)
+                .unwrap()
+                .with_bag_strategy(strategy);
+            set_packed_mode(PackedMode::On);
+            let cache_on = MaterializationCache::new();
+            let (rows_on, s_on) = plan.eval_cached(&d, Some(&cache_on));
+            let on_bool = plan.eval_boolean(&d);
+            set_packed_mode(PackedMode::Off);
+            let cache_off = MaterializationCache::new();
+            let (rows_off, s_off) = plan.eval_cached(&d, Some(&cache_off));
+            let off_bool = plan.eval_boolean(&d);
+            reset_packed_override();
+            assert_eq!(rows_on, rows_off, "answers differ on {qs}");
+            assert_eq!(on_bool, off_bool, "boolean differs on {qs}");
+            assert_eq!(rows_on, eval_naive(&q, &d), "naive disagrees on {qs}");
+            assert_eq!(
+                (s_on.hits, s_on.misses),
+                (s_off.hits, s_off.misses),
+                "cache traffic must not depend on the kernel ({qs})"
+            );
+        }
+    }
+
     #[test]
     fn free_variable_cycles() {
         let d = Structure::digraph(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 2), (5, 5)]);

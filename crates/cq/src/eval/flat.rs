@@ -24,6 +24,7 @@
 use crate::ast::{Atom, VarId};
 use cqapx_par::{parallel_chunks, parallel_map, DisjointWriter, ThreadBudget};
 use cqapx_structures::fxhash::{FxHashMap, FxHasher};
+use cqapx_structures::packed::{pack2, radix_dedup, radix_dedup_u32, radix_sort_pairs};
 use cqapx_structures::{DomainBitmap, DomainDict, Element, RelId, Structure};
 use std::collections::{BTreeSet, VecDeque};
 use std::hash::Hasher;
@@ -47,6 +48,12 @@ const MORSEL_ROWS: usize = 2048;
 fn par_want(rows: usize) -> usize {
     (rows / MORSEL_ROWS).saturating_sub(1).min(31)
 }
+
+/// Minimum rows before [`PackedMode::Auto`] routes a relation through
+/// the packed code-word kernels: below this the comparison sort /
+/// hashed build is already a handful of microseconds and the radix
+/// passes' fixed costs (histograms, scratch buffer) dominate.
+const PACKED_MIN_ROWS: usize = 512;
 
 /// Runtime switch for the direct-addressed single-column index: `0` =
 /// consult `CQAPX_DIRECT_INDEX` (default on), `1` = forced on, `2` =
@@ -128,6 +135,60 @@ pub(crate) fn bitmap_mode() -> BitmapMode {
     }
 }
 
+/// Policy for the packed code-word kernels over dense codes (the
+/// `CQAPX_PACKED` knob): radix sort-dedup, radix-partitioned join
+/// indexes, and word-compare semijoin selection vectors, all over rows
+/// or keys packed into single `u64` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedMode {
+    /// Packed kernels wherever the per-relation heuristic (arity,
+    /// dense width, row count) predicts a win.
+    Auto,
+    /// Packed kernels wherever packing is legal, ignoring the row
+    /// threshold.
+    On,
+    /// No packing: comparison sorts and hashed/direct indexes only.
+    Off,
+}
+
+/// Runtime switch for the packed code-word kernels: `0` = consult
+/// `CQAPX_PACKED` (default auto), otherwise a forced [`PackedMode`].
+/// Process-global so benchmarks and differential tests can compare the
+/// packed and generic kernels within one process, mirroring
+/// [`set_bitmap_mode`].
+static PACKED_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces the packed code-word kernels to a mode for the whole
+/// process, overriding the `CQAPX_PACKED` environment default. All
+/// modes produce byte-identical outputs — packing is monotone, so the
+/// radix order is the canonical row order, and packed join groups
+/// reproduce the hashed probe order exactly — so this knob exists for
+/// benchmarking and differential testing.
+pub fn set_packed_mode(mode: PackedMode) {
+    let v = match mode {
+        PackedMode::Auto => 1,
+        PackedMode::On => 2,
+        PackedMode::Off => 3,
+    };
+    PACKED_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+pub(crate) fn packed_mode() -> PackedMode {
+    match PACKED_OVERRIDE.load(Ordering::Relaxed) {
+        1 => PackedMode::Auto,
+        2 => PackedMode::On,
+        3 => PackedMode::Off,
+        _ => {
+            static FROM_ENV: OnceLock<PackedMode> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| match std::env::var("CQAPX_PACKED").as_deref() {
+                Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => PackedMode::Off,
+                Ok(v) if v == "1" || v.eq_ignore_ascii_case("on") => PackedMode::On,
+                _ => PackedMode::Auto,
+            })
+        }
+    }
+}
+
 /// Test-only: serializes tests (across this crate's modules) that read
 /// or flip the process-global kernel knobs, so a forced window in one
 /// test cannot leak into another's assertions.
@@ -141,6 +202,12 @@ pub(crate) fn knob_guard() -> std::sync::MutexGuard<'static, ()> {
 #[cfg(test)]
 pub(crate) fn reset_bitmap_override() {
     BITMAP_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Test-only: returns the packed knob to its env-driven default.
+#[cfg(test)]
+pub(crate) fn reset_packed_override() {
+    PACKED_OVERRIDE.store(0, Ordering::Relaxed);
 }
 
 /// Column bitmaps built this process (one per (relation, column)).
@@ -182,6 +249,42 @@ pub(crate) fn note_bitmap_probe() {
 /// rebuilds, which never become resident).
 pub(crate) fn note_bitmap_build() {
     BITMAP_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Packed structures built this process (radix-sorted row sets and
+/// radix-partitioned join indexes).
+static PACKED_BUILDS: AtomicU64 = AtomicU64::new(0);
+/// Rows that flowed through a packed kernel (sorted, indexed, or
+/// probed as code words).
+static PACKED_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counters of the packed code-word kernels
+/// (`CQAPX_PACKED`), surfaced in `Engine::snapshot()` and
+/// `examples/engine_metrics.rs`. Packed structures are transient —
+/// built inside one kernel dispatch, dropped with it — so unlike the
+/// bitmaps there is no resident-bytes gauge to report (and cache byte
+/// accounting is untouched by the knob).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackedStats {
+    /// Packed structures built since process start (radix sorts and
+    /// partitioned join indexes).
+    pub builds: u64,
+    /// Rows processed through packed kernels.
+    pub rows: u64,
+}
+
+/// The current process-wide packed-kernel counters.
+pub fn packed_stats() -> PackedStats {
+    PackedStats {
+        builds: PACKED_BUILDS.load(Ordering::Relaxed),
+        rows: PACKED_ROWS.load(Ordering::Relaxed),
+    }
+}
+
+/// Counts one packed-kernel dispatch over `rows` rows.
+fn note_packed(rows: usize) {
+    PACKED_BUILDS.fetch_add(1, Ordering::Relaxed);
+    PACKED_ROWS.fetch_add(rows as u64, Ordering::Relaxed);
 }
 
 /// The lazily-built per-column existence bitmaps of one relation,
@@ -232,6 +335,65 @@ impl Clone for BitmapCell {
     }
 }
 
+/// Cached sorted word image of an arity-≤2 relation's rows (derived
+/// data, like [`BitmapCell`] but order-sensitive): the packed radix
+/// sort leaves its sorted distinct key words here so the packed merge
+/// intersection can reuse them without re-packing, and the merge
+/// stashes its surviving words back for the next part of a multi-part
+/// build. Dropped by every mutation ([`FlatRelation::invalidate_bitmaps`]
+/// doubles as the derived-data invalidation point), never cloned (a
+/// clone re-derives on demand), and never counted by
+/// [`FlatRelation::heap_bytes`] — bag materialization drops it before
+/// a relation can land in a cache, so the image stays transient and
+/// cache byte accounting is identical across packed modes.
+#[derive(Debug, Default)]
+struct WordsCell(Option<PackedWords>);
+
+impl Clone for WordsCell {
+    fn clone(&self) -> Self {
+        WordsCell(None)
+    }
+}
+
+/// A tight packed word image at per-column bit width `b`: `u32` words
+/// when both columns fit one half (`2b ≤ 32`), `u64` words otherwise.
+#[derive(Debug)]
+enum PackedWords {
+    /// Words `hi << b | lo` with `2b ≤ 32`.
+    W32 {
+        /// Per-column bit width the words were packed with.
+        b: u32,
+        /// Sorted distinct words, one per row.
+        keys: Vec<u32>,
+    },
+    /// Words `hi << b | lo` widened to `u64`.
+    W64 {
+        /// Per-column bit width the words were packed with.
+        b: u32,
+        /// Sorted distinct words, one per row.
+        keys: Vec<u64>,
+    },
+}
+
+/// Sorted-set intersection over packed words: the words of `mine`
+/// that appear in `theirs` (both sorted distinct), in order.
+fn isect_keys<K: Copy + Ord>(mine: &[K], theirs: &[K]) -> Vec<K> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &m in mine {
+        while j < theirs.len() && theirs[j] < m {
+            j += 1;
+        }
+        if j == theirs.len() {
+            break;
+        }
+        if theirs[j] == m {
+            out.push(m);
+        }
+    }
+    out
+}
+
 /// A relation over distinct variables, stored columnar-flat: one
 /// contiguous row-major buffer instead of a hash set of row vectors.
 ///
@@ -258,6 +420,9 @@ pub struct FlatRelation {
     /// Lazily-built per-column existence bitmaps (derived data; see
     /// [`BitmapCell`]). Invalidated by every mutating operation.
     bitmaps: BitmapCell,
+    /// Cached sorted word image (derived data; see [`WordsCell`]).
+    /// Invalidated by every mutating operation.
+    words: WordsCell,
 }
 
 impl FlatRelation {
@@ -269,6 +434,7 @@ impl FlatRelation {
             data: Vec::new(),
             domain_width: 0,
             bitmaps: BitmapCell::default(),
+            words: WordsCell::default(),
         }
     }
 
@@ -282,12 +448,21 @@ impl FlatRelation {
             data: Vec::new(),
             domain_width: 0,
             bitmaps: BitmapCell::default(),
+            words: WordsCell::default(),
         }
     }
 
     /// The dense-domain bound of this relation's elements (`0` = none).
     pub fn domain_width(&self) -> u32 {
         self.domain_width
+    }
+
+    /// Drops the cached word image (see [`WordsCell`]). Bag
+    /// materialization calls this before handing a relation to the
+    /// cache layer, keeping the image transient and cache byte
+    /// accounting identical across packed modes.
+    pub(crate) fn drop_word_image(&mut self) {
+        self.words.0 = None;
     }
 
     /// The width bound of data drawn from both operands of a binary
@@ -327,6 +502,88 @@ impl FlatRelation {
     /// dispatch agrees on eligibility.
     fn bitmap_eligible(&self) -> bool {
         self.domain_width > 0 && (self.domain_width as usize) <= 64 * self.rows.max(16)
+    }
+
+    /// Whether [`FlatRelation::sort_dedup_seq`] takes the packed
+    /// radix path: every row packs into one `u64` code word. Legal
+    /// only for arity ≤ 2 with a dense-domain bound — packing wider
+    /// rows does not fit a word, and without `domain_width > 0` the
+    /// radix passes lose the bounded-digit guarantee the `Auto` cost
+    /// model relies on (see `cqapx_structures::packed`). A pure
+    /// function of the relation and the knob — never of the thread
+    /// budget — so every dispatch site agrees.
+    fn packed_sort_wanted(&self) -> bool {
+        if self.domain_width == 0 || self.schema.is_empty() || self.schema.len() > 2 {
+            return false;
+        }
+        match packed_mode() {
+            PackedMode::Off => false,
+            PackedMode::On => true,
+            PackedMode::Auto => self.rows >= PACKED_MIN_ROWS,
+        }
+    }
+
+    /// Whether projecting `self` to `vars` would take the fused
+    /// packed path — the `EvalProfile` labelling predicate, mirroring
+    /// the `packed_sort_wanted` check [`FlatRelation::project_budget`]
+    /// makes on its (projected-schema, same-width, same-row-count)
+    /// output shell.
+    pub(crate) fn packed_project_would_dispatch(&self, vars: &[VarId]) -> bool {
+        if self.domain_width == 0 {
+            return false;
+        }
+        let mut kept: Vec<VarId> = Vec::new();
+        for &v in vars {
+            if !kept.contains(&v) {
+                kept.push(v);
+            }
+        }
+        if kept.is_empty() || kept.len() > 2 {
+            return false;
+        }
+        match packed_mode() {
+            PackedMode::Off => false,
+            PackedMode::On => true,
+            PackedMode::Auto => self.rows >= PACKED_MIN_ROWS,
+        }
+    }
+
+    /// Whether a semijoin against `source` on `source_pos` would
+    /// dispatch the packed word-compare kernel — the `EvalProfile`
+    /// labelling predicate, kept in lockstep with the dispatch order
+    /// of [`FlatRelation::semijoin_on_budget`].
+    pub(crate) fn packed_semijoin_would_dispatch(
+        source: &FlatRelation,
+        source_pos: &[usize],
+    ) -> bool {
+        KeyIndex::wants_packed(source, source_pos)
+    }
+
+    /// Whether `self ⋈ other` would build a packed radix-partitioned
+    /// index — the `EvalProfile` labelling predicate, mirroring
+    /// [`FlatRelation::join_budget`]'s shared-column and
+    /// build-smaller-side choices.
+    pub(crate) fn packed_join_would_dispatch(&self, other: &FlatRelation) -> bool {
+        let mut my_shared = Vec::new();
+        let mut their_shared = Vec::new();
+        for (i, v) in self.schema.iter().enumerate() {
+            if let Some(j) = other.schema.iter().position(|w| w == v) {
+                my_shared.push(i);
+                their_shared.push(j);
+            }
+        }
+        let (build, build_pos) = if self.rows <= other.rows {
+            (self, &my_shared)
+        } else {
+            (other, &their_shared)
+        };
+        KeyIndex::wants_packed(build, build_pos)
+    }
+
+    /// Whether a sequential dedup of this relation would take the
+    /// packed radix sort — the `EvalProfile` labelling predicate.
+    pub(crate) fn packed_dedup_would_dispatch(&self) -> bool {
+        self.packed_sort_wanted()
     }
 
     /// The existence bitmap of one column, built lazily and shared by
@@ -393,8 +650,12 @@ impl FlatRelation {
     }
 
     /// Replaces the bitmap cell after a mutation. Clones made before
-    /// the mutation keep the old (still-valid-for-them) bitmaps.
+    /// the mutation keep the old (still-valid-for-them) bitmaps. Also
+    /// drops the cached word image — every mutation site funnels
+    /// through here, so this is the single derived-data invalidation
+    /// point (the packed sort and merge re-stash after calling it).
     fn invalidate_bitmaps(&mut self) {
+        self.words.0 = None;
         if self.bitmaps.0.get().is_some() {
             self.bitmaps = BitmapCell::default();
         }
@@ -445,6 +706,7 @@ impl FlatRelation {
             domain_width: self.domain_width,
             // Same rows, same bitmaps: relabeling shares the cell.
             bitmaps: self.bitmaps.clone(),
+            words: WordsCell::default(),
         }
     }
 
@@ -521,6 +783,7 @@ impl FlatRelation {
         if lease.extra() == 0 {
             return self.sort_dedup_seq();
         }
+        self.words.0 = None;
         let w = lease.workers();
         let n = self.rows;
         let (rows_out, data_out) = {
@@ -595,7 +858,153 @@ impl FlatRelation {
     /// data-buffer read per comparison. `[Element; A]` orders
     /// lexicographically, i.e. exactly the canonical row order, so the
     /// output is bit-identical to the generic path's.
+    ///
+    /// When the rows pack into single `u64` code words
+    /// ([`FlatRelation::packed_sort_wanted`]: arity ≤ 2 over a dense
+    /// domain), the comparison sort is replaced by an LSB **radix
+    /// sort** over the words. Packing is monotone — numeric word
+    /// order is lexicographic row order — so this too is
+    /// bit-identical, while a relation of `n` dense codes sorts in
+    /// `O(n · passes)` with at most four byte passes under 64 K codes.
     fn sort_dedup_seq(&mut self) {
+        // The word image is order-sensitive; drop it before any
+        // re-sort (the radix arm stashes a fresh one).
+        self.words.0 = None;
+        if self.packed_sort_wanted() {
+            return self.sort_dedup_radix();
+        }
+        self.sort_dedup_cmp()
+    }
+
+    /// The packed radix arm of [`FlatRelation::sort_dedup_seq`]:
+    /// pack → radix sort → word dedup → unpack. Injectivity of the
+    /// packing makes word equality row equality, so the dedup is a
+    /// word compare per adjacent pair.
+    ///
+    /// Words are packed **tightly**: with `b` bits covering the dense
+    /// bound, a two-column row becomes `hi << b | lo` — monotone for
+    /// any `b` with `lo < 2^b`, exactly like the fixed-shift
+    /// [`pack2`], but occupying `2b` bits instead of `32 + b`. Rows
+    /// whose tight word fits 32 bits (and all single columns) sort as
+    /// `u32` keys: half the memory traffic per pass and at most half
+    /// the passes of the wide encoding.
+    fn sort_dedup_radix(&mut self) {
+        let a = self.schema.len();
+        debug_assert!(a == 1 || a == 2, "only word-packable rows");
+        let n = self.rows;
+        if a == 1 {
+            radix_dedup_u32(&mut self.data);
+            self.rows = self.data.len();
+            note_packed(n);
+            return;
+        }
+        // Bits covering every code: codes are `< domain_width ≤ 2^b`.
+        let b = match self.domain_width {
+            0 | 1 => 0,
+            w => 32 - (w - 1).leading_zeros(),
+        };
+        if 2 * b <= 32 {
+            let mut keys = self.build_words32(b);
+            radix_dedup_u32(&mut keys);
+            self.data.clear();
+            let mask = (1u32 << b).wrapping_sub(1);
+            for &k in &keys {
+                self.data.push(k >> b);
+                self.data.push(k & mask);
+            }
+            self.rows = keys.len();
+            self.words.0 = Some(PackedWords::W32 { b, keys });
+        } else {
+            let mut keys = self.build_words64(b);
+            radix_dedup(&mut keys);
+            self.data.clear();
+            let mask = (1u64 << b) - 1;
+            for &k in &keys {
+                self.data.push((k >> b) as Element);
+                self.data.push((k & mask) as Element);
+            }
+            self.rows = keys.len();
+            self.words.0 = Some(PackedWords::W64 { b, keys });
+        }
+        note_packed(n);
+    }
+
+    /// Packs the two columns of every row into a tight `u32` word at
+    /// per-column bit width `b` (caller guarantees arity 2, `2b ≤ 32`).
+    fn build_words32(&self, b: u32) -> Vec<u32> {
+        (0..self.rows)
+            .map(|i| (self.data[2 * i] << b) | self.data[2 * i + 1])
+            .collect()
+    }
+
+    /// [`FlatRelation::build_words32`] widened to `u64` words.
+    fn build_words64(&self, b: u32) -> Vec<u64> {
+        (0..self.rows)
+            .map(|i| ((self.data[2 * i] as u64) << b) | self.data[2 * i + 1] as u64)
+            .collect()
+    }
+
+    /// Fused packed projection: packs the kept columns of every source
+    /// row straight into tight code words, radix sorts, dedups, and
+    /// unpacks into `out`. This replaces the unpacked path's column
+    /// gather **and** its canonical sort with one pipeline — the
+    /// intermediate row buffer the gather would write (and the sort
+    /// would immediately re-read) never exists. The caller guarantees
+    /// `out.packed_sort_wanted()`: arity 1 or 2, a dense-domain bound,
+    /// and a row count past the knob's threshold.
+    fn project_packed_into(&self, keep: &[usize], out: &mut FlatRelation) {
+        let a = self.schema.len();
+        let n = self.rows;
+        match *keep {
+            [k] => {
+                let mut keys: Vec<Element> = (0..n).map(|i| self.data[i * a + k]).collect();
+                radix_dedup_u32(&mut keys);
+                out.rows = keys.len();
+                out.data = keys;
+            }
+            [k0, k1] => {
+                // Bits covering every code (see `sort_dedup_radix`).
+                let b = match out.domain_width {
+                    0 | 1 => 0,
+                    w => 32 - (w - 1).leading_zeros(),
+                };
+                if 2 * b <= 32 {
+                    let mut keys: Vec<u32> = (0..n)
+                        .map(|i| (self.data[i * a + k0] << b) | self.data[i * a + k1])
+                        .collect();
+                    radix_dedup_u32(&mut keys);
+                    let mask = (1u32 << b).wrapping_sub(1);
+                    out.data.reserve(2 * keys.len());
+                    for &k in &keys {
+                        out.data.push(k >> b);
+                        out.data.push(k & mask);
+                    }
+                    out.rows = keys.len();
+                } else {
+                    let mut keys: Vec<u64> = (0..n)
+                        .map(|i| {
+                            ((self.data[i * a + k0] as u64) << b) | self.data[i * a + k1] as u64
+                        })
+                        .collect();
+                    radix_dedup(&mut keys);
+                    let mask = (1u64 << b) - 1;
+                    out.data.reserve(2 * keys.len());
+                    for &k in &keys {
+                        out.data.push((k >> b) as Element);
+                        out.data.push((k & mask) as Element);
+                    }
+                    out.rows = keys.len();
+                }
+            }
+            _ => unreachable!("packed projection requires arity 1 or 2"),
+        }
+        note_packed(n);
+    }
+
+    /// The comparison arm of [`FlatRelation::sort_dedup_seq`] (also
+    /// the `CQAPX_PACKED=off` pin the differential suites compare the
+    /// radix arm against).
+    fn sort_dedup_cmp(&mut self) {
         fn packed<const A: usize>(rows: usize, data: &mut Vec<Element>) -> usize {
             let mut packed: Vec<[Element; A]> = Vec::with_capacity(rows);
             for i in 0..rows {
@@ -651,6 +1060,14 @@ impl FlatRelation {
             self.rows = self.rows.min(other.rows);
             return;
         }
+        // Packed fast path: the merge walk compares words instead of
+        // row slices, reusing the sorted word image the radix sort
+        // cached on either side. Output bytes are identical — the
+        // packing is monotone and injective, so the surviving words
+        // unpack to exactly the rows the slice walk keeps.
+        if self.packed_intersect_wanted(other) {
+            return self.intersect_sorted_packed(other);
+        }
         let mut w = 0usize; // write row
         let mut j = 0usize; // read row in other
         for i in 0..self.rows {
@@ -666,6 +1083,103 @@ impl FlatRelation {
         self.rows = w;
         self.data.truncate(w * a);
         self.invalidate_bitmaps();
+    }
+
+    /// Whether [`FlatRelation::intersect_sorted`] takes the packed
+    /// word-merge path: both sides carry the dense bound, rows pack
+    /// into single words, and the knob agrees. A pure function of the
+    /// operands and the knob — never of the thread budget — so every
+    /// dispatch site agrees.
+    fn packed_intersect_wanted(&self, other: &FlatRelation) -> bool {
+        if self.domain_width == 0
+            || other.domain_width == 0
+            || self.schema.is_empty()
+            || self.schema.len() > 2
+        {
+            return false;
+        }
+        match packed_mode() {
+            PackedMode::Off => false,
+            PackedMode::On => true,
+            PackedMode::Auto => self.rows.max(other.rows) >= PACKED_MIN_ROWS,
+        }
+    }
+
+    /// The packed arm of [`FlatRelation::intersect_sorted`]: merge
+    /// over packed words, reusing the sorted word image the radix
+    /// sort stashed on either side when the packing widths line up
+    /// (multi-part bag builds sort each part right before
+    /// intersecting, so the images are usually hot). The surviving
+    /// words are stashed back, so the next part's intersection skips
+    /// the re-pack too.
+    fn intersect_sorted_packed(&mut self, other: &FlatRelation) {
+        let n = self.rows;
+        if self.schema.len() == 1 {
+            // Single columns are their own words.
+            let mut w = 0usize;
+            let mut j = 0usize;
+            for i in 0..n {
+                let m = self.data[i];
+                while j < other.rows && other.data[j] < m {
+                    j += 1;
+                }
+                if j == other.rows {
+                    break;
+                }
+                if other.data[j] == m {
+                    self.data[w] = m;
+                    w += 1;
+                }
+            }
+            self.rows = w;
+            self.data.truncate(w);
+            self.invalidate_bitmaps();
+            note_packed(n);
+            return;
+        }
+        // One shared bit width so word order agrees on both sides.
+        let b = match self.domain_width.max(other.domain_width) {
+            0 | 1 => 0,
+            w => 32 - (w - 1).leading_zeros(),
+        };
+        if 2 * b <= 32 {
+            let mine = match self.words.0.take() {
+                Some(PackedWords::W32 { b: wb, keys }) if wb == b => keys,
+                _ => self.build_words32(b),
+            };
+            let kept = match &other.words.0 {
+                Some(PackedWords::W32 { b: wb, keys }) if *wb == b => isect_keys(&mine, keys),
+                _ => isect_keys(&mine, &other.build_words32(b)),
+            };
+            self.data.clear();
+            let mask = (1u32 << b).wrapping_sub(1);
+            for &k in &kept {
+                self.data.push(k >> b);
+                self.data.push(k & mask);
+            }
+            self.rows = kept.len();
+            self.invalidate_bitmaps();
+            self.words.0 = Some(PackedWords::W32 { b, keys: kept });
+        } else {
+            let mine = match self.words.0.take() {
+                Some(PackedWords::W64 { b: wb, keys }) if wb == b => keys,
+                _ => self.build_words64(b),
+            };
+            let kept = match &other.words.0 {
+                Some(PackedWords::W64 { b: wb, keys }) if *wb == b => isect_keys(&mine, keys),
+                _ => isect_keys(&mine, &other.build_words64(b)),
+            };
+            self.data.clear();
+            let mask = (1u64 << b) - 1;
+            for &k in &kept {
+                self.data.push((k >> b) as Element);
+                self.data.push((k & mask) as Element);
+            }
+            self.rows = kept.len();
+            self.invalidate_bitmaps();
+            self.words.0 = Some(PackedWords::W64 { b, keys: kept });
+        }
+        note_packed(n);
     }
 
     /// FxHash of the key columns of one row, hashed in place (no key
@@ -723,6 +1237,16 @@ impl FlatRelation {
                 note_bitmap_probe();
                 return self.semijoin_bitmap(my_pos[0], &bm, budget);
             }
+        }
+        // Word-compare path for two-column keys against a dense
+        // source: pack both key columns into one word and test
+        // membership in the radix-partitioned index — the selection-
+        // vector style of the bitmap path, extended to pair keys. The
+        // index groups exactly the matching rows, so survivors — and
+        // output bytes — are identical to the per-row hashed probe.
+        if KeyIndex::wants_packed(other, their_pos) {
+            let index = KeyIndex::build_packed(other, their_pos);
+            return self.semijoin_packed(my_pos, &index, budget);
         }
         let a = self.schema.len();
         if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
@@ -835,6 +1359,63 @@ impl FlatRelation {
         for i in 0..self.rows {
             sel[n] = i as u32;
             n += bm.contains(self.data[i * a + my_col]) as usize;
+        }
+        for (w, &i) in sel[..n].iter().enumerate() {
+            self.data
+                .copy_within(i as usize * a..i as usize * a + a, w * a);
+        }
+        self.rows = n;
+        self.data.truncate(n * a);
+        self.invalidate_bitmaps();
+    }
+
+    /// Semijoin survivor selection for two-column keys against a
+    /// packed radix-partitioned index: each probe row's key columns
+    /// pack into one `u64` word, membership is a word compare inside
+    /// the index's partition, and survivors collect through the same
+    /// selection-vector compaction as [`FlatRelation::semijoin_bitmap`]
+    /// (unconditional store plus a 0/1 index bump). Sequential and
+    /// morsel-parallel variants compact survivors in identical order.
+    fn semijoin_packed(&mut self, my_pos: &[usize], index: &KeyIndex, budget: &ThreadBudget) {
+        let a = self.schema.len();
+        let (p0, p1) = (my_pos[0], my_pos[1]);
+        if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
+            let lease = budget.claim(par_want(self.rows));
+            if lease.extra() > 0 {
+                let survivors: Vec<Vec<u32>> = {
+                    let data = &self.data;
+                    parallel_chunks(self.rows, MORSEL_ROWS, lease.workers(), |_, r| {
+                        let mut keep: Vec<u32> = vec![0; r.len()];
+                        let mut n = 0usize;
+                        for i in r {
+                            keep[n] = i as u32;
+                            let k = pack2(data[i * a + p0], data[i * a + p1]);
+                            n += index.contains_packed(k) as usize;
+                        }
+                        keep.truncate(n);
+                        keep
+                    })
+                };
+                let mut w = 0usize;
+                for keep in &survivors {
+                    for &i in keep {
+                        self.data
+                            .copy_within(i as usize * a..i as usize * a + a, w * a);
+                        w += 1;
+                    }
+                }
+                self.rows = w;
+                self.data.truncate(w * a);
+                self.invalidate_bitmaps();
+                return;
+            }
+        }
+        let mut sel: Vec<u32> = vec![0; self.rows];
+        let mut n = 0usize;
+        for i in 0..self.rows {
+            sel[n] = i as u32;
+            let k = pack2(self.data[i * a + p0], self.data[i * a + p1]);
+            n += index.contains_packed(k) as usize;
         }
         for (w, &i) in sel[..n].iter().enumerate() {
             self.data
@@ -1015,6 +1596,17 @@ impl FlatRelation {
         let mut out = FlatRelation::empty(schema);
         out.domain_width = self.domain_width;
         out.rows = self.rows;
+        // Fused packed projection: when the projected rows pack into
+        // code words, build the words straight from the source rows —
+        // the column gather, the canonical sort, and the dedup of the
+        // unpacked path collapse into one radix pipeline with no
+        // intermediate row buffer. Output bytes are identical: the
+        // packing is monotone, so sorted distinct words unpack to the
+        // sorted distinct rows the gather-then-sort path produces.
+        if out.packed_sort_wanted() {
+            self.project_packed_into(&keep, &mut out);
+            return out;
+        }
         let mut gathered = false;
         if self.rows >= PAR_MIN_ROWS && budget.capacity() > 0 {
             let lease = budget.claim(par_want(self.rows));
@@ -1079,6 +1671,17 @@ impl FlatRelation {
         out.domain_width = self.domain_width;
         if a == 0 {
             out.rows = self.rows.min(1);
+            return out;
+        }
+        // Packed fast path: projected rows that fit a code word dedup
+        // through the radix pipeline instead of the hash table —
+        // sequential counting passes instead of random probes into an
+        // open-addressed table that outgrows cache on wide inputs.
+        // This op's row order is unspecified by contract, so the
+        // packed path's sorted order is a legal (and canonical)
+        // choice; every consumer is order-insensitive.
+        if self.packed_project_would_dispatch(vars) {
+            self.project_packed_into(&keep, &mut out);
             return out;
         }
         // Open addressing over output-row indices, hashes recomputed on
@@ -1180,7 +1783,7 @@ impl FlatRelation {
 }
 
 /// A key index over the key columns of a [`FlatRelation`], in one of
-/// two representations chosen deterministically at build time:
+/// three representations chosen deterministically at build time:
 ///
 /// * [`KeyIndex::Hashed`] — a chained hash index: a flat power-of-two
 ///   bucket table (`heads`, addressed by the top hash bits) with rows
@@ -1199,9 +1802,21 @@ impl FlatRelation {
 ///   the bound is small enough that the offset table costs no more
 ///   than the hashed build it replaces.
 ///
-/// Buckets of both representations list rows in **descending row
+/// * [`KeyIndex::Packed`] — a radix-partitioned index for **two-column
+///   keys over a dense domain** (`CQAPX_PACKED`): keys are packed into
+///   single `u64` code words, the `(word, row)` pairs radix-sorted,
+///   and the distinct words stored CSR-grouped under a **partition
+///   directory** over the words' top used bits — each directory slot
+///   delimits a cache-sized run of sorted words. A probe is one shift,
+///   one directory load, and a word-compare search inside the
+///   partition: no hashing, no collision chains, and — because every
+///   group holds exactly the rows equal to the probe word — no
+///   per-candidate key re-check.
+///
+/// Buckets of all representations list rows in **descending row
 /// order** (the chained build pushes at the head in ascending row
-/// order; the direct build fills in reverse), so probe sequences — and
+/// order; the direct build fills in reverse; the packed build feeds
+/// the stable radix sort in reverse), so probe sequences — and
 /// with them join output buffers — are byte-identical across
 /// representations.
 enum KeyIndex {
@@ -1220,6 +1835,21 @@ enum KeyIndex {
         offsets: Vec<u32>,
         /// Row ids grouped by key code, descending within a group.
         slots: Vec<u32>,
+    },
+    Packed {
+        /// The distinct packed key words, ascending.
+        keys: Vec<u64>,
+        /// CSR offsets into `slots`, length `keys.len() + 1`.
+        offsets: Vec<u32>,
+        /// Row ids grouped by key word, descending within a group.
+        slots: Vec<u32>,
+        /// Partition directory: `dir[d]..dir[d + 1]` delimits the run
+        /// of `keys` whose word `>> dir_shift` equals `d`. Length
+        /// `partitions + 1`; sized to roughly one key per slot, capped
+        /// so the table stays cache-resident.
+        dir: Vec<u32>,
+        /// Top-used-bits shift addressing the directory.
+        dir_shift: u32,
     },
 }
 
@@ -1271,9 +1901,126 @@ impl KeyIndex {
         KeyIndex::Direct { offsets, slots }
     }
 
+    /// Whether a build over `pos` takes the packed radix-partitioned
+    /// representation: a two-column key (single-column keys already
+    /// have the cheaper direct/hashed paths) over a dense-domain bound
+    /// — the packing invariant — with the `CQAPX_PACKED` knob
+    /// consenting. Like [`KeyIndex::wants_direct`], a pure function of
+    /// the relation and key, never of the thread budget.
+    fn wants_packed(rel: &FlatRelation, pos: &[usize]) -> bool {
+        pos.len() == 2
+            && rel.domain_width > 0
+            && match packed_mode() {
+                PackedMode::Off => false,
+                PackedMode::On => true,
+                PackedMode::Auto => rel.len() >= PACKED_MIN_ROWS,
+            }
+    }
+
+    /// Packs a probe row's two key columns into the index's word form.
+    #[inline]
+    fn pack_key(row: &[Element], pos: &[usize]) -> u64 {
+        pack2(row[pos[0]], row[pos[1]])
+    }
+
+    /// Radix-partitioned build: pack every key, radix-sort the
+    /// `(word, row)` pairs — rows fed in **reverse** so the stable
+    /// passes leave each word group listing rows descending, the
+    /// chained-hash probe order — then lay the groups out CSR and
+    /// index the sorted words with a top-bits partition directory.
+    fn build_packed(rel: &FlatRelation, pos: &[usize]) -> KeyIndex {
+        let n = rel.len();
+        let a = rel.schema.len();
+        let (p0, p1) = (pos[0], pos[1]);
+        let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(n);
+        for i in (0..n).rev() {
+            let base = i * a;
+            pairs.push((pack2(rel.data[base + p0], rel.data[base + p1]), i as u32));
+        }
+        radix_sort_pairs(&mut pairs);
+        let mut keys: Vec<u64> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        let mut slots: Vec<u32> = Vec::with_capacity(n);
+        for &(k, row) in &pairs {
+            if keys.last() != Some(&k) {
+                keys.push(k);
+                offsets.push(slots.len() as u32);
+            }
+            slots.push(row);
+        }
+        offsets.push(slots.len() as u32);
+        // Directory over the top used bits: keys are sorted, so every
+        // partition is a contiguous run. One slot per distinct key
+        // (rounded to a power of two), capped at 2^16 slots so the
+        // table stays cache-resident even for huge builds.
+        let used_bits = keys.last().map_or(0, |k| 64 - k.leading_zeros());
+        let dir_bits = (64 - (keys.len() as u64).leading_zeros())
+            .min(used_bits)
+            .min(16);
+        let dir_shift = used_bits - dir_bits;
+        let mut dir = vec![0u32; (1usize << dir_bits) + 1];
+        for &k in &keys {
+            dir[(k >> dir_shift) as usize + 1] += 1;
+        }
+        for d in 1..dir.len() {
+            dir[d] += dir[d - 1];
+        }
+        note_packed(n);
+        KeyIndex::Packed {
+            keys,
+            offsets,
+            slots,
+            dir,
+            dir_shift,
+        }
+    }
+
+    /// The rows matching packed word `k` exactly (descending), or the
+    /// empty slice: directory partition, then a word-compare binary
+    /// search inside it. Words above every indexed key shift past the
+    /// directory and read as absent, mirroring the direct index's
+    /// out-of-range behaviour.
+    #[inline]
+    fn packed_group(&self, k: u64) -> &[u32] {
+        let KeyIndex::Packed {
+            keys,
+            offsets,
+            slots,
+            dir,
+            dir_shift,
+        } = self
+        else {
+            unreachable!("packed group on a non-packed index")
+        };
+        let d = (k >> dir_shift) as usize;
+        // `dir` always has at least two fences; a word whose partition
+        // shifts past the last fence is above every indexed key.
+        if d >= dir.len() - 1 {
+            return &[];
+        }
+        let (lo, hi) = (dir[d] as usize, dir[d + 1] as usize);
+        match keys[lo..hi].binary_search(&k) {
+            Ok(g) => {
+                let g = lo + g;
+                &slots[offsets[g] as usize..offsets[g + 1] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Word-membership probe on a packed index: is any indexed row's
+    /// key equal to word `k`?
+    #[inline]
+    fn contains_packed(&self, k: u64) -> bool {
+        !self.packed_group(k).is_empty()
+    }
+
     fn build(rel: &FlatRelation, pos: &[usize]) -> KeyIndex {
         if Self::wants_direct(rel, pos) {
             return Self::build_direct(rel, pos[0]);
+        }
+        if Self::wants_packed(rel, pos) {
+            return Self::build_packed(rel, pos);
         }
         let n = rel.len();
         let mut hashes = vec![0u64; n];
@@ -1308,9 +2055,14 @@ impl KeyIndex {
         // The direct build is a counting sort — linear, branch-free,
         // already cheaper than the parallel hashed build's hash pass —
         // so it never claims workers (and the representation choice
-        // stays budget-independent).
+        // stays budget-independent). The packed build is a handful of
+        // radix passes, comparable to the hash pass alone, and stays
+        // sequential for the same reason.
         if Self::wants_direct(rel, pos) {
             return Self::build_direct(rel, pos[0]);
+        }
+        if Self::wants_packed(rel, pos) {
+            return Self::build_packed(rel, pos);
         }
         if n < PAR_MIN_ROWS || budget.capacity() == 0 {
             return Self::build(rel, pos);
@@ -1378,16 +2130,21 @@ impl KeyIndex {
         match self {
             KeyIndex::Hashed { .. } => self.probe_hash(FlatRelation::hash_key(row, pos)),
             KeyIndex::Direct { .. } => self.probe_value(row[pos[0]]),
+            KeyIndex::Packed { .. } => {
+                ProbeIter::Direct(self.packed_group(Self::pack_key(row, pos)).iter())
+            }
         }
     }
 
     /// Whether probe candidates are **exact** matches already: direct
     /// buckets hold exactly the rows whose key column equals the probe
-    /// code, so callers may skip the per-candidate column re-check that
-    /// the hashed representation needs against collisions.
+    /// code — and packed groups exactly the rows whose packed key word
+    /// equals the probe word — so callers may skip the per-candidate
+    /// column re-check that the hashed representation needs against
+    /// collisions.
     #[inline]
     fn is_exact(&self) -> bool {
-        matches!(self, KeyIndex::Direct { .. })
+        matches!(self, KeyIndex::Direct { .. } | KeyIndex::Packed { .. })
     }
 
     /// Existence-only probe: does any indexed row of `build` match the
@@ -1408,6 +2165,7 @@ impl KeyIndex {
                 let v = row[pos[0]] as usize;
                 v + 1 < offsets.len() && offsets[v] < offsets[v + 1]
             }
+            KeyIndex::Packed { .. } => self.contains_packed(Self::pack_key(row, pos)),
             KeyIndex::Hashed { .. } => self
                 .probe_row(row, pos)
                 .any(|m| FlatRelation::keys_eq(row, pos, build.row(m), build_pos)),
@@ -1428,6 +2186,9 @@ impl KeyIndex {
                 };
                 ProbeIter::Direct(group.iter())
             }
+            KeyIndex::Packed { .. } => {
+                unreachable!("single-value probe on a packed two-column index")
+            }
         }
     }
 
@@ -1445,7 +2206,9 @@ impl KeyIndex {
                 hash,
                 cur: heads[(hash >> shift) as usize],
             },
-            KeyIndex::Direct { .. } => unreachable!("hash probe on a direct index"),
+            KeyIndex::Direct { .. } | KeyIndex::Packed { .. } => {
+                unreachable!("hash probe on an exact index")
+            }
         }
     }
 }
@@ -2036,11 +2799,26 @@ impl AtomBinder {
         let dict = d.domain_dict();
         out.domain_width = dict.len() as u32;
         out.invalidate_bitmaps();
+        // Scans stream the flat row-major image (one sequential pass)
+        // instead of chasing a heap allocation per tuple.
+        let arity = d.vocabulary().arity(self.rel);
+        let flat = d.flat_tuples(self.rel);
+        out.data.reserve((flat.len() / arity) * self.out_pos.len());
         if dict.is_identity() {
-            'tuples: for t in d.tuples(self.rel) {
+            // Whole-tuple scans (no filter, columns in tuple order) are
+            // one bulk copy of the image.
+            if self.eq_checks.is_empty()
+                && arity == self.out_pos.len()
+                && self.out_pos.iter().enumerate().all(|(i, &p)| i == p)
+            {
+                out.data.extend_from_slice(flat);
+                out.rows += flat.len() / arity;
+                return;
+            }
+            'rows: for t in flat.chunks_exact(arity) {
                 for &(i, j) in &self.eq_checks {
                     if t[i] != t[j] {
-                        continue 'tuples;
+                        continue 'rows;
                     }
                 }
                 for &p in &self.out_pos {
@@ -2050,10 +2828,10 @@ impl AtomBinder {
             }
             return;
         }
-        'tuples2: for t in d.tuples(self.rel) {
+        'rows2: for t in flat.chunks_exact(arity) {
             for &(i, j) in &self.eq_checks {
                 if t[i] != t[j] {
-                    continue 'tuples2;
+                    continue 'rows2;
                 }
             }
             for &p in &self.out_pos {
@@ -3138,6 +3916,209 @@ mod tests {
         );
         assert_eq!(cache.resident_bytes(), landed.heap_bytes());
         BITMAP_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+
+    // ── packed code-word kernels ────────────────────────────────────
+
+    /// The radix `sort_dedup` fast path must leave exactly the bytes
+    /// the comparison sort leaves, for arity 1 and arity 2, including
+    /// the duplicate-heavy and empty cases.
+    #[test]
+    fn packed_sort_dedup_is_byte_identical_to_comparison() {
+        let _g = knob_guard();
+        for &(schema, n, width) in &[
+            (&[0][..], 900usize, 40u32),
+            (&[0, 1][..], 2000, 64),
+            (&[0, 1][..], 1500, 3), // duplicate-heavy
+            (&[0, 1][..], 0, 16),
+        ] {
+            let mut radix = big_random_rel(schema, n, width.max(1), 17);
+            radix.domain_width = width;
+            let mut cmp = radix.clone();
+            set_packed_mode(PackedMode::On);
+            radix.sort_dedup();
+            set_packed_mode(PackedMode::Off);
+            cmp.sort_dedup();
+            assert_eq!(radix.schema, cmp.schema);
+            assert_eq!(radix.rows, cmp.rows, "row count (n={n} width={width})");
+            assert_eq!(radix.data, cmp.data, "bytes differ (n={n} width={width})");
+            assert_eq!(radix.domain_width, cmp.domain_width);
+        }
+        // Unbounded or wide relations must never take the radix path
+        // even when forced on: the knob selects among eligible
+        // representations, it does not create eligibility.
+        let mut unbounded = big_random_rel(&[0, 1], 600, 50, 23);
+        let mut wide = big_random_rel(&[0, 1, 2], 600, 50, 23);
+        wide.domain_width = 50;
+        set_packed_mode(PackedMode::On);
+        assert!(!unbounded.packed_sort_wanted());
+        assert!(!wide.packed_sort_wanted());
+        let before = packed_stats().builds;
+        unbounded.sort_dedup();
+        wide.sort_dedup();
+        assert_eq!(
+            packed_stats().builds,
+            before,
+            "ineligible inputs skip the counter"
+        );
+        reset_packed_override();
+    }
+
+    /// Joins and semijoins on a two-column key through the packed
+    /// radix-partitioned index must be byte-identical to the hashed
+    /// path — same rows, same order — sequentially and under a
+    /// granting thread budget.
+    #[test]
+    fn packed_index_is_bit_identical_to_hashed() {
+        let _g = knob_guard();
+        for &(n, m, width) in &[(800usize, 600usize, 12u32), (2500, 2000, 48)] {
+            let a = dense_rel(&[0, 1, 2], n, width, 31);
+            let b = dense_rel(&[1, 2, 3], m, width, 32);
+            // Shared columns {1, 2}: a genuine two-column key.
+            set_packed_mode(PackedMode::On);
+            assert!(
+                KeyIndex::wants_packed(&b, &[0, 1]),
+                "fixture must be eligible"
+            );
+            let before = packed_stats();
+            let packed = a.join_budget(&b, &ThreadBudget::sequential());
+            let packed_par = a.join_budget(&b, &ThreadBudget::new(4));
+            let mut sj_packed = a.clone();
+            sj_packed.semijoin_on_budget(&[1, 2], &b, &[0, 1], &ThreadBudget::sequential());
+            let mut sj_packed_par = a.clone();
+            sj_packed_par.semijoin_on_budget(&[1, 2], &b, &[0, 1], &ThreadBudget::new(4));
+            let after = packed_stats();
+            assert!(
+                after.builds > before.builds,
+                "packed builds must be counted"
+            );
+            assert!(after.rows > before.rows, "packed rows must be counted");
+
+            set_packed_mode(PackedMode::Off);
+            let hashed = a.join_budget(&b, &ThreadBudget::sequential());
+            let mut sj_hashed = a.clone();
+            sj_hashed.semijoin_on_budget(&[1, 2], &b, &[0, 1], &ThreadBudget::sequential());
+            reset_packed_override();
+
+            assert_eq!(packed.schema, hashed.schema);
+            assert_eq!(packed.data, hashed.data, "join bytes differ (n={n})");
+            assert_eq!(packed.domain_width, hashed.domain_width);
+            assert_eq!(packed_par.data, hashed.data, "parallel join bytes differ");
+            assert_eq!(sj_packed.data, sj_hashed.data, "semijoin bytes differ");
+            assert_eq!(
+                sj_packed_par.data, sj_hashed.data,
+                "parallel semijoin bytes differ"
+            );
+        }
+    }
+
+    /// Packed-index edge cases: empty build side, single key, and
+    /// probe words past the maximum key (possible when the probe side
+    /// carries a wider — or no — bound) must simply miss.
+    #[test]
+    fn packed_index_edge_cases() {
+        let _g = knob_guard();
+        set_packed_mode(PackedMode::On);
+        let empty = {
+            let mut r = FlatRelation::empty(vec![0, 1]);
+            r.domain_width = 8;
+            r
+        };
+        let idx = KeyIndex::build_packed(&empty, &[0, 1]);
+        assert!(!idx.contains_packed(pack2(0, 0)));
+
+        let mut one = FlatRelation::empty(vec![0, 1]);
+        one.push_row(&[0, 0]);
+        one.domain_width = 1;
+        let idx = KeyIndex::build_packed(&one, &[0, 1]);
+        assert!(idx.contains_packed(pack2(0, 0)));
+        assert!(!idx.contains_packed(pack2(0, 1)));
+        assert!(
+            !idx.contains_packed(pack2(7, 7)),
+            "past-the-directory probe misses"
+        );
+        assert!(!idx.contains_packed(u64::MAX));
+
+        let b = dense_rel(&[0, 1], 700, 20, 5);
+        let idx = KeyIndex::build_packed(&b, &[0, 1]);
+        assert!(idx.is_exact(), "packed candidates need no re-check");
+        for row in b.iter_rows() {
+            assert!(idx.contains_packed(pack2(row[0], row[1])));
+        }
+        assert!(!idx.contains_packed(pack2(20, 0)), "width is exclusive");
+        assert!(!idx.contains_packed(pack2(1_000_000, 3)));
+        reset_packed_override();
+    }
+
+    /// The descending-row group order inside the packed index must
+    /// match the chained-hash bucket order exactly — this is the
+    /// invariant the join byte-identity rests on.
+    #[test]
+    fn packed_groups_list_rows_descending() {
+        let _g = knob_guard();
+        set_packed_mode(PackedMode::On);
+        let mut r = FlatRelation::empty(vec![0, 1]);
+        for i in 0..600u32 {
+            r.push_row(&[i % 7, i % 3]);
+        }
+        r.domain_width = 7;
+        let idx = KeyIndex::build_packed(&r, &[0, 1]);
+        for key in (0..7u32).flat_map(|h| (0..3u32).map(move |l| pack2(h, l))) {
+            let group = idx.packed_group(key);
+            assert!(
+                group.windows(2).all(|w| w[0] > w[1]),
+                "group for {key:#x} must list rows strictly descending"
+            );
+        }
+        reset_packed_override();
+    }
+
+    // ── domain-width propagation (packed eligibility audit) ─────────
+
+    /// Regression: a projection that drops the high column must keep
+    /// the low column's `domain_width` — both the sorting projection
+    /// and the hash-distinct variant — or downstream packed kernels
+    /// lose their eligibility for no reason.
+    #[test]
+    fn projection_keeps_domain_width_on_surviving_columns() {
+        let r = dense_rel(&[0, 1], 300, 24, 9);
+        for vars in [&[0][..], &[1][..], &[1, 0][..]] {
+            assert_eq!(r.project(vars).domain_width(), 24, "project {vars:?}");
+            assert_eq!(
+                r.project_distinct(vars).domain_width(),
+                24,
+                "distinct {vars:?}"
+            );
+        }
+    }
+
+    /// Regression: unioning into a freshly reset (empty) accumulator —
+    /// the bag-build scratch pattern — must adopt the incoming bound,
+    /// and a union of two bounded sides keeps the max; one unknown
+    /// side poisons the bound conservatively.
+    #[test]
+    fn union_rows_propagates_domain_width_conservatively() {
+        let dense = dense_rel(&[0, 1], 100, 16, 2);
+        let mut scratch = dense_rel(&[0, 1], 10, 8, 6);
+        scratch.reset(vec![0, 1]);
+        assert_eq!(scratch.domain_width(), 0, "reset clears the bound");
+        scratch.union_rows(&dense);
+        assert_eq!(
+            scratch.domain_width(),
+            16,
+            "empty accumulator adopts the bound"
+        );
+        let wider = dense_rel(&[0, 1], 100, 32, 7);
+        scratch.union_rows(&wider);
+        assert_eq!(
+            scratch.domain_width(),
+            32,
+            "bounded ∪ bounded keeps the max"
+        );
+        let mut unknown = big_random_rel(&[0, 1], 50, 16, 8);
+        unknown.sort_dedup();
+        scratch.union_rows(&unknown);
+        assert_eq!(scratch.domain_width(), 0, "unknown side poisons the bound");
     }
 
     #[test]

@@ -436,6 +436,9 @@ impl MatPart {
             scratch.sort_dedup_budget(budget);
             acc.intersect_sorted(scratch);
         }
+        // Word images are build-local scratch: drop before the
+        // relation can land in a cache (see `WordsCell`).
+        acc.drop_word_image();
         acc
     }
 }
@@ -643,14 +646,36 @@ impl PlanIr {
         fn rel(s: &Option<FlatRelation>) -> &FlatRelation {
             s.as_ref().expect("slot written before use")
         }
-        fn op_label(op: &Op) -> &'static str {
+        /// Metrics label of one op, specialized when the operator
+        /// would dispatch a packed code-word kernel (`CQAPX_PACKED`)
+        /// against the current slot contents — computed **before** the
+        /// op runs, so eligibility is judged on the same relations the
+        /// dispatch itself sees. Labels only; the kernels are
+        /// byte-identical either way.
+        fn op_label(op: &Op, slots: &[Option<FlatRelation>]) -> &'static str {
             match op {
                 Op::Materialize { .. } => "materialize",
-                Op::Semijoin { .. } => "semijoin",
+                Op::Semijoin {
+                    source, source_pos, ..
+                } => match &slots[*source] {
+                    Some(s) if FlatRelation::packed_semijoin_would_dispatch(s, source_pos) => {
+                        "semijoin(packed)"
+                    }
+                    _ => "semijoin",
+                },
                 Op::AssertNonempty { .. } => "assert_nonempty",
-                Op::Join { .. } => "join",
-                Op::Project { .. } => "project",
-                Op::Dedup { .. } => "dedup",
+                Op::Join { left, right, .. } => match (&slots[*left], &slots[*right]) {
+                    (Some(l), Some(r)) if l.packed_join_would_dispatch(r) => "join(packed)",
+                    _ => "join",
+                },
+                Op::Project { src, vars, .. } => match &slots[*src] {
+                    Some(s) if s.packed_project_would_dispatch(vars) => "project(packed)",
+                    _ => "project",
+                },
+                Op::Dedup { slot } => match &slots[*slot] {
+                    Some(s) if s.packed_dedup_would_dispatch() => "dedup(packed)",
+                    _ => "dedup",
+                },
                 Op::Union { .. } => "union",
             }
         }
@@ -725,6 +750,7 @@ impl PlanIr {
                 }
             }
             let t0 = profile.is_some().then(std::time::Instant::now);
+            let label = profile.is_some().then(|| op_label(&self.ops[pc], slots));
             match &self.ops[pc] {
                 Op::Materialize { dst, source } => {
                     slots[*dst] = Some(source.materialize(d, cache, stats, budget));
@@ -788,7 +814,7 @@ impl PlanIr {
             }
             if let Some(p) = profile.as_deref_mut() {
                 p.ops.push(OpProfile {
-                    op: op_label(&self.ops[pc]),
+                    op: label.expect("label computed when profiling"),
                     micros: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
                     rows: slots[out_slot(&self.ops[pc])]
                         .as_ref()

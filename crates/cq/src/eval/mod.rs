@@ -13,8 +13,9 @@ pub mod yannakakis;
 pub use decomposed::{BagPart, BagSummary, DecomposedPlan, NotDecomposable};
 pub use evaluator::{Evaluator, NaiveEvaluator};
 pub use flat::{
-    bitmap_stats, set_bitmap_mode, set_direct_index_enabled, AtomBinder, BitmapMode, BitmapStats,
-    FlatRelation, MatCacheStats, MatKey, MaterializationCache,
+    bitmap_stats, packed_stats, set_bitmap_mode, set_direct_index_enabled, set_packed_mode,
+    AtomBinder, BitmapMode, BitmapStats, FlatRelation, MatCacheStats, MatKey, MaterializationCache,
+    PackedMode, PackedStats,
 };
 pub use ir::{
     env_bag_strategy, resolve_bag_strategy, resolve_bag_strategy_observed, EvalProfile, MatPart,

@@ -295,6 +295,46 @@ mod tests {
         }
     }
 
+    /// Forcing the packed kernels onto the acyclic tier — the reducer
+    /// semijoins and the final projection dedup — must leave answers,
+    /// the naive reference, and cache traffic untouched.
+    #[test]
+    fn packed_kernels_identical_on_acyclic_tier() {
+        use crate::eval::flat::{knob_guard, reset_packed_override, set_packed_mode, PackedMode};
+        let _g = knob_guard();
+        let mut edges = Vec::new();
+        for u in 0..40u32 {
+            edges.push((u, (u * 7 + 3) % 40));
+            edges.push((u, (u * 13 + 1) % 40));
+        }
+        let d = Structure::digraph(40, &edges);
+        for qs in [
+            "Q(x, w) :- E(x, y), E(y, z), E(z, w)",
+            "Q(x, y) :- E(x, y), E(y, z)",
+            "Q() :- E(x, y), E(y, z), E(z, w)",
+        ] {
+            let q = parse_cq(qs).unwrap();
+            let plan = AcyclicPlan::compile(&q).unwrap();
+            let naive = eval_naive(&q, &d);
+            set_packed_mode(PackedMode::On);
+            let cache_on = MaterializationCache::new();
+            let (rows_on, s_on) = plan.eval_cached(&d, Some(&cache_on));
+            let bool_on = plan.eval_boolean_cached(&d, Some(&cache_on)).0;
+            set_packed_mode(PackedMode::Off);
+            let cache_off = MaterializationCache::new();
+            let (rows_off, s_off) = plan.eval_cached(&d, Some(&cache_off));
+            reset_packed_override();
+            assert_eq!(rows_on, rows_off, "answers differ on {qs}");
+            assert_eq!(rows_on, naive, "naive disagrees on {qs}");
+            assert_eq!(bool_on, !naive.is_empty(), "boolean wrong on {qs}");
+            assert_eq!(
+                (s_on.hits, s_on.misses),
+                (s_off.hits, s_off.misses),
+                "cache traffic must not depend on the kernel ({qs})"
+            );
+        }
+    }
+
     #[test]
     fn path_queries_agree() {
         let d = Structure::digraph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (4, 5), (5, 0)]);

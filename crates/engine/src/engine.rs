@@ -540,6 +540,13 @@ pub struct StatsSnapshot {
     /// (bitmaps on cached materializations are also inside each cache's
     /// resident bytes — see `mat_cache_bytes_by_db`).
     pub bitmap_resident_bytes: u64,
+    /// Packed code-word indexes and radix dedups built by the eval
+    /// layer, process-wide (the `CQAPX_PACKED` kernels). Packed
+    /// structures are transient — built, probed, dropped — so there is
+    /// no resident-bytes gauge and cache byte accounting is untouched.
+    pub packed_builds: u64,
+    /// Rows fed through the packed kernels, process-wide.
+    pub packed_rows: u64,
     /// Outstanding admitted requests at snapshot time.
     pub queue_depth: i64,
     /// Total claimable extra workers (threads − 1).
@@ -706,6 +713,7 @@ impl Engine {
             }
         }
         let bitmap_stats = cqapx_cq::eval::bitmap_stats();
+        let packed_stats = cqapx_cq::eval::packed_stats();
         StatsSnapshot {
             counters: self.stats(),
             level: m.level,
@@ -729,6 +737,8 @@ impl Engine {
             bitmap_builds: bitmap_stats.builds,
             bitmap_probes: bitmap_stats.probes,
             bitmap_resident_bytes: bitmap_stats.resident_bytes as u64,
+            packed_builds: packed_stats.builds,
+            packed_rows: packed_stats.rows,
             queue_depth: self.inflight.load(Ordering::Relaxed) as i64,
             workers_capacity: self.budget.capacity(),
             workers_available: m.workers_available.get(),

@@ -46,6 +46,7 @@ pub mod hom;
 pub mod index;
 pub mod iso;
 pub mod order;
+pub mod packed;
 pub mod partition;
 pub mod pointed;
 pub mod quotient;

@@ -6,7 +6,7 @@ use crate::vocabulary::{RelId, Vocabulary};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// An element of a structure's universe. Elements are dense indices
 /// `0..structure.universe_size()`.
@@ -52,6 +52,9 @@ pub struct Structure {
     /// Lazily-built active-domain dictionary (derived data, same
     /// contract as `index`; see [`crate::dict`]).
     dict: DictCell,
+    /// Lazily-built flat row-major tuple images (derived data, same
+    /// contract as `index`; see [`Structure::flat_tuples`]).
+    flat: FlatCell,
 }
 
 impl Structure {
@@ -65,6 +68,7 @@ impl Structure {
             names: None,
             index: IndexCell::default(),
             dict: DictCell::default(),
+            flat: FlatCell::default(),
         }
     }
 
@@ -119,6 +123,24 @@ impl Structure {
         self.dict
             .0
             .get_or_init(|| Arc::new(DomainDict::build(self)))
+    }
+
+    /// The tuples of `rel` as one flat row-major buffer: `arity`
+    /// consecutive elements per tuple, tuples in the same sorted order
+    /// as [`Self::tuples`]. Built lazily on first use and cached;
+    /// clones share it (same contract as [`Self::index`]). Scan
+    /// kernels stream this image sequentially instead of chasing one
+    /// heap allocation per tuple.
+    pub fn flat_tuples(&self, rel: RelId) -> &[Element] {
+        let all = self.flat.0.get_or_init(|| {
+            Arc::new(
+                self.relations
+                    .iter()
+                    .map(|ts| ts.iter().flat_map(|t| t.iter().copied()).collect())
+                    .collect(),
+            )
+        });
+        &all[rel.index()]
     }
 
     /// Checks whether a tuple is a fact of the relation.
@@ -414,8 +436,35 @@ impl StructureBuilder {
             names: None,
             index: IndexCell::default(),
             dict: DictCell::default(),
+            flat: FlatCell::default(),
         }
     }
+}
+
+/// The lazily-initialized flat-tuple-image slot carried by every
+/// [`Structure`]: one row-major `Vec<Element>` per relation. Mirrors
+/// [`IndexCell`]: derived data, invisible to equality/hash/serde,
+/// shared by clones (relations are immutable after construction, so a
+/// shared image can never go stale).
+#[derive(Debug, Default)]
+struct FlatCell(OnceLock<Arc<Vec<Vec<Element>>>>);
+
+impl Clone for FlatCell {
+    fn clone(&self) -> Self {
+        FlatCell(self.0.clone())
+    }
+}
+
+impl PartialEq for FlatCell {
+    fn eq(&self, _other: &Self) -> bool {
+        true // the cache is derived data, invisible to equality
+    }
+}
+
+impl Eq for FlatCell {}
+
+impl std::hash::Hash for FlatCell {
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
 }
 
 #[cfg(test)]
@@ -424,6 +473,29 @@ mod tests {
 
     fn c3() -> Structure {
         Structure::digraph(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn flat_tuples_matches_tuples() {
+        let v = Vocabulary::new(vec![("E", 2), ("T", 3)]);
+        let (e, t) = (v.rel("E").unwrap(), v.rel("T").unwrap());
+        let mut b = StructureBuilder::new(v, 5);
+        b.add(e, &[3, 1]);
+        b.add(e, &[0, 4]);
+        b.add(e, &[3, 1]); // duplicate
+        b.add(t, &[2, 2, 0]);
+        let s = b.finish();
+        for rel in [e, t] {
+            let expect: Vec<Element> = s
+                .tuples(rel)
+                .iter()
+                .flat_map(|t| t.iter().copied())
+                .collect();
+            assert_eq!(s.flat_tuples(rel), expect.as_slice());
+        }
+        // Clones share the already-built image.
+        let c = s.clone();
+        assert!(std::ptr::eq(c.flat_tuples(e), s.flat_tuples(e)));
     }
 
     #[test]

@@ -149,6 +149,10 @@ fn main() {
         "  bitmaps       resident={}B builds={} probes={} (CQAPX_BITMAP kernels)",
         snap.bitmap_resident_bytes, snap.bitmap_builds, snap.bitmap_probes
     );
+    println!(
+        "  packed        builds={} rows={} (CQAPX_PACKED kernels)",
+        snap.packed_builds, snap.packed_rows
+    );
 
     println!("\n── trace ring (Trace tier, last few) ──");
     let events = engine.trace_events();
